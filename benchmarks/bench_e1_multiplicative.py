@@ -1,0 +1,68 @@
+"""E1 — Theorem 1: two-pass 2^k-spanners, space and stretch.
+
+Regenerates the claim table: for each (n, k), the streaming spanner's
+size, worst observed stretch (must be <= 2^k), measured sketch words and
+pass count.  The scaling column compares measured size growth across n
+against the theory's ~n^{1+1/k}.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import TwoPassSpannerBuilder
+from repro.graph import connected_gnp, evaluate_multiplicative_stretch
+from repro.stream import stream_from_graph
+
+CONFIGS = [
+    # (n, k); p scaled to keep average degree ~8.
+    (32, 1),
+    (32, 2),
+    (64, 1),
+    (64, 2),
+    (64, 3),
+    (128, 2),
+    (128, 3),
+]
+
+
+def run_once(n: int, k: int, seed: int = 7):
+    graph = connected_gnp(n, min(0.5, 8.0 / n), seed=seed)
+    stream = stream_from_graph(graph, seed=seed, churn=0.3)
+    builder = TwoPassSpannerBuilder(n, k, seed=seed + 1)
+    output = builder.run(stream)
+    sample = None if n <= 64 else 600
+    report = evaluate_multiplicative_stretch(graph, output.spanner, sample_pairs=sample, seed=seed)
+    return graph, builder, output, report
+
+
+def test_e1_table(results, benchmark):
+    rows = [
+        f"{'n':>5} {'k':>2} {'m':>6} {'|H|':>6} {'stretch':>8} {'<=2^k':>6} "
+        f"{'words':>9} {'passes':>6} {'n^(1+1/k)':>10}"
+    ]
+    sizes_by_k: dict[int, list[tuple[int, int]]] = {}
+    for n, k in CONFIGS:
+        graph, builder, output, report = run_once(n, k)
+        words = builder.space_report().total_words()
+        ok = "yes" if report.within(2 ** k) else "NO"
+        rows.append(
+            f"{n:>5} {k:>2} {graph.num_edges():>6} {output.spanner.num_edges():>6} "
+            f"{report.max_stretch:>8.2f} {ok:>6} {words:>9} {builder.passes_required:>6} "
+            f"{n ** (1 + 1 / k):>10.0f}"
+        )
+        sizes_by_k.setdefault(k, []).append((n, output.spanner.num_edges()))
+        assert report.within(2 ** k), f"stretch violated at n={n}, k={k}"
+        assert builder.passes_required == 2
+
+    # Scaling shape: for k=2, |H| should grow clearly sub-quadratically
+    # (near n^{1.5} within polylogs).
+    points = sizes_by_k[2]
+    (n0, s0), (n1, s1) = points[0], points[-1]
+    slope = math.log(s1 / s0) / math.log(n1 / n0)
+    rows.append(f"\nsize-scaling slope for k=2 across n: {slope:.2f} "
+                f"(theory: <= 1 + 1/k + o(1) = 1.5 + o(1))")
+    assert slope < 1.9, f"size grows too fast: slope {slope}"
+
+    results("E1_multiplicative_spanner", "\n".join(rows))
+    benchmark.pedantic(lambda: run_once(64, 2), rounds=1, iterations=1)

@@ -1,0 +1,117 @@
+"""E6 — substrate honesty: primitive throughput and reliability.
+
+The paper's guarantees are "with high probability" statements about the
+sketching primitives; this experiment calibrates the constants DESIGN.md
+§5 promises: decode success at budget, L0-sampler success, AGM forest
+completeness, and the spanner's pass-2 coverage diagnostics — plus raw
+update/decode throughput via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.agm import AgmSketch
+from repro.core import TwoPassSpannerBuilder
+from repro.graph import connected_gnp
+from repro.sketch import DistinctElementsSketch, L0Sampler, SparseRecoverySketch
+from repro.stream import stream_from_graph
+
+
+def test_e6_reliability_table(results, benchmark):
+    rows = ["primitive reliability at calibrated constants:"]
+
+    trials = 200
+    failures = 0
+    for trial in range(trials):
+        sketch = SparseRecoverySketch(10_000, 8, seed=trial)
+        for i in range(8):
+            sketch.update((trial * 131 + i * 977) % 10_000, 1)
+        if sketch.decode() is None:
+            failures += 1
+    rows.append(f"  sparse recovery at exact budget : {trials - failures}/{trials} decodes")
+    assert failures <= 4
+
+    sampler_failures = 0
+    for trial in range(trials):
+        sampler = L0Sampler(10_000, seed=1000 + trial)
+        for i in range(64):
+            sampler.update((trial * 97 + i * 389) % 10_000, 1)
+        if sampler.sample() is None:
+            sampler_failures += 1
+    rows.append(f"  L0 sampling on 64-sparse vectors: {trials - sampler_failures}/{trials} samples")
+    assert sampler_failures <= 4
+
+    agm_trials = 30
+    agm_failures = 0
+    for trial in range(agm_trials):
+        graph = connected_gnp(24, 0.12, seed=trial)
+        sketch = AgmSketch(24, seed=2000 + trial)
+        for u, v, _ in graph.edges():
+            sketch.update(u, v, 1)
+        if len(sketch.spanning_forest()) != 23:
+            agm_failures += 1
+    rows.append(f"  AGM spanning forest completeness: {agm_trials - agm_failures}/{agm_trials} connected")
+    assert agm_failures <= 1
+
+    distinct_ok = 0
+    for trial in range(50):
+        sketch = DistinctElementsSketch(10_000, seed=3000 + trial)
+        for i in range(100):
+            sketch.update(i * 7, 1)
+        if 50 <= sketch.estimate() <= 200:
+            distinct_ok += 1
+    rows.append(f"  L0 estimate within factor 2     : {distinct_ok}/50")
+    assert distinct_ok >= 46
+
+    graph = connected_gnp(48, 0.2, seed=9)
+    stream = stream_from_graph(graph, seed=9, churn=0.3)
+    builder = TwoPassSpannerBuilder(48, 2, seed=10)
+    output = builder.run(stream)
+    diag = output.diagnostics
+    rows.append(
+        f"  spanner pass-2 coverage         : "
+        f"{diag['pass2_uncovered_keys']} uncovered, "
+        f"{diag['pass2_repaired_keys']} repaired, "
+        f"{diag['pass2_table_overflows']} table overflows"
+    )
+    assert diag["pass2_uncovered_keys"] <= 2
+
+    results("E6_substrate_reliability", "\n".join(rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e6_sparse_recovery_update_throughput(benchmark):
+    sketch = SparseRecoverySketch(100_000, 16, seed=1)
+
+    def do_updates():
+        for i in range(200):
+            sketch.update(i * 37 % 100_000, 1)
+        for i in range(200):
+            sketch.update(i * 37 % 100_000, -1)
+
+    benchmark(do_updates)
+
+
+def test_e6_sparse_recovery_decode_throughput(benchmark):
+    sketch = SparseRecoverySketch(100_000, 16, seed=2)
+    for i in range(16):
+        sketch.update(i * 613, 2)
+    benchmark(sketch.decode)
+
+
+def test_e6_l0_sampler_throughput(benchmark):
+    sampler = L0Sampler(100_000, seed=3)
+
+    def updates_and_sample():
+        for i in range(100):
+            sampler.update(i * 101 % 100_000, 1)
+        return sampler.sample()
+
+    benchmark(updates_and_sample)
+
+
+def test_e6_agm_forest_throughput(benchmark):
+    graph = connected_gnp(32, 0.15, seed=4)
+    sketch = AgmSketch(32, seed=5)
+    for u, v, _ in graph.edges():
+        sketch.update(u, v, 1)
+    benchmark(sketch.spanning_forest)

@@ -1,0 +1,92 @@
+"""E7 — ablations of the implementation's design choices.
+
+DESIGN.md §4-§5 makes three calibration claims; this experiment measures
+each knob's effect so the defaults are justified by data:
+
+* pass-2 Y-stack count vs coverage (the 1-sparse-payload substitution);
+* the repair sketch's contribution on top of starved stacks;
+* pass-1 cluster-sketch budget vs decode failures;
+* AGM Borůvka rounds vs forest completeness.
+"""
+
+from __future__ import annotations
+
+from repro.agm import AgmSketch
+from repro.core import SpannerParams, TwoPassSpannerBuilder
+from repro.graph import connected_gnp, evaluate_multiplicative_stretch
+from repro.stream import stream_from_graph
+
+N = 48
+SEED = 31
+
+
+def spanner_run(params: SpannerParams, seed=SEED):
+    graph = connected_gnp(N, 0.25, seed=seed)
+    stream = stream_from_graph(graph, seed=seed, churn=0.3)
+    builder = TwoPassSpannerBuilder(N, 2, seed=seed + 1, params=params)
+    output = builder.run(stream)
+    report = evaluate_multiplicative_stretch(graph, output.spanner)
+    return output, report
+
+
+def test_e7_stack_and_repair_ablation(results, benchmark):
+    rows = [
+        "pass-2 coverage vs Y-stack count (repair disabled):",
+        f"{'stacks':>6} {'uncovered':>9} {'stretch ok':>10}",
+    ]
+    uncovered_by_stacks = {}
+    for stacks in (1, 2, 4):
+        params = SpannerParams(table_stacks=stacks, repair_budget_factor=0.0)
+        output, report = spanner_run(params)
+        uncovered = output.diagnostics["pass2_uncovered_keys"]
+        uncovered_by_stacks[stacks] = uncovered
+        rows.append(f"{stacks:>6} {uncovered:>9} {'yes' if report.within(4) else 'NO':>10}")
+    assert uncovered_by_stacks[4] <= uncovered_by_stacks[1]
+
+    rows.append("\nrepair sketch on top of a single stack:")
+    rows.append(f"{'repair':>7} {'uncovered':>9} {'repaired':>9}")
+    for repair in (0.0, 2.0):
+        params = SpannerParams(table_stacks=1, repair_budget_factor=repair)
+        output, _ = spanner_run(params)
+        rows.append(
+            f"{repair:>7.1f} {output.diagnostics['pass2_uncovered_keys']:>9} "
+            f"{output.diagnostics['pass2_repaired_keys']:>9}"
+        )
+
+    rows.append("\npass-1 cluster-sketch budget:")
+    rows.append(f"{'budget':>6} {'decode failures':>15} {'stretch ok':>10}")
+    for budget in (2, 4, 8):
+        params = SpannerParams(cluster_budget=budget)
+        output, report = spanner_run(params)
+        rows.append(
+            f"{budget:>6} {output.diagnostics['pass1_decode_failures']:>15} "
+            f"{'yes' if report.within(4) else 'NO':>10}"
+        )
+
+    results("E7_ablations_spanner", "\n".join(rows))
+    benchmark.pedantic(lambda: spanner_run(SpannerParams()), rounds=1, iterations=1)
+
+
+def test_e7_agm_rounds_ablation(results, benchmark):
+    rows = [
+        "AGM Borůvka rounds vs spanning-forest completeness "
+        "(20 connected G(24, 0.12) trials):",
+        f"{'rounds':>6} {'complete forests':>16}",
+    ]
+    complete_by_rounds = {}
+    for rounds in (2, 4, 8):
+        complete = 0
+        for trial in range(20):
+            graph = connected_gnp(24, 0.12, seed=100 + trial)
+            sketch = AgmSketch(24, seed=200 + trial, rounds=rounds)
+            for u, v, _ in graph.edges():
+                sketch.update(u, v, 1)
+            if len(sketch.spanning_forest()) == 23:
+                complete += 1
+        complete_by_rounds[rounds] = complete
+        rows.append(f"{rounds:>6} {complete:>16}/20")
+    assert complete_by_rounds[8] >= complete_by_rounds[2]
+    assert complete_by_rounds[8] >= 19
+
+    results("E7_ablations_agm", "\n".join(rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

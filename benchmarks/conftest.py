@@ -1,0 +1,38 @@
+"""Shared benchmark infrastructure.
+
+Every experiment registers its result table here; the tables are printed
+in pytest's terminal summary (visible even with output capture on, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+them) and written to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_TABLES: dict[str, str] = {}
+
+
+def register_table(name: str, table: str) -> None:
+    """Record an experiment table for the summary and the results dir."""
+    _TABLES[name] = table
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+
+
+@pytest.fixture
+def results():
+    """Fixture handing benches the registry function."""
+    return register_table
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "experiment tables (paper-claim reproduction)")
+    for name in sorted(_TABLES):
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(_TABLES[name])

@@ -1,0 +1,91 @@
+"""Distributed sketching: s servers, one spanner, zero raw-edge exchange.
+
+The paper's introduction motivates linear sketches with exactly this
+scenario: the edge stream is split across servers, each server sketches
+only its own shard, and because sketches are *linear* the coordinator
+can sum them — the sum is indistinguishable from having sketched the
+whole stream on one machine.
+
+The same trick is shown twice:
+  1. AGM spanning-forest sketches (Theorem 10) — merge and extract;
+  2. the full two-pass spanner (Theorem 1) — merge pass 1, build the
+     forest once, broadcast it, merge pass 2, recover the spanner.
+
+Run:  python examples/distributed_servers.py
+"""
+
+from repro.agm import AgmSketch
+from repro.core import TwoPassSpannerBuilder
+from repro.graph import connected_gnp, evaluate_multiplicative_stretch
+from repro.stream import stream_from_graph
+
+NUM_SERVERS = 4
+
+
+def shard(stream, server: int):
+    """Server `server`'s view: every NUM_SERVERS-th update."""
+    return [u for i, u in enumerate(stream) if i % NUM_SERVERS == server]
+
+
+def demo_agm(graph, stream) -> None:
+    print("--- distributed spanning forest (AGM sketches) ---")
+    servers = [AgmSketch(graph.num_vertices, seed=42) for _ in range(NUM_SERVERS)]
+    for server_id, sketch in enumerate(servers):
+        for update in shard(stream, server_id):
+            sketch.update(update.u, update.v, update.sign)
+    coordinator = servers[0]
+    for sketch in servers[1:]:
+        coordinator.combine(sketch)
+    forest = coordinator.spanning_forest()
+    print(f"servers: {NUM_SERVERS}, merged forest edges: {len(forest)} "
+          f"(expected {graph.num_vertices - 1} for a connected graph)")
+    assert len(forest) == graph.num_vertices - 1
+
+
+def demo_spanner(graph, stream) -> None:
+    print("--- distributed two-pass spanner ---")
+    n, k = graph.num_vertices, 2
+    make = lambda: TwoPassSpannerBuilder(n, k, seed=4242)
+
+    # Pass 1, sharded: each server sketches its shard.
+    servers = [make() for _ in range(NUM_SERVERS)]
+    for server_id, builder in enumerate(servers):
+        builder.begin_pass(0)
+        for update in shard(stream, server_id):
+            builder.process(update, 0)
+
+    # Coordinator merges pass-1 sketches and builds the cluster forest.
+    coordinator = servers[0]
+    for builder in servers[1:]:
+        coordinator.merge_first_pass(builder)
+    coordinator.end_pass(0)
+
+    # Pass 2, sharded: every server needs the (tiny) forest for routing.
+    for builder in servers[1:]:
+        builder.adopt_forest_from(coordinator)
+    for server_id, builder in enumerate(servers):
+        for update in shard(stream, server_id):
+            builder.process(update, 1)
+    for builder in servers[1:]:
+        coordinator.merge_second_pass(builder)
+
+    output = coordinator.finalize()
+    report = evaluate_multiplicative_stretch(graph, output.spanner)
+    print(f"merged spanner: {output.spanner.num_edges()} edges, "
+          f"max stretch {report.max_stretch:.2f} (guarantee {2 ** k})")
+    assert report.within(2 ** k)
+
+
+def main() -> None:
+    graph = connected_gnp(64, 0.12, seed=3)
+    stream = stream_from_graph(graph, seed=3, churn=0.4)
+    print(f"input: n={graph.num_vertices}, m={graph.num_edges()}, "
+          f"{len(stream)} tokens split across {NUM_SERVERS} servers\n")
+    demo_agm(graph, stream)
+    print()
+    demo_spanner(graph, stream)
+    print("\nOK: merged sketches reproduce single-machine results.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Play Theorem 4's communication game: space buys decoding power.
+
+Alice holds s random graphs G(d, 1/2) (her INDEX bits); Bob holds one
+pair inside one block.  Alice's message is the state of a 1-pass
+streaming spanner algorithm; Bob appends his path edges, reads the
+spanner, and answers "my bit is 1 iff my pair is a spanner edge".
+
+Theorem 4: any algorithm whose spanner has additive distortion n/d with
+probability >= 6/7 lets Bob win with probability >= 2/3, so its state
+must be Ω(nd) bits.  Below we watch the contrapositive: as the
+algorithm's space budget is starved, Bob's success decays toward the
+coin flip, and only space-rich messages clear the 2/3 bar with room.
+
+Run:  python examples/lower_bound_game.py
+"""
+
+from repro.core import AdditiveParams, AdditiveSpannerBuilder
+from repro.graph.graph import Graph
+from repro.lowerbound import run_spanner_protocol
+from repro.stream.pipeline import StreamingAlgorithm
+from repro.util.rng import derive_seed
+
+NUM_BLOCKS = 4
+BLOCK_SIZE = 16  # d: block size / degree scale
+TRIALS = 16
+
+
+class EmptyMessage(StreamingAlgorithm):
+    """Zero-bit protocol: Bob sees only his own edges."""
+
+    def __init__(self, num_vertices):
+        self.num_vertices = num_vertices
+
+    @property
+    def passes_required(self):
+        return 1
+
+    def process(self, update, pass_index):
+        pass
+
+    def finalize(self):
+        return Graph(self.num_vertices)
+
+    def space_words(self):
+        return 0
+
+
+def main() -> None:
+    n = NUM_BLOCKS * BLOCK_SIZE
+    r = NUM_BLOCKS * BLOCK_SIZE * (BLOCK_SIZE - 1) // 2
+    print(f"hard instance: {NUM_BLOCKS} blocks of G({BLOCK_SIZE}, 1/2), n={n}")
+    print(f"INDEX length r = {r} bits (the Ω(nd) information target)\n")
+
+    configurations = [
+        # (name, factory, trials) — the free protocol gets many trials so
+        # its coin-flip rate is visible without noise.
+        ("no message", lambda nv, t: EmptyMessage(nv), 400),
+        (
+            "starved additive spanner (d'=1, shrunk constants)",
+            lambda nv, t: AdditiveSpannerBuilder(
+                nv, 1, seed=derive_seed("game", t),
+                params=AdditiveParams(
+                    degree_threshold_factor=0.1, neighborhood_budget_factor=0.3
+                ),
+            ),
+            TRIALS,
+        ),
+        (
+            "matched additive spanner (d'=8)",
+            lambda nv, t: AdditiveSpannerBuilder(nv, 8, seed=derive_seed("game", t)),
+            TRIALS,
+        ),
+    ]
+
+    print(f"{'protocol':<48} {'message words':>14} {'Bob success':>12}")
+    for name, factory, trials in configurations:
+        report = run_spanner_protocol(
+            NUM_BLOCKS, BLOCK_SIZE, factory, trials=trials, seed=99
+        )
+        verdict = "clears 2/3" if report.success_rate >= 2 / 3 else "below 2/3"
+        print(f"{name:<48} {report.mean_message_words:>14.0f} "
+              f"{report.success_rate:>12.2f}  ({verdict})")
+
+    print("\nReading: with no/starved state Bob hovers near the coin flip and")
+    print("cannot clear the 2/3 bar reliably; the space-matched spanner decodes")
+    print("every bit — its state carries the Ω(nd) information Theorem 4 demands.")
+
+
+if __name__ == "__main__":
+    main()

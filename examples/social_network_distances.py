@@ -1,0 +1,74 @@
+"""Distance queries on a social-network-style graph, three ways.
+
+The introduction's motivating application: a search/social service wants
+approximate distance queries over a massive, constantly changing graph
+without storing it.  We compare on a power-law (Chung–Lu) graph:
+
+* the paper's two-pass streaming spanner (dynamic stream, 2^k stretch),
+* the paper's one-pass additive spanner (dynamic stream, +O(n/d)),
+* the offline Thorup–Zwick oracle (random access, 2k-1 stretch).
+
+Run:  python examples/social_network_distances.py
+"""
+
+from repro.baselines import ThorupZwickOracle
+from repro.core import AdditiveSpannerBuilder, TwoPassSpannerBuilder
+from repro.graph import bfs_distances, power_law_graph
+from repro.stream import stream_from_graph
+from repro.util.rng import rng_from_seed
+
+
+def sample_queries(n: int, count: int, seed: int):
+    rng = rng_from_seed(seed, "queries")
+    queries = []
+    while len(queries) < count:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            queries.append((u, v))
+    return queries
+
+
+def spanner_distance(spanner, u, v):
+    return bfs_distances(spanner, u).get(v)
+
+
+def main() -> None:
+    n = 128
+    graph = power_law_graph(n, exponent=2.2, seed=21)
+    stream = stream_from_graph(graph, seed=21, churn=0.5)
+    queries = sample_queries(n, 30, seed=22)
+    print(f"graph: n={n}, m={graph.num_edges()} (power-law degrees), "
+          f"{len(stream)} stream tokens")
+
+    two_pass = TwoPassSpannerBuilder(n, k=2, seed=23)
+    multiplicative = two_pass.run(stream).spanner
+
+    additive = AdditiveSpannerBuilder(n, d=4, seed=24).run(stream)
+
+    oracle = ThorupZwickOracle(graph, k=2, seed=25)
+
+    print(f"\n{'pair':>10} {'true':>5} {'2-pass 4x':>10} {'+n/d add.':>10} {'TZ oracle':>10}")
+    worst = {"mult": 0.0, "add": 0.0, "tz": 0.0}
+    for u, v in queries:
+        true = bfs_distances(graph, u).get(v)
+        if true is None or true == 0:
+            continue
+        d_mult = spanner_distance(multiplicative, u, v)
+        d_add = spanner_distance(additive, u, v)
+        d_tz = oracle.query(u, v)
+        print(f"({u:>3},{v:>3}) {true:>5} {d_mult:>10} {d_add:>10} {d_tz:>10.0f}")
+        worst["mult"] = max(worst["mult"], d_mult / true)
+        worst["add"] = max(worst["add"], d_add - true)
+        worst["tz"] = max(worst["tz"], d_tz / true)
+
+    print(f"\nsummary on {len(queries)} random queries:")
+    print(f"  two-pass spanner : worst stretch {worst['mult']:.2f} (guarantee 4), "
+          f"{multiplicative.num_edges()} edges, dynamic stream")
+    print(f"  additive spanner : worst additive error {worst['add']:.0f} "
+          f"(guarantee O(n/d) = O({n // 4})), {additive.num_edges()} edges, one pass")
+    print(f"  Thorup-Zwick     : worst stretch {worst['tz']:.2f} (guarantee 3), "
+          f"{oracle.space_entries()} stored entries, needs random access")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Weighted spanners over a churning network-latency graph.
+
+Scenario: a monitoring service keeps an approximate latency map of an
+overlay network.  Links (edges weighted by latency) come and go; the
+service sees only the add/remove feed, in one sequence, and may replay
+it once more (two passes) — exactly the paper's weighted dynamic stream
+model (weights are set at insertion and removed whole, Remark 14).
+
+Run:  python examples/weighted_network_monitoring.py
+"""
+
+from repro.core import WeightedTwoPassSpanner
+from repro.graph import connected_gnp, dijkstra_distances, with_random_weights
+from repro.stream import stream_from_graph
+
+W_MIN, W_MAX = 1.0, 16.0
+
+
+def main() -> None:
+    n, k = 72, 2
+    graph = with_random_weights(
+        connected_gnp(n, 0.15, seed=55), seed=55, w_min=W_MIN, w_max=W_MAX
+    )
+    stream = stream_from_graph(graph, seed=56, churn=0.6)
+    print(f"network: n={n}, {graph.num_edges()} weighted links, "
+          f"{len(stream)} feed events ({stream.num_deletions()} removals)")
+
+    monitor = WeightedTwoPassSpanner(
+        n, k, seed=57, w_min=W_MIN, w_max=W_MAX, gamma=0.5
+    )
+    latency_map = monitor.run(stream)
+    print(f"latency map: {latency_map.num_edges()} links kept across "
+          f"{monitor.num_classes} weight classes "
+          f"(stretch guarantee {monitor.stretch_bound():.1f}x)")
+
+    print(f"\n{'route':>10} {'true':>8} {'estimate':>9} {'ratio':>6}")
+    worst = 0.0
+    for source in (0, 17, 44):
+        true = dijkstra_distances(graph, source)
+        estimate = dijkstra_distances(latency_map, source)
+        for target in (9, 31, 63):
+            if target == source or target not in true:
+                continue
+            ratio = estimate[target] / true[target]
+            worst = max(worst, ratio)
+            print(f"({source:>3},{target:>3}) {true[target]:>8.2f} "
+                  f"{estimate[target]:>9.2f} {ratio:>6.2f}")
+
+    print(f"\nworst observed ratio {worst:.2f} <= guarantee "
+          f"{monitor.stretch_bound():.1f}: "
+          f"{'OK' if worst <= monitor.stretch_bound() + 1e-9 else 'VIOLATED'}")
+
+
+if __name__ == "__main__":
+    main()

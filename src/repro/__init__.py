@@ -1,0 +1,28 @@
+"""repro — reproduction of *Spanners and Sparsifiers in Dynamic Streams*
+(Kapralov & Woodruff, PODC 2014).
+
+Public API overview
+-------------------
+``repro.core``
+    the paper's algorithms: the two-pass ``2^k``-stretch multiplicative
+    spanner (Theorem 1), the one-pass ``O(n/d)``-additive spanner
+    (Theorem 3) and the two-pass spectral sparsifier (Corollary 2).
+``repro.sketch``
+    linear-sketching substrate (sparse recovery, L0 estimate/sample,
+    linear hash tables, limited-independence hashing).
+``repro.agm``
+    AGM spanning-forest / connectivity sketches (Theorem 10 substrate).
+``repro.stream``
+    the dynamic streaming model: update streams, pass control, space
+    accounting, workload generators.
+``repro.graph``
+    offline graph substrate used for verification: distances, Laplacians,
+    effective resistances, cuts, random graphs.
+``repro.baselines``
+    the algorithms the paper compares against: Baswana–Sen, greedy
+    spanners, Thorup–Zwick oracles, Spielman–Srivastava sparsifiers.
+``repro.lowerbound``
+    the Theorem 4 INDEX-game lower-bound harness.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""AGM graph sketches: spanning forests and their one-pass applications."""
+
+from repro.agm.connectivity import (
+    BipartitenessChecker,
+    ConnectivityChecker,
+    KConnectivityCertificate,
+)
+from repro.agm.incidence import decode_edge, incidence_updates
+from repro.agm.spanning_forest import AgmSketch, DisjointSets
+
+__all__ = [
+    "AgmSketch",
+    "DisjointSets",
+    "incidence_updates",
+    "decode_edge",
+    "ConnectivityChecker",
+    "BipartitenessChecker",
+    "KConnectivityCertificate",
+]

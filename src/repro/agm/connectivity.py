@@ -1,0 +1,151 @@
+"""Single-pass connectivity applications of AGM sketches.
+
+The paper's introduction cites [AGM12a]'s suite of dynamic-stream graph
+properties — "bipartiteness, connectivity, k-connectivity, ..." — all of
+which reduce to spanning-forest extraction.  This module exposes them as
+one-pass :class:`~repro.stream.pipeline.StreamingAlgorithm`s:
+
+* :class:`ConnectivityChecker` — connected components from one sketch
+  stack;
+* :class:`BipartitenessChecker` — the double-cover reduction: ``G`` is
+  bipartite iff its bipartite double cover has exactly twice as many
+  components as ``G``;
+* :class:`KConnectivityCertificate` — the union of ``k`` successively
+  extracted spanning forests; the certificate preserves every cut up to
+  value ``k`` (so ``G`` is ``k``-edge-connected iff the certificate is),
+  and is the building block of [AGM12b]'s cut sparsifiers.
+"""
+
+from __future__ import annotations
+
+from repro.agm.spanning_forest import AgmSketch
+from repro.graph.graph import Graph
+from repro.stream.pipeline import StreamingAlgorithm, run_passes
+from repro.stream.stream import DynamicStream
+from repro.stream.updates import EdgeUpdate
+from repro.util.rng import derive_seed
+
+__all__ = ["ConnectivityChecker", "BipartitenessChecker", "KConnectivityCertificate"]
+
+
+class ConnectivityChecker(StreamingAlgorithm):
+    """One-pass connected components of a dynamic stream."""
+
+    def __init__(self, num_vertices: int, seed: int | str):
+        self.num_vertices = num_vertices
+        self._sketch = AgmSketch(num_vertices, derive_seed(seed, "connectivity"))
+
+    @property
+    def passes_required(self) -> int:
+        return 1
+
+    def process(self, update: EdgeUpdate, pass_index: int) -> None:
+        self._sketch.update(update.u, update.v, update.sign)
+
+    def finalize(self) -> list[set[int]]:
+        """The connected components (whp)."""
+        return self._sketch.connected_components()
+
+    def is_connected(self) -> bool:
+        """Whether the final graph is connected (consumes the sketch state
+        read-only; callable after the pass)."""
+        return len(self.finalize()) == 1
+
+    def run(self, stream: DynamicStream) -> list[set[int]]:
+        """Convenience: run the single pass over ``stream``."""
+        return run_passes(stream, self)
+
+    def space_words(self) -> int:
+        return self._sketch.space_words()
+
+
+class BipartitenessChecker(StreamingAlgorithm):
+    """One-pass bipartiteness via the double-cover reduction.
+
+    The bipartite double cover ``G x K_2`` replaces every edge ``{u, v}``
+    by ``{u_0, v_1}`` and ``{u_1, v_0}``.  A connected component of ``G``
+    lifts to two components iff it is bipartite, and to one (odd cycle
+    merging the layers) otherwise — so ``G`` is bipartite iff
+    ``cc(double cover) = 2 * cc(G)``.
+    """
+
+    def __init__(self, num_vertices: int, seed: int | str):
+        self.num_vertices = num_vertices
+        self._base = AgmSketch(num_vertices, derive_seed(seed, "bipartite-base"))
+        self._cover = AgmSketch(2 * num_vertices, derive_seed(seed, "bipartite-cover"))
+
+    @property
+    def passes_required(self) -> int:
+        return 1
+
+    def process(self, update: EdgeUpdate, pass_index: int) -> None:
+        u, v, sign = update.u, update.v, update.sign
+        self._base.update(u, v, sign)
+        n = self.num_vertices
+        self._cover.update(u, v + n, sign)
+        self._cover.update(u + n, v, sign)
+
+    def finalize(self) -> bool:
+        """``True`` iff the final graph is bipartite (whp)."""
+        base_components = len(self._base.connected_components())
+        cover_components = len(self._cover.connected_components())
+        return cover_components == 2 * base_components
+
+    def run(self, stream: DynamicStream) -> bool:
+        """Convenience: run the single pass over ``stream``."""
+        return run_passes(stream, self)
+
+    def space_words(self) -> int:
+        return self._base.space_words() + self._cover.space_words()
+
+
+class KConnectivityCertificate(StreamingAlgorithm):
+    """One-pass sparse ``k``-edge-connectivity certificate.
+
+    Maintains ``k`` independent AGM sketch stacks; at extraction time the
+    ``i``-th stack yields a spanning forest of the graph minus the first
+    ``i-1`` forests (linearity: recovered forests are *subtracted* from
+    the later stacks).  The union ``F_1 ∪ ... ∪ F_k`` has at most
+    ``k (n-1)`` edges and preserves every edge cut up to value ``k``.
+    """
+
+    def __init__(self, num_vertices: int, k: int, seed: int | str):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.num_vertices = num_vertices
+        self.k = k
+        self._stacks = [
+            AgmSketch(num_vertices, derive_seed(seed, "certificate", i)) for i in range(k)
+        ]
+
+    @property
+    def passes_required(self) -> int:
+        return 1
+
+    def process(self, update: EdgeUpdate, pass_index: int) -> None:
+        for stack in self._stacks:
+            stack.update(update.u, update.v, update.sign)
+
+    def finalize(self) -> Graph:
+        """The certificate subgraph (unit weights)."""
+        # Each stack is consulted once, with *every* previously recovered
+        # forest subtracted, so forest i is a spanning forest of
+        # G - (F_1 ∪ ... ∪ F_{i-1}).
+        cumulative: dict[tuple[int, int], int] = {}
+        certificate = Graph(self.num_vertices)
+        for stack in self._stacks:
+            if cumulative:
+                stack.subtract_edges(cumulative)
+            for a, b in stack.spanning_forest():
+                pair = (min(a, b), max(a, b))
+                cumulative[pair] = cumulative.get(pair, 0) + 1
+                if not certificate.has_edge(*pair):
+                    certificate.add_edge(*pair)
+        return certificate
+
+    def run(self, stream: DynamicStream) -> Graph:
+        """Convenience: run the single pass over ``stream``."""
+        return run_passes(stream, self)
+
+    def space_words(self) -> int:
+        return sum(stack.space_words() for stack in self._stacks)

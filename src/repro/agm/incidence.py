@@ -1,0 +1,36 @@
+"""Signed vertex-incidence encoding of a graph as sketchable vectors.
+
+AGM's key idea: encode each vertex ``u`` as a vector ``a_u`` over the
+edge-pair domain with, for every edge ``e = {i, j}`` (``i < j``) of
+multiplicity ``x_e``:
+
+    a_i[e] = +x_e      a_j[e] = -x_e
+
+Then for any vertex set ``S``, ``sum_{u in S} a_u`` is supported exactly
+on the edges *leaving* ``S`` (internal edges cancel by the sign
+convention).  Sampling a nonzero coordinate of the summed sketches thus
+yields an outgoing edge of ``S`` — the Borůvka step of
+:mod:`repro.agm.spanning_forest`.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import edge_from_index, edge_index
+
+__all__ = ["incidence_updates", "decode_edge"]
+
+
+def incidence_updates(u: int, v: int, delta: int, num_vertices: int) -> list[tuple[int, int, int]]:
+    """The per-vertex coordinate updates encoding ``x_{uv} += delta``.
+
+    Returns two triples ``(vertex, coordinate, signed delta)`` — one for
+    each endpoint, with the lower endpoint getting ``+delta``.
+    """
+    index = edge_index(u, v, num_vertices)
+    low, high = (u, v) if u < v else (v, u)
+    return [(low, index, delta), (high, index, -delta)]
+
+
+def decode_edge(coordinate: int, num_vertices: int) -> tuple[int, int]:
+    """Recover the vertex pair from a sampled coordinate."""
+    return edge_from_index(coordinate, num_vertices)

@@ -1,0 +1,218 @@
+"""AGM spanning-forest sketches (Theorem 10, [AGM12a]).
+
+``O(log n)`` independent rounds of per-vertex L0-samplers of the signed
+incidence vectors; a spanning forest is extracted by Borůvka: every round
+each current component sums its members' round-``r`` samplers (linearity)
+and samples one outgoing edge.
+
+Two extra properties the paper relies on are implemented here:
+
+* **supernode collapsing** — "if a graph H is obtained from G by
+  collapsing some sets of nodes into supernodes, an AGM sketch for H can
+  be obtained from an AGM sketch for G" — pass ``supernodes`` to
+  :meth:`AgmSketch.spanning_forest`;
+* **edge subtraction** — "we will maintain AGM sketches for a graph G and
+  use them for finding a spanning forest of a graph G' obtained by
+  subtracting a set of edges from G" — :meth:`AgmSketch.subtract_edges`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.agm.incidence import decode_edge, incidence_updates
+from repro.sketch.l0sampler import L0Sampler
+from repro.util.rng import derive_seed
+
+__all__ = ["AgmSketch", "DisjointSets"]
+
+
+class DisjointSets:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, num_elements: int):
+        self.parent = list(range(num_elements))
+        self.size = [1] * num_elements
+
+    def find(self, x: int) -> int:
+        """Root of ``x``'s set."""
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of ``x`` and ``y``; False if already merged."""
+        root_x, root_y = self.find(x), self.find(y)
+        if root_x == root_y:
+            return False
+        if self.size[root_x] < self.size[root_y]:
+            root_x, root_y = root_y, root_x
+        self.parent[root_y] = root_x
+        self.size[root_x] += self.size[root_y]
+        return True
+
+    def num_sets(self) -> int:
+        """Number of disjoint sets."""
+        return sum(1 for x in range(len(self.parent)) if self.find(x) == x)
+
+
+class AgmSketch:
+    """Per-vertex incidence samplers supporting spanning-forest extraction.
+
+    Parameters
+    ----------
+    num_vertices:
+        Graph size ``n``.
+    seed:
+        Randomness name; sketches with equal seeds/shape are summable.
+    rounds:
+        Borůvka rounds (default ``ceil(log2 n) + 2``); each consumes one
+        independent sampler per vertex, the standard AGM requirement.
+    budget:
+        Per-level sparse-recovery budget inside each L0-sampler.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        seed: int | str,
+        rounds: int | None = None,
+        budget: int = 4,
+    ):
+        if num_vertices <= 0:
+            raise ValueError(f"num_vertices must be positive, got {num_vertices}")
+        self.num_vertices = num_vertices
+        if rounds is None:
+            rounds = max(2, math.ceil(math.log2(max(num_vertices, 2)))) + 2
+        self.rounds = rounds
+        self._seed_key = derive_seed(seed, "agm", num_vertices, rounds, budget)
+        domain = num_vertices * num_vertices
+        # Samplers for the same round share a seed across vertices so that
+        # component sums are meaningful; rounds are independent.
+        self._samplers = [
+            [
+                L0Sampler(domain, derive_seed(self._seed_key, "round", r), budget=budget)
+                for r in range(rounds)
+            ]
+            for _ in range(num_vertices)
+        ]
+
+    # ------------------------------------------------------------------
+    # Streaming updates
+    # ------------------------------------------------------------------
+
+    def update(self, u: int, v: int, delta: int) -> None:
+        """Apply ``x_{uv} += delta`` to every round's samplers."""
+        for vertex, coordinate, signed in incidence_updates(u, v, delta, self.num_vertices):
+            for r in range(self.rounds):
+                self._samplers[vertex][r].update(coordinate, signed)
+
+    def subtract_edges(self, edges: dict[tuple[int, int], int]) -> None:
+        """Remove known edges (pair -> multiplicity) by linearity."""
+        for (u, v), multiplicity in edges.items():
+            if multiplicity != 0:
+                self.update(u, v, -multiplicity)
+
+    def combine(self, other: "AgmSketch", sign: int = 1) -> None:
+        """In-place ``self += sign * other``; seeds must match."""
+        if self._seed_key != other._seed_key:
+            raise ValueError("cannot combine AGM sketches with different seeds")
+        for vertex in range(self.num_vertices):
+            for r in range(self.rounds):
+                self._samplers[vertex][r].combine(other._samplers[vertex][r], sign)
+
+    # ------------------------------------------------------------------
+    # Forest extraction
+    # ------------------------------------------------------------------
+
+    def spanning_forest(self, supernodes: list[int] | None = None) -> list[tuple[int, int]]:
+        """Extract a spanning forest via Borůvka over the sketches.
+
+        Parameters
+        ----------
+        supernodes:
+            Optional map ``vertex -> group id`` (length ``n``).  Vertices
+            sharing a group id start pre-merged — this is the collapsing
+            operation the additive spanner uses to contract its clusters.
+            Edges internal to a group cancel in the summed sketches, so
+            they can never be sampled.
+
+        Returns
+        -------
+        Edges of the original graph forming a spanning forest of the
+        (possibly contracted) graph, as ``(u, v)`` pairs.
+        """
+        if supernodes is None:
+            groups = list(range(self.num_vertices))
+        else:
+            if len(supernodes) != self.num_vertices:
+                raise ValueError("supernodes must assign a group to every vertex")
+            groups = list(supernodes)
+
+        # Union-find over vertices; pre-merge supernode groups.
+        dsu = DisjointSets(self.num_vertices)
+        first_of_group: dict[int, int] = {}
+        for vertex, group in enumerate(groups):
+            if group in first_of_group:
+                dsu.union(first_of_group[group], vertex)
+            else:
+                first_of_group[group] = vertex
+
+        forest: list[tuple[int, int]] = []
+        for r in range(self.rounds):
+            members: dict[int, list[int]] = {}
+            for vertex in range(self.num_vertices):
+                members.setdefault(dsu.find(vertex), []).append(vertex)
+            if len(members) <= 1:
+                break
+            merged_any = False
+            for root, vertices in members.items():
+                combined = self._samplers[vertices[0]][r].copy()
+                for vertex in vertices[1:]:
+                    combined.combine(self._samplers[vertex][r])
+                sampled = combined.sample()
+                if sampled is None:
+                    continue
+                coordinate, _ = sampled
+                a, b = decode_edge(coordinate, self.num_vertices)
+                if dsu.union(a, b):
+                    forest.append((a, b))
+                    merged_any = True
+            if not merged_any:
+                break
+        return forest
+
+    def connected_components(self, supernodes: list[int] | None = None) -> list[set[int]]:
+        """Vertex components implied by the extracted spanning forest."""
+        forest = self.spanning_forest(supernodes)
+        dsu = DisjointSets(self.num_vertices)
+        if supernodes is not None:
+            first_of_group: dict[int, int] = {}
+            for vertex, group in enumerate(supernodes):
+                if group in first_of_group:
+                    dsu.union(first_of_group[group], vertex)
+                else:
+                    first_of_group[group] = vertex
+        for a, b in forest:
+            dsu.union(a, b)
+        components: dict[int, set[int]] = {}
+        for vertex in range(self.num_vertices):
+            components.setdefault(dsu.find(vertex), set()).add(vertex)
+        return list(components.values())
+
+    def state_ints(self) -> list[int]:
+        """Dynamic state as a flat int sequence (for serialization)."""
+        flat: list[int] = []
+        for per_vertex in self._samplers:
+            for sampler in per_vertex:
+                flat.extend(sampler.state_ints())
+        return flat
+
+    def space_words(self) -> int:
+        """Persistent state, in machine words."""
+        return sum(
+            sampler.space_words() for per_vertex in self._samplers for sampler in per_vertex
+        )

@@ -1,0 +1,15 @@
+"""Baselines the paper compares against (offline and streaming)."""
+
+from repro.baselines.agm_sparsifier import AgmCutSparsifier
+from repro.baselines.baswana_sen import baswana_sen_spanner
+from repro.baselines.greedy_spanner import greedy_spanner
+from repro.baselines.spielman_srivastava import spielman_srivastava_sparsifier
+from repro.baselines.thorup_zwick import ThorupZwickOracle
+
+__all__ = [
+    "baswana_sen_spanner",
+    "greedy_spanner",
+    "ThorupZwickOracle",
+    "spielman_srivastava_sparsifier",
+    "AgmCutSparsifier",
+]

@@ -1,0 +1,116 @@
+"""AGM-style single-pass cut sparsifier (simplified comparator).
+
+The paper's Corollary 2 is positioned against the single-pass sparsifiers
+of [AGM12b]/[AGM13], which pay either ``n^{1+c}`` space or many passes.
+This module implements the *skeleton* of the AGM12b cut-sparsification
+route as an honest single-pass baseline:
+
+* geometric edge-sampling levels ``G_0 ⊇ G_1 ⊇ ...`` (rate ``2^-j``);
+* at each level a sparse *k-edge-connectivity certificate* — the union of
+  ``certificate_size`` successive spanning forests, extracted from
+  independent AGM sketch stacks with previously found forests subtracted
+  (exactly the linearity trick Theorem 10 enables);
+* each surviving edge is assigned weight ``2^{j*(e)}`` for the deepest
+  level ``j*`` whose certificate contains it — a strength-proxy in the
+  Benczúr–Karger sense.
+
+This reproduces the *shape* of the comparison (single pass, certificate
+space ``~ levels * certificate_size * n * polylog``, approximate cuts)
+without the full recursive machinery of [AGM13]; E2 measures its cut
+quality next to the paper's two-pass spectral pipeline and reports both.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.agm.spanning_forest import AgmSketch
+from repro.graph.graph import Graph, edge_index
+from repro.sketch.hashing import NestedSampler
+from repro.stream.pipeline import StreamingAlgorithm
+from repro.stream.updates import EdgeUpdate
+from repro.util.rng import derive_seed
+
+__all__ = ["AgmCutSparsifier"]
+
+
+class AgmCutSparsifier(StreamingAlgorithm):
+    """One-pass cut sparsifier from levelled connectivity certificates.
+
+    Parameters
+    ----------
+    num_vertices:
+        Graph size ``n``.
+    seed:
+        Randomness name.
+    levels:
+        Edge-strength levels (default ``ceil(log2 n) + 1``).
+    certificate_size:
+        Forests per certificate (``k`` in "k-edge-connectivity
+        certificate"); larger preserves small cuts more accurately.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        seed: int | str,
+        levels: int | None = None,
+        certificate_size: int = 4,
+        boruvka_rounds: int | None = None,
+    ):
+        self.num_vertices = num_vertices
+        self.levels = levels if levels is not None else max(2, math.ceil(math.log2(max(num_vertices, 2)))) + 1
+        self.certificate_size = certificate_size
+        self._membership = NestedSampler(
+            self.levels - 1, derive_seed(seed, "agm-sparsifier-levels")
+        )
+        self._stacks = [
+            [
+                AgmSketch(
+                    num_vertices,
+                    derive_seed(seed, "stack", level, forest),
+                    rounds=boruvka_rounds,
+                )
+                for forest in range(certificate_size)
+            ]
+            for level in range(self.levels)
+        ]
+
+    @property
+    def passes_required(self) -> int:
+        return 1
+
+    def process(self, update: EdgeUpdate, pass_index: int) -> None:
+        pair = edge_index(update.u, update.v, self.num_vertices)
+        deepest = self._membership.level(pair)
+        for level in range(deepest + 1):
+            for stack in self._stacks[level]:
+                stack.update(update.u, update.v, update.sign)
+
+    def finalize(self) -> Graph:
+        """Extract certificates level by level and assign weights."""
+        deepest_level: dict[tuple[int, int], int] = {}
+        for level in range(self.levels):
+            removed: dict[tuple[int, int], int] = {}
+            for stack in self._stacks[level]:
+                if removed:
+                    stack.subtract_edges(removed)
+                forest = stack.spanning_forest()
+                for a, b in forest:
+                    pair = (min(a, b), max(a, b))
+                    removed[pair] = removed.get(pair, 0) + 1
+                    current = deepest_level.get(pair)
+                    if current is None or level > current:
+                        deepest_level[pair] = level
+        sparsifier = Graph(self.num_vertices)
+        for (u, v), level in deepest_level.items():
+            sparsifier.add_edge(u, v, float(2 ** level))
+        return sparsifier
+
+    def space_words(self) -> int:
+        """Persistent sketch state in machine words."""
+        total = self._membership.space_words()
+        for per_level in self._stacks:
+            for stack in per_level:
+                total += stack.space_words()
+        return total

@@ -1,0 +1,119 @@
+"""Baswana–Sen ``(2k-1)``-spanners [BS07] (offline baseline).
+
+The paper positions its two-pass streaming construction against this
+classic algorithm: Baswana–Sen achieves the conjectured-optimal
+``2k - 1`` stretch with ``O(k n^{1+1/k})`` expected size, but needs
+random access (or ``O(k)`` streaming passes in the AGM adaptation).  The
+E5 experiment reports both on the same inputs.
+
+Algorithm sketch: ``k-1`` rounds of cluster sampling at rate
+``n^{-1/k}``.  A clustered vertex whose cluster is not re-sampled either
+joins an adjacent sampled cluster through its lightest connecting edge,
+or — if none is adjacent — adds its lightest edge to *every* adjacent
+cluster and retires.  A final phase connects every vertex to each
+surviving adjacent cluster.  Stretch ``2k-1`` is deterministic; the size
+bound holds in expectation.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.util.rng import rng_from_seed
+
+__all__ = ["baswana_sen_spanner"]
+
+
+def baswana_sen_spanner(graph: Graph, k: int, seed: int | str) -> Graph:
+    """Compute a ``(2k-1)``-spanner of ``graph`` (weighted supported).
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    k:
+        Stretch parameter; the output is a ``(2k-1)``-spanner with
+        ``O(k n^{1+1/k})`` edges in expectation.
+    seed:
+        Cluster-sampling randomness.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n = graph.num_vertices
+    rng = rng_from_seed(seed, "baswana-sen", n, k)
+    sample_probability = n ** (-1.0 / k)
+
+    # Working adjacency (edges are consumed as the algorithm commits).
+    work: list[dict[int, float]] = [dict(graph.neighbor_weights(u)) for u in range(n)]
+    spanner = Graph(n)
+
+    def commit(u: int, v: int) -> None:
+        if not spanner.has_edge(u, v):
+            spanner.add_edge(u, v, graph.weight(u, v))
+
+    def drop_edges_to_cluster(v: int, center_of: list[int | None], target: int) -> None:
+        for w in [w for w in work[v] if center_of[w] == target]:
+            del work[v][w]
+            del work[w][v]
+
+    # center[v]: the center of v's cluster, or None once v retires.
+    center: list[int | None] = list(range(n))
+    live_centers = set(range(n))
+
+    for _ in range(k - 1):
+        sampled = {c for c in live_centers if rng.random() < sample_probability}
+        next_center: list[int | None] = [None] * n
+        for v in range(n):
+            if center[v] is None:
+                continue
+            if center[v] in sampled:
+                next_center[v] = center[v]
+        for v in range(n):
+            if center[v] is None or center[v] in sampled:
+                continue
+            # Lightest edge from v to each adjacent cluster.
+            lightest: dict[int, tuple[float, int]] = {}
+            for w, weight in work[v].items():
+                c = center[w]
+                if c is None:
+                    continue
+                best = lightest.get(c)
+                if best is None or weight < best[0]:
+                    lightest[c] = (weight, w)
+            sampled_adjacent = {c: e for c, e in lightest.items() if c in sampled}
+            if not sampled_adjacent:
+                # Retire: one lightest edge per adjacent cluster.
+                for c, (_, w) in lightest.items():
+                    commit(v, w)
+                    drop_edges_to_cluster(v, center, c)
+                next_center[v] = None
+            else:
+                best_center, (best_weight, best_neighbor) = min(
+                    sampled_adjacent.items(), key=lambda item: (item[1][0], item[0])
+                )
+                commit(v, best_neighbor)
+                next_center[v] = best_center
+                drop_edges_to_cluster(v, center, best_center)
+                # Also commit to clusters strictly closer than the joined one.
+                for c, (weight, w) in lightest.items():
+                    if c != best_center and weight < best_weight:
+                        commit(v, w)
+                        drop_edges_to_cluster(v, center, c)
+        center = next_center
+        live_centers = {c for c in center if c is not None}
+
+    # Phase 2: vertex-cluster joining for the surviving clusters.
+    for v in range(n):
+        lightest: dict[int, tuple[float, int]] = {}
+        for w, weight in work[v].items():
+            c = center[w]
+            if c is None or c == center[v]:
+                continue
+            best = lightest.get(c)
+            if best is None or weight < best[0]:
+                lightest[c] = (weight, w)
+        for _, (_, w) in lightest.items():
+            commit(v, w)
+
+    # Intra-cluster tree edges: joining a cluster committed the connecting
+    # edge already (in `commit` above), so the spanner is complete.
+    return spanner

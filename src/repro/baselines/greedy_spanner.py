@@ -1,0 +1,34 @@
+"""The classic greedy ``t``-spanner (quality reference).
+
+Scan edges by nondecreasing weight; keep an edge iff the spanner built so
+far cannot already connect its endpoints within ``t`` times its weight.
+This is the Althöfer et al. construction: stretch exactly ``t`` by
+construction and size ``O(n^{1 + 2/(t+1)})``, the best size bound known
+for odd ``t = 2k - 1``.  Quadratic-ish time — used only as the quality
+yardstick in E5.
+"""
+
+from __future__ import annotations
+
+from repro.graph.distances import bfs_distances, dijkstra_distances
+from repro.graph.graph import Graph
+
+__all__ = ["greedy_spanner"]
+
+
+def greedy_spanner(graph: Graph, stretch: float) -> Graph:
+    """Compute a ``stretch``-spanner greedily (weighted supported)."""
+    if stretch < 1:
+        raise ValueError(f"stretch must be >= 1, got {stretch}")
+    unweighted = all(weight == 1.0 for _, _, weight in graph.edges())
+    spanner = Graph(graph.num_vertices)
+    for u, v, weight in sorted(graph.edges(), key=lambda e: (e[2], e[0], e[1])):
+        threshold = stretch * weight
+        if unweighted:
+            found = bfs_distances(spanner, u, cutoff=threshold)
+        else:
+            found = dijkstra_distances(spanner, u, cutoff=threshold)
+        current = found.get(v)
+        if current is None or current > threshold:
+            spanner.add_edge(u, v, weight)
+    return spanner

@@ -1,0 +1,121 @@
+"""Thorup–Zwick approximate distance oracles [TZ01].
+
+The KP12 sparsification framework that Section 6 of the paper builds on
+originally consumed TZ oracles (stretch ``2k-1``); the paper's
+contribution is *replacing* them with the two-pass streaming spanner
+(stretch ``2^k``).  This offline implementation provides the comparison
+point: same oracle interface, classic guarantees, but random access to
+the graph.
+
+Preprocessing: vertex hierarchy ``A_0 = V ⊇ A_1 ⊇ ... ⊇ A_k = ∅`` with
+``Pr[v in A_{i+1} | v in A_i] = n^{-1/k}``; for each vertex its pivots
+``p_i(v)`` (nearest ``A_i`` member) and bunch
+``B(v) = ∪_i {w in A_i \\ A_{i+1} : d(w, v) < d(A_{i+1}, v)}``.
+Query walks the hierarchy swapping endpoints; stretch ``<= 2k - 1``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.graph.graph import Graph
+from repro.util.rng import rng_from_seed
+
+__all__ = ["ThorupZwickOracle"]
+
+
+class ThorupZwickOracle:
+    """Approximate distance oracle with stretch ``2k - 1``."""
+
+    def __init__(self, graph: Graph, k: int, seed: int | str):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.num_vertices = graph.num_vertices
+        rng = rng_from_seed(seed, "thorup-zwick", graph.num_vertices, k)
+        probability = graph.num_vertices ** (-1.0 / k)
+
+        levels: list[set[int]] = [set(range(graph.num_vertices))]
+        for _ in range(1, k):
+            levels.append({v for v in levels[-1] if rng.random() < probability})
+        levels.append(set())  # A_k = empty
+
+        # pivot_distance[i][v] = d(A_i, v); pivot[i][v] = argmin witness.
+        self._pivot_distance: list[dict[int, float]] = []
+        self._pivot: list[dict[int, int]] = []
+        for i in range(k + 1):
+            distances, witnesses = _multi_source_dijkstra(graph, levels[i])
+            self._pivot_distance.append(distances)
+            self._pivot.append(witnesses)
+
+        # Bunches: d(w, v) for w in B(v), via truncated Dijkstra from each
+        # w in A_i \ A_{i+1} restricted to {v : d(w,v) < d(A_{i+1}, v)}.
+        self._bunch: list[dict[int, float]] = [dict() for _ in range(graph.num_vertices)]
+        for i in range(k):
+            for w in levels[i] - levels[i + 1]:
+                for v, dist in _cluster_dijkstra(graph, w, self._pivot_distance[i + 1]).items():
+                    self._bunch[v][w] = dist
+
+    def query(self, u: int, v: int) -> float:
+        """An estimate ``d(u,v) <= est <= (2k-1) d(u,v)``."""
+        if u == v:
+            return 0.0
+        w = u
+        i = 0
+        while w not in self._bunch[v]:
+            i += 1
+            if i >= self.k:
+                return math.inf  # different components
+            u, v = v, u
+            w = self._pivot[i].get(u)
+            if w is None:
+                return math.inf
+        return self._pivot_distance_for(w, u, i) + self._bunch[v][w]
+
+    def _pivot_distance_for(self, w: int, u: int, i: int) -> float:
+        if i == 0:
+            return 0.0 if w == u else self._bunch[u].get(w, self._pivot_distance[i][u])
+        return self._pivot_distance[i][u]
+
+    def space_entries(self) -> int:
+        """Number of stored (bunch + pivot) entries — the oracle's size."""
+        bunch_entries = sum(len(bunch) for bunch in self._bunch)
+        pivot_entries = sum(len(level) for level in self._pivot)
+        return bunch_entries + pivot_entries
+
+
+def _multi_source_dijkstra(graph: Graph, sources: set[int]) -> tuple[dict[int, float], dict[int, int]]:
+    """Distances and nearest-source witnesses from a source set."""
+    distances: dict[int, float] = {}
+    witnesses: dict[int, int] = {}
+    heap = [(0.0, s, s) for s in sources]
+    heapq.heapify(heap)
+    while heap:
+        dist, node, witness = heapq.heappop(heap)
+        if node in distances:
+            continue
+        distances[node] = dist
+        witnesses[node] = witness
+        for neighbor, weight in graph.neighbor_weights(node):
+            if neighbor not in distances:
+                heapq.heappush(heap, (dist + weight, neighbor, witness))
+    return distances, witnesses
+
+
+def _cluster_dijkstra(graph: Graph, source: int, next_level_distance: dict[int, float]) -> dict[int, float]:
+    """Dijkstra from ``source`` restricted to vertices strictly closer to
+    ``source`` than to the next level set (the TZ cluster of ``source``)."""
+    distances: dict[int, float] = {}
+    heap = [(0.0, source)]
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in distances:
+            continue
+        if dist >= next_level_distance.get(node, math.inf):
+            continue
+        distances[node] = dist
+        for neighbor, weight in graph.neighbor_weights(node):
+            if neighbor not in distances:
+                heapq.heappush(heap, (dist + weight, neighbor))
+    return distances

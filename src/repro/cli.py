@@ -1,0 +1,214 @@
+"""Command-line interface: run the paper's algorithms on synthetic streams.
+
+Usage examples::
+
+    python -m repro spanner --n 96 --k 2 --p 0.12 --churn 0.5
+    python -m repro additive --n 64 --d 4 --density 0.35
+    python -m repro sparsify --n 36 --rounds-factor 0.15
+    python -m repro connectivity --n 48 --p 0.1
+    python -m repro game --blocks 4 --block-size 16 --budget 8
+    python -m repro info
+
+Each subcommand generates a seeded workload, runs the corresponding
+streaming algorithm, verifies the paper's guarantee and prints a short
+report.  Everything is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spanners and sparsifiers in dynamic streams (Kapralov-Woodruff PODC'14)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    spanner = subparsers.add_parser("spanner", help="two-pass 2^k-spanner (Theorem 1)")
+    spanner.add_argument("--n", type=int, default=64, help="number of vertices")
+    spanner.add_argument("--k", type=int, default=2, help="stretch parameter (stretch 2^k)")
+    spanner.add_argument("--p", type=float, default=0.15, help="G(n,p) density")
+    spanner.add_argument("--churn", type=float, default=0.3, help="transient-edge ratio")
+    spanner.add_argument("--seed", type=int, default=7)
+
+    additive = subparsers.add_parser("additive", help="one-pass additive spanner (Theorem 3)")
+    additive.add_argument("--n", type=int, default=64)
+    additive.add_argument("--d", type=int, default=4, help="space knob (error O(n/d))")
+    additive.add_argument("--density", type=float, default=0.35, help="G(n,p) density")
+    additive.add_argument("--churn", type=float, default=0.3)
+    additive.add_argument("--seed", type=int, default=7)
+
+    sparsify = subparsers.add_parser("sparsify", help="two-pass spectral sparsifier (Corollary 2)")
+    sparsify.add_argument("--n", type=int, default=36)
+    sparsify.add_argument("--p", type=float, default=0.3)
+    sparsify.add_argument("--k", type=int, default=2, help="oracle depth (stretch 2^k)")
+    sparsify.add_argument(
+        "--rounds-factor", type=float, default=0.15,
+        help="scale on the theory's Z = Theta(lambda^2 log n / eps^3)",
+    )
+    sparsify.add_argument(
+        "--streaming", action="store_true",
+        help="use the full sketch-based pipeline (slow; keep n small)",
+    )
+    sparsify.add_argument("--seed", type=int, default=7)
+
+    connectivity = subparsers.add_parser(
+        "connectivity", help="one-pass connectivity / bipartiteness (AGM sketches)"
+    )
+    connectivity.add_argument("--n", type=int, default=48)
+    connectivity.add_argument("--p", type=float, default=0.1)
+    connectivity.add_argument("--churn", type=float, default=0.5)
+    connectivity.add_argument("--seed", type=int, default=7)
+
+    game = subparsers.add_parser("game", help="Theorem 4's INDEX communication game")
+    game.add_argument("--blocks", type=int, default=4)
+    game.add_argument("--block-size", type=int, default=16)
+    game.add_argument("--budget", type=int, default=8, help="the algorithm's d' space knob")
+    game.add_argument("--trials", type=int, default=12)
+    game.add_argument("--seed", type=int, default=7)
+
+    subparsers.add_parser("info", help="package overview and experiment list")
+    return parser
+
+
+def _cmd_spanner(args) -> int:
+    from repro.core import TwoPassSpannerBuilder
+    from repro.graph import connected_gnp, evaluate_multiplicative_stretch
+    from repro.stream import stream_from_graph
+
+    graph = connected_gnp(args.n, args.p, seed=args.seed)
+    stream = stream_from_graph(graph, seed=args.seed, churn=args.churn)
+    builder = TwoPassSpannerBuilder(args.n, args.k, seed=args.seed + 1)
+    output = builder.run(stream)
+    report = evaluate_multiplicative_stretch(graph, output.spanner)
+    print(f"input    : G({args.n}, {args.p}) m={graph.num_edges()}, "
+          f"{len(stream)} tokens ({stream.num_deletions()} deletions)")
+    print(f"spanner  : {output.spanner.num_edges()} edges in {builder.passes_required} passes")
+    print(f"stretch  : max {report.max_stretch:.2f} / guarantee {2 ** args.k}")
+    print(f"space    : {builder.space_words()} words")
+    ok = report.within(2 ** args.k)
+    print(f"guarantee: {'OK' if ok else 'VIOLATED'}")
+    return 0 if ok else 1
+
+
+def _cmd_additive(args) -> int:
+    from repro.core import AdditiveSpannerBuilder
+    from repro.graph import connected_gnp, evaluate_additive_error
+    from repro.stream import stream_from_graph
+
+    graph = connected_gnp(args.n, args.density, seed=args.seed)
+    stream = stream_from_graph(graph, seed=args.seed, churn=args.churn)
+    builder = AdditiveSpannerBuilder(args.n, args.d, seed=args.seed + 1)
+    spanner = builder.run(stream)
+    error, _ = evaluate_additive_error(graph, spanner)
+    budget = 6 * args.n / args.d
+    print(f"input    : G({args.n}, {args.density}) m={graph.num_edges()}")
+    print(f"spanner  : {spanner.num_edges()} edges in {builder.passes_required} pass")
+    print(f"distortion: +{error:.0f} / budget +{budget:.0f}")
+    print(f"space    : {builder.space_words()} words "
+          f"(low degree: {builder.diagnostics['low_degree']}, "
+          f"high: {builder.diagnostics['high_degree']})")
+    ok = error <= budget
+    print(f"guarantee: {'OK' if ok else 'VIOLATED'}")
+    return 0 if ok else 1
+
+
+def _cmd_sparsify(args) -> int:
+    from repro.core import SparsifierParams, SpectralSparsifier, sparsify_stream
+    from repro.graph import connected_gnp, max_cut_discrepancy, spectral_approximation
+    from repro.stream import stream_from_graph
+
+    graph = connected_gnp(args.n, args.p, seed=args.seed)
+    params = SparsifierParams(sampling_rounds_factor=args.rounds_factor)
+    if args.streaming:
+        stream = stream_from_graph(graph, seed=args.seed, churn=0.3)
+        sparsifier = sparsify_stream(stream, seed=args.seed + 1, k=args.k, params=params)
+        mode = "full streaming (2 passes)"
+    else:
+        pipeline = SpectralSparsifier(args.n, seed=args.seed + 1, k=args.k, params=params)
+        sparsifier = pipeline.sparsify_graph(graph)
+        mode = "offline-oracle pipeline (identical semantics)"
+    bounds = spectral_approximation(graph, sparsifier)
+    cut = max_cut_discrepancy(graph, sparsifier, trials=60, seed=args.seed + 2)
+    print(f"input    : G({args.n}, {args.p}) m={graph.num_edges()}")
+    print(f"mode     : {mode}")
+    print(f"output   : {sparsifier.num_edges()} weighted edges")
+    print(f"spectral : {bounds.low:.2f} <= ratio <= {bounds.high:.2f} (eps {bounds.epsilon():.2f})")
+    print(f"cuts     : max sampled discrepancy {cut:.2f}")
+    return 0
+
+
+def _cmd_connectivity(args) -> int:
+    from repro.agm import BipartitenessChecker, ConnectivityChecker
+    from repro.graph import connected_gnp
+    from repro.stream import stream_from_graph
+
+    graph = connected_gnp(args.n, args.p, seed=args.seed)
+    stream = stream_from_graph(graph, seed=args.seed, churn=args.churn)
+    components = ConnectivityChecker(args.n, seed=args.seed + 1).run(stream)
+    bipartite = BipartitenessChecker(args.n, seed=args.seed + 2).run(stream)
+    print(f"input     : G({args.n}, {args.p}) m={graph.num_edges()}, "
+          f"{len(stream)} tokens")
+    print(f"components: {len(components)} (single pass)")
+    print(f"bipartite : {bipartite}")
+    truth = sorted(map(sorted, graph.connected_components()))
+    mine = sorted(map(sorted, components))
+    print(f"verified  : {'OK' if mine == truth else 'MISMATCH'}")
+    return 0 if mine == truth else 1
+
+
+def _cmd_game(args) -> int:
+    from repro.core import AdditiveSpannerBuilder
+    from repro.lowerbound import run_spanner_protocol
+    from repro.util.rng import derive_seed
+
+    def factory(num_vertices, trial):
+        return AdditiveSpannerBuilder(
+            num_vertices, args.budget, seed=derive_seed(args.seed, "cli-game", trial)
+        )
+
+    report = run_spanner_protocol(
+        args.blocks, args.block_size, factory, trials=args.trials, seed=args.seed
+    )
+    print(f"instance : {args.blocks} x G({args.block_size}, 1/2), "
+          f"INDEX length r = {report.index_bits} bits")
+    print(f"message  : {report.mean_message_bytes:.0f} bytes (serialized state)")
+    print(f"success  : {report.success_rate:.2f} over {report.trials} trials "
+          f"({'clears' if report.success_rate >= 2 / 3 else 'below'} the 2/3 bar)")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    from repro import __version__
+
+    print(f"repro {__version__} — Kapralov & Woodruff, PODC 2014 reproduction")
+    print("results: Thm 1 (2-pass 2^k-spanner), Cor 2 (2-pass sparsifier),")
+    print("         Thm 3 (1-pass additive spanner), Thm 4 (Omega(nd) bound)")
+    print("experiments: pytest benchmarks/ --benchmark-only  (E1-E8)")
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md, docs/PAPER_MAP.md")
+    return 0
+
+
+_COMMANDS = {
+    "spanner": _cmd_spanner,
+    "additive": _cmd_additive,
+    "sparsify": _cmd_sparsify,
+    "connectivity": _cmd_connectivity,
+    "game": _cmd_game,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The paper's algorithms: spanners and sparsifiers in dynamic streams.
+
+* :class:`TwoPassSpannerBuilder` — Theorem 1 (two passes, stretch 2^k).
+* :class:`WeightedTwoPassSpanner` — Remark 14 weight-class reduction.
+* :func:`offline_two_phase_spanner` — Section 3.1 reference semantics.
+* :class:`AdditiveSpannerBuilder` — Theorem 3 (one pass, +O(n/d)).
+* :class:`SpectralSparsifier` pipeline — Corollary 2 / Section 6.
+"""
+
+from repro.core.additive_spanner import AdditiveSpannerBuilder
+from repro.core.cluster_forest import ClusterForest, Copy
+from repro.core.estimate import RobustConnectivityEstimator
+from repro.core.levels import LevelSamples
+from repro.core.offline_spanner import SpannerOutput, offline_two_phase_spanner
+from repro.core.oracle import SpannerDistanceOracle, recommended_k
+from repro.core.parameters import AdditiveParams, SpannerParams, SparsifierParams
+from repro.core.sample_spanner import SpannerSampleLevels
+from repro.core.sparsify import (
+    SpectralSparsifier,
+    StreamingSparsifier,
+    StreamingWeightedSparsifier,
+    sparsify_stream,
+    sparsify_weighted_graph,
+)
+from repro.core.two_pass_spanner import TwoPassSpannerBuilder
+from repro.core.weighted import WeightedTwoPassSpanner
+
+__all__ = [
+    "TwoPassSpannerBuilder",
+    "WeightedTwoPassSpanner",
+    "offline_two_phase_spanner",
+    "SpannerOutput",
+    "AdditiveSpannerBuilder",
+    "SpannerDistanceOracle",
+    "recommended_k",
+    "RobustConnectivityEstimator",
+    "SpannerSampleLevels",
+    "SpectralSparsifier",
+    "StreamingSparsifier",
+    "StreamingWeightedSparsifier",
+    "sparsify_stream",
+    "sparsify_weighted_graph",
+    "LevelSamples",
+    "ClusterForest",
+    "Copy",
+    "SpannerParams",
+    "AdditiveParams",
+    "SparsifierParams",
+]

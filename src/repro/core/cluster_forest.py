@@ -1,0 +1,106 @@
+"""The logical cluster forest ``F`` of Section 3.1.
+
+Nodes of ``F`` are *copies* ``(vertex, level)`` with ``vertex in C_level``
+(footnote 2 of the paper: a vertex appearing in several ``C_i`` appears
+once per level).  Edges of ``F`` connect a copy at level ``i`` to its
+parent copy at level ``i+1`` and are only logical — each carries a
+*witness edge* ``sigma(e)``, a real graph edge connecting the child's
+subtree to the parent vertex.  Roots of ``F`` are exactly the *terminal*
+copies; their subtrees' vertex projections are the clusters whose
+outside-neighborhoods the second pass must cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Copy", "ClusterForest"]
+
+#: A forest node: (vertex, level).
+Copy = tuple[int, int]
+
+
+@dataclass
+class ClusterForest:
+    """Mutable forest over vertex copies, built bottom-up by phase 1."""
+
+    num_vertices: int
+    k: int
+    parent: dict[Copy, Copy] = field(default_factory=dict)
+    children: dict[Copy, list[Copy]] = field(default_factory=dict)
+    #: witness[(child copy)] = the real edge (a, b) with a in T_child's
+    #: vertex set and b the parent vertex.
+    witness: dict[Copy, tuple[int, int]] = field(default_factory=dict)
+    terminals: set[Copy] = field(default_factory=set)
+    #: every copy that exists, by level (filled as levels are processed).
+    copies_by_level: dict[int, list[Copy]] = field(default_factory=dict)
+
+    def register_copy(self, copy: Copy) -> None:
+        """Declare that ``copy`` exists (its vertex is in C_level)."""
+        vertex, level = copy
+        if not 0 <= vertex < self.num_vertices:
+            raise ValueError(f"vertex {vertex} out of range")
+        if not 0 <= level < self.k:
+            raise ValueError(f"level {level} out of range [0, {self.k})")
+        self.copies_by_level.setdefault(level, []).append(copy)
+
+    def attach(self, child: Copy, parent_vertex: int, witness_edge: tuple[int, int]) -> None:
+        """Make ``(parent_vertex, child_level + 1)`` the parent of ``child``."""
+        vertex, level = child
+        if level + 1 >= self.k:
+            raise ValueError(f"cannot attach at top level {level}")
+        parent_copy = (parent_vertex, level + 1)
+        self.parent[child] = parent_copy
+        self.children.setdefault(parent_copy, []).append(child)
+        a, b = witness_edge
+        self.witness[child] = (min(a, b), max(a, b))
+
+    def mark_terminal(self, copy: Copy) -> None:
+        """Declare ``copy`` a root of its component."""
+        self.terminals.add(copy)
+
+    def subtree_vertices(self, root: Copy) -> set[int]:
+        """Vertex projection of the subtree rooted at ``root``."""
+        vertices: set[int] = set()
+        stack = [root]
+        while stack:
+            vertex, level = stack.pop()
+            vertices.add(vertex)
+            stack.extend(self.children.get((vertex, level), ()))
+        return vertices
+
+    def terminal_trees(self) -> dict[Copy, set[int]]:
+        """Vertex projection of every terminal root's tree."""
+        return {root: self.subtree_vertices(root) for root in self.terminals}
+
+    def trees_containing(self) -> dict[int, list[Copy]]:
+        """For each vertex, the terminal roots whose tree contains it.
+
+        Every vertex belongs to at least one tree (its level-0 copy) and
+        in expectation to ``1 + o(1)`` trees (one per level membership).
+        """
+        result: dict[int, list[Copy]] = {v: [] for v in range(self.num_vertices)}
+        for root, vertices in self.terminal_trees().items():
+            for vertex in vertices:
+                result[vertex].append(root)
+        return result
+
+    def witness_edges(self) -> set[tuple[int, int]]:
+        """All witness edges ``sigma(F)`` (phase 2, step 1 output)."""
+        return set(self.witness.values())
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests).
+
+        * every non-root copy's parent is exactly one level up;
+        * every attached copy has a witness edge;
+        * terminals have no parent.
+        """
+        for child, parent_copy in self.parent.items():
+            if parent_copy[1] != child[1] + 1:
+                raise AssertionError(f"parent {parent_copy} not one level above {child}")
+            if child not in self.witness:
+                raise AssertionError(f"attached copy {child} lacks a witness edge")
+        for terminal in self.terminals:
+            if terminal in self.parent:
+                raise AssertionError(f"terminal {terminal} has a parent")

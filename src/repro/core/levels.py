@@ -1,0 +1,56 @@
+"""The levelled vertex samples ``C_0 ⊇ ... hierarchy`` of Section 3.1.
+
+``C_i`` contains each vertex independently with probability ``n^{-i/k}``
+(``C_0 = V`` deterministically).  The sets are *not* nested — Claim 11's
+argument needs ``C_{i+1}`` independent of ``C_0..C_i`` — so each level
+draws from its own hash function.  Membership is hash-derived, so the
+streaming algorithm stores ``O(k)`` words of seeds, not the sets.
+"""
+
+from __future__ import annotations
+
+from repro.sketch.hashing import KWiseHash
+from repro.util.rng import derive_seed
+
+__all__ = ["LevelSamples"]
+
+#: Independence of the membership hashes; the analysis only needs
+#: Chernoff-style concentration, for which O(log n)-wise suffices.
+_MEMBERSHIP_INDEPENDENCE = 16
+
+
+class LevelSamples:
+    """Hash-derived samples ``C_0, ..., C_{k-1}``."""
+
+    def __init__(self, num_vertices: int, k: int, seed: int | str):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if num_vertices <= 0:
+            raise ValueError(f"num_vertices must be positive, got {num_vertices}")
+        self.num_vertices = num_vertices
+        self.k = k
+        self._hashes = [
+            KWiseHash.shared(_MEMBERSHIP_INDEPENDENCE, derive_seed(seed, "level-sample", r))
+            for r in range(k)
+        ]
+        self._probabilities = [num_vertices ** (-r / k) for r in range(k)]
+
+    def contains(self, vertex: int, level: int) -> bool:
+        """Whether ``vertex`` belongs to ``C_level``."""
+        if not 0 <= level < self.k:
+            raise IndexError(f"level {level} out of [0, {self.k})")
+        if level == 0:
+            return True
+        return self._hashes[level].unit(vertex) < self._probabilities[level]
+
+    def levels_of(self, vertex: int) -> list[int]:
+        """All levels whose sample contains ``vertex`` (always includes 0)."""
+        return [r for r in range(self.k) if self.contains(vertex, r)]
+
+    def members(self, level: int) -> list[int]:
+        """All vertices in ``C_level`` (verification helper, O(n))."""
+        return [v for v in range(self.num_vertices) if self.contains(v, level)]
+
+    def space_words(self) -> int:
+        """Persistent state, in machine words (seed coefficients)."""
+        return sum(h.space_words() for h in self._hashes)

@@ -1,0 +1,119 @@
+"""Offline reference implementation of the two-phase spanner (Section 3.1).
+
+This runs the *same* two phases as the streaming algorithm — identical
+cluster hierarchy (shared ``LevelSamples`` seeds), identical forest
+semantics, identical coverage rule — but reads the graph directly instead
+of decoding sketches.  It serves three purposes:
+
+* the semantic reference the streaming implementation is differentially
+  tested against (both must satisfy Lemma 12's size bound and Lemma 13's
+  ``2^k`` stretch);
+* the "offline oracle" mode of the sparsification pipeline, which swaps
+  sketch-decoding for direct access while preserving every other choice
+  (lets E2 reach larger ``n`` than full sketching allows);
+* a readable statement of the algorithm, free of sketching machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cluster_forest import ClusterForest, Copy
+from repro.core.levels import LevelSamples
+from repro.graph.graph import Graph
+from repro.util.rng import derive_seed
+
+__all__ = ["SpannerOutput", "offline_two_phase_spanner"]
+
+
+@dataclass
+class SpannerOutput:
+    """Result of a spanner construction (offline or streaming).
+
+    Attributes
+    ----------
+    spanner:
+        The spanner subgraph ``H`` (unit weights for unweighted inputs).
+    forest:
+        The cluster forest ``F`` with witness edges.
+    observed_edges:
+        ``Sigma(R)`` — every input edge the construction's execution path
+        examined (Claims 16/18/20; empty in offline mode, where the whole
+        graph is "examined").  Used by the sparsifier's sampler.
+    diagnostics:
+        Counters: terminals per level, decode/coverage failures, etc.
+    """
+
+    spanner: Graph
+    forest: ClusterForest
+    observed_edges: set[tuple[int, int]] = field(default_factory=set)
+    diagnostics: dict[str, int] = field(default_factory=dict)
+
+
+def offline_two_phase_spanner(
+    graph: Graph,
+    k: int,
+    seed: int | str,
+) -> SpannerOutput:
+    """Run the basic algorithm of Section 3.1 with direct graph access.
+
+    ``seed`` controls the cluster samples ``C_i``; the arbitrary choices
+    (which sampled neighbor becomes the parent, which in-tree endpoint
+    witnesses) are resolved lexicographically for reproducibility.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n = graph.num_vertices
+    levels = LevelSamples(n, k, derive_seed(seed, "levels"))
+    forest = ClusterForest(n, k)
+
+    for level in range(k):
+        for vertex in levels.members(level):
+            forest.register_copy((vertex, level))
+
+    # Phase 1: attach each copy at level i to a sampled neighbor at i+1.
+    for level in range(k - 1):
+        for vertex in levels.members(level):
+            copy: Copy = (vertex, level)
+            tree = forest.subtree_vertices(copy)
+            # The parent may be any C_{i+1} vertex adjacent to the tree —
+            # including a vertex whose lower-level copy is *inside* the
+            # tree (forest nodes are copies, footnote 2 of the paper).
+            best: tuple[int, int] | None = None  # (parent w, witness a)
+            for a in tree:
+                for w in graph.neighbors(a):
+                    if not levels.contains(w, level + 1):
+                        continue
+                    candidate = (w, a)
+                    if best is None or candidate < best:
+                        best = candidate
+            if best is None:
+                forest.mark_terminal(copy)
+            else:
+                w, a = best
+                forest.attach(copy, w, (a, w))
+    for vertex in levels.members(k - 1):
+        forest.mark_terminal((vertex, k - 1))
+
+    # Phase 2: witness edges plus one edge from every outside neighbor
+    # into each terminal cluster.
+    spanner = Graph(n)
+    for a, b in forest.witness_edges():
+        spanner.add_edge(a, b, graph.weight(a, b))
+    terminals_per_level: dict[int, int] = {}
+    for root, tree in forest.terminal_trees().items():
+        terminals_per_level[root[1]] = terminals_per_level.get(root[1], 0) + 1
+        outside: dict[int, int] = {}
+        for a in tree:
+            for v in graph.neighbors(a):
+                if v in tree:
+                    continue
+                best = outside.get(v)
+                if best is None or a < best:
+                    outside[v] = a
+        for v, w in outside.items():
+            if not spanner.has_edge(w, v):
+                spanner.add_edge(w, v, graph.weight(w, v))
+
+    diagnostics = {f"terminals_level_{lvl}": count for lvl, count in sorted(terminals_per_level.items())}
+    return SpannerOutput(spanner=spanner, forest=forest, diagnostics=diagnostics)

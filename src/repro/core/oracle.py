@@ -1,0 +1,95 @@
+"""Approximate distance oracles from streamed spanners.
+
+Section 6 uses the two-pass spanner as a drop-in replacement for the
+Thorup–Zwick oracles of [KP12]: "our multiplicative spanner construction
+provides such an estimate with λ = 2^k when ~O(n^{1+1/k}) space is
+used".  This module packages that usage as a public API: build once from
+a dynamic stream, answer ``query(u, v)`` forever after, with the
+guarantee ``d(u,v) <= query(u,v) <= 2^k d(u,v)``.
+
+:func:`recommended_k` implements the paper's parameter policy
+``k = sqrt(log n)`` (Section 6.3), which balances the ``2^{2k}`` stretch
+cost against the ``n^{1/k}`` space cost and yields the ``n^{1+o(1)}``
+bound of Corollary 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.parameters import SpannerParams
+from repro.core.two_pass_spanner import TwoPassSpannerBuilder
+from repro.graph.distances import bfs_distances
+from repro.graph.graph import Graph
+from repro.stream.stream import DynamicStream
+
+__all__ = ["recommended_k", "SpannerDistanceOracle"]
+
+
+def recommended_k(num_vertices: int) -> int:
+    """The paper's ``k = sqrt(log n)`` (at least 1)."""
+    return max(1, round(math.sqrt(math.log2(max(num_vertices, 2)))))
+
+
+class SpannerDistanceOracle:
+    """Two-pass streamed distance oracle with stretch ``2^k``.
+
+    Parameters
+    ----------
+    num_vertices, seed:
+        Graph size and randomness name.
+    k:
+        Stretch parameter (default: :func:`recommended_k`).
+    params:
+        Spanner constant calibration.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        seed: int | str,
+        k: int | None = None,
+        params: SpannerParams | None = None,
+    ):
+        self.num_vertices = num_vertices
+        self.k = k if k is not None else recommended_k(num_vertices)
+        self._builder = TwoPassSpannerBuilder(num_vertices, self.k, seed, params=params)
+        self._spanner: Graph | None = None
+        self._bfs_cache: dict[int, dict[int, int]] = {}
+
+    @property
+    def stretch(self) -> int:
+        """The multiplicative guarantee ``2^k``."""
+        return 2 ** self.k
+
+    def build(self, stream: DynamicStream) -> "SpannerDistanceOracle":
+        """Consume the stream (two passes); returns self for chaining."""
+        self._spanner = self._builder.run(stream).spanner
+        self._bfs_cache.clear()
+        return self
+
+    def query(self, u: int, v: int) -> float:
+        """Estimate ``d(u, v)``: exact lower bound, ``2^k`` upper stretch.
+
+        Returns ``inf`` for pairs the spanner does not connect (whp:
+        pairs disconnected in the input graph).
+        """
+        if self._spanner is None:
+            raise RuntimeError("call build(stream) before querying")
+        if u == v:
+            return 0.0
+        cached = self._bfs_cache.get(u)
+        if cached is None:
+            cached = bfs_distances(self._spanner, u)
+            self._bfs_cache[u] = cached
+        return float(cached.get(v, math.inf))
+
+    def spanner(self) -> Graph:
+        """The underlying spanner (after :meth:`build`)."""
+        if self._spanner is None:
+            raise RuntimeError("call build(stream) first")
+        return self._spanner
+
+    def space_words(self) -> int:
+        """Measured sketch words of the underlying builder."""
+        return self._builder.space_words()

@@ -1,0 +1,163 @@
+"""Parameter policy for the paper's algorithms.
+
+The theory hides constants inside ``~O(.)`` and "sufficiently large C";
+at laptop scale those constants dominate, so every tunable lives here
+with its theory counterpart documented.  Defaults are calibrated so the
+high-probability events hold at the ``n`` used in tests and benchmarks
+(E6 measures the failure rates of the underlying primitives).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SpannerParams", "AdditiveParams", "SparsifierParams"]
+
+
+@dataclass(frozen=True)
+class SpannerParams:
+    """Constants for the two-pass multiplicative spanner (Section 3).
+
+    Attributes
+    ----------
+    cluster_budget:
+        Sparsity budget ``B`` of the pass-1 sketches ``S^r_j(u)``
+        (theory: ``O(log n)``).
+    cluster_rows:
+        Hash rows inside each pass-1 sketch.
+    table_capacity_factor:
+        Pass-2 hash-table capacity is
+        ``min(ceil(factor * n^{(i+1)/k} * log2 n), n)`` — theory's
+        ``C log n * n^{(i+1)/k}`` of Claim 11, capped by the trivial
+        bound (keys are vertices).
+    table_stacks:
+        Independent ``Y_j``-stack repetitions.  The paper stores an
+        ``O(log n)``-budget sketch per key; we store a 1-sparse detector
+        per key per level (DESIGN.md §4), and independent stacks restore
+        the per-key success probability (a key with exactly two in-tree
+        neighbors defeats one stack with probability 1/3 — the nested
+        levels drop both neighbors at once when their geometric levels
+        tie — so ``R`` stacks fail with probability ``~3^-R``).
+    table_rows / table_bucket_factor:
+        Shape of the outer table sketch.
+    repair_budget_factor:
+        Every terminal root also keeps one plain sparse-recovery sketch
+        of its cut edges with budget ``factor * capacity``; it patches
+        the residual per-key failures of the stacks whenever the cut is
+        small enough to decode.  Set to 0 to disable (pure Algorithm 2).
+    """
+
+    cluster_budget: int = 8
+    cluster_rows: int = 3
+    table_capacity_factor: float = 1.0
+    table_stacks: int = 4
+    table_rows: int = 3
+    table_bucket_factor: float = 1.5
+    repair_budget_factor: float = 2.0
+
+    def edge_levels(self, num_vertices: int) -> int:
+        """Number of nested edge-sample levels ``E_j`` (``log2 n^2``)."""
+        return max(2, math.ceil(math.log2(max(num_vertices * num_vertices, 4))))
+
+    def vertex_levels(self, num_vertices: int) -> int:
+        """Number of ``Y_j`` vertex-sample levels (``log2 n``)."""
+        return max(1, math.ceil(math.log2(max(num_vertices, 2))))
+
+    def table_capacity(self, num_vertices: int, level: int, k: int) -> int:
+        """Key capacity of ``H^u_j`` for a terminal at ``level`` (Claim 11)."""
+        scale = num_vertices ** ((level + 1) / k)
+        log_factor = max(1.0, math.log2(max(num_vertices, 2)))
+        raw = math.ceil(self.table_capacity_factor * scale * log_factor)
+        return max(8, min(raw, num_vertices))
+
+
+@dataclass(frozen=True)
+class AdditiveParams:
+    """Constants for the one-pass additive spanner (Section 4).
+
+    Attributes
+    ----------
+    center_rate_factor:
+        ``|C| ~ center_rate_factor * n / d`` expected centers (theory:
+        ``O(n/d)``).
+    degree_threshold_factor:
+        A vertex is "low degree" below
+        ``degree_threshold_factor * d * log2 n`` (theory: ``O(d log n)``).
+    neighborhood_budget_factor:
+        Budget of ``SKETCH(N(u))`` as a multiple of the degree threshold
+        (theory: ``~O(d)`` with the polylog absorbed).
+    parent_budget:
+        Budget of the ``A^r(u)`` parent-selection sketches.
+    distinct_reps:
+        Repetitions inside the degree estimator (Theorem 9 sketch).
+    """
+
+    center_rate_factor: float = 1.0
+    degree_threshold_factor: float = 1.0
+    neighborhood_budget_factor: float = 1.5
+    parent_budget: int = 4
+    distinct_reps: int = 24
+
+    def center_probability(self, num_vertices: int, d: int) -> float:
+        """Sampling rate of the center set ``C`` — the paper's ``O(1/d)``.
+
+        A node of degree above ``degree_threshold ~ d log n`` then has
+        ``~log n`` expected neighbors in ``C``, i.e. one whp, while
+        ``E|C| = O(n/d)`` keeps the cluster count (and hence the additive
+        distortion) at ``O(n/d)``.
+        """
+        return min(1.0, self.center_rate_factor / d)
+
+    def degree_threshold(self, num_vertices: int, d: int) -> int:
+        """Degrees strictly above this are "high" (join a center)."""
+        return math.ceil(
+            self.degree_threshold_factor * d * max(1.0, math.log2(max(num_vertices, 2)))
+        )
+
+    def neighborhood_budget(self, num_vertices: int, d: int) -> int:
+        """Sparsity budget of the per-vertex neighborhood sketches."""
+        return max(8, math.ceil(self.neighborhood_budget_factor * self.degree_threshold(num_vertices, d)))
+
+
+@dataclass(frozen=True)
+class SparsifierParams:
+    """Constants for the sparsification pipeline (Section 6).
+
+    The paper's setting: ``J = O(log n / eps^2)`` estimator repetitions,
+    ``T = log n^2`` nested levels, ``Z = Theta(lambda^2 log n /
+    ((1-eps) eps^3))`` sampling rounds, ``H = log n^2`` sampling levels.
+    Those blow up quickly, so the defaults here express them as
+    multipliers that can be scaled down for smoke tests; E2 documents
+    the settings used for each measured row.
+    """
+
+    estimate_reps_factor: float = 1.0  # J = ceil(factor * log2 n)
+    estimate_levels: int | None = None  # T; default log2(n^2)
+    sampling_rounds_factor: float = 1.0  # Z multiplier
+    sampling_levels: int | None = None  # H; default log2(n^2)
+    epsilon: float = 0.5
+    disagreement: float = 0.25  # the paper's `eps` vote threshold in ESTIMATE
+
+    def estimate_reps(self, num_vertices: int) -> int:
+        """``J``: independent subsampling sequences in ESTIMATE."""
+        return max(3, math.ceil(self.estimate_reps_factor * math.log2(max(num_vertices, 2))))
+
+    def levels(self, num_vertices: int) -> int:
+        """``T`` and ``H``: nested subsampling depth."""
+        if self.estimate_levels is not None:
+            return self.estimate_levels
+        return max(2, math.ceil(math.log2(max(num_vertices * num_vertices, 4))))
+
+    def sampling_rounds(self, stretch: int, num_vertices: int) -> int:
+        """``Z = Theta(lambda^2 log n / ((1-eps) eps^3))`` scaled by the
+        configured factor (lambda = the oracle stretch)."""
+        log_n = math.log2(max(num_vertices, 2))
+        raw = (
+            self.sampling_rounds_factor
+            * stretch
+            * stretch
+            * log_n
+            / ((1.0 - self.disagreement) * self.epsilon ** 3)
+        )
+        return max(2, math.ceil(raw))

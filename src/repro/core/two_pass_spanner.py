@@ -1,0 +1,458 @@
+"""The two-pass streaming ``2^k``-spanner (Theorem 1; Algorithms 1 and 2).
+
+Pass 1 (Algorithm 1 — CONSTRUCTCLUSTERS)
+    Every vertex ``u`` maintains sketches
+    ``S^r_j(u) = SKETCH_B(({u} x C_r) ∩ E ∩ E_j)`` for each target level
+    ``r`` and each nested edge-sample level ``j``.  After the pass the
+    cluster forest is built bottom-up: a copy ``(u, i)`` sums its
+    subtree's level-``(i+1)`` sketches (linearity!), decodes from the
+    sparsest ``E_j`` downward, and attaches to the first recovered
+    neighbor in ``C_{i+1}`` — the recovered edge is the witness.
+
+Pass 2 (Algorithm 2 — CONSTRUCTSPANNER)
+    Every terminal root keeps, per vertex-sample level ``Y_j`` (and per
+    independent repetition — see DESIGN.md §4), a linear hash table
+    ``H^u_j`` keyed by outside vertices ``v`` whose payload sketches
+    ``N(v) ∩ T_u ∩ Y_j``.  Decoding the tables yields one edge from each
+    outside neighbor into the cluster, completing the spanner.
+
+The class is linear-sketch-based throughout: all pass-1/pass-2 state
+supports addition of same-seeded instances, so sketches computed on
+different shards of the stream can be merged (see
+``examples/distributed_servers.py``).
+
+Setting ``augmented=True`` additionally records ``Sigma(R)`` — every
+edge any successful decode revealed (Claims 16/18/20) — which the
+spectral sparsifier's sampler consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.core.cluster_forest import ClusterForest, Copy
+from repro.core.levels import LevelSamples
+from repro.core.offline_spanner import SpannerOutput
+from repro.core.parameters import SpannerParams
+from repro.graph.graph import Graph, edge_from_index, edge_index
+from repro.sketch.hashing import NestedSampler
+from repro.sketch.linear_hash_table import NeighborhoodHashTable
+from repro.sketch.onesparse import DecodeStatus
+from repro.sketch.sparse_recovery import SparseRecoverySketch
+from repro.stream.pipeline import StreamingAlgorithm, run_passes
+from repro.stream.space import SpaceReport
+from repro.stream.stream import DynamicStream
+from repro.stream.updates import EdgeUpdate
+from repro.util.rng import derive_seed
+
+__all__ = ["TwoPassSpannerBuilder"]
+
+
+class TwoPassSpannerBuilder(StreamingAlgorithm):
+    """Dynamic-stream ``2^k``-spanner in exactly two passes.
+
+    Parameters
+    ----------
+    num_vertices:
+        Graph size ``n``.
+    k:
+        Cluster-hierarchy depth; stretch is ``2^k`` and space
+        ``~O(n^{1+1/k})``.
+    seed:
+        Randomness name (cluster samples, edge samples, sketches).
+    params:
+        Constant calibration, see
+        :class:`~repro.core.parameters.SpannerParams`.
+    augmented:
+        Record the observed-edge set ``Sigma(R)``.
+    edge_filter:
+        Optional predicate on canonical pairs ``(u, v)``; updates whose
+        pair fails it are ignored.  This is how the sparsifier runs many
+        spanner instances on (hash-)filtered substreams, and how the
+        weighted wrapper splits weight classes.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        k: int,
+        seed: int | str,
+        params: SpannerParams | None = None,
+        augmented: bool = False,
+        edge_filter: Callable[[int, int], bool] | None = None,
+    ):
+        if num_vertices <= 0:
+            raise ValueError(f"num_vertices must be positive, got {num_vertices}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.num_vertices = num_vertices
+        self.k = k
+        self.params = params or SpannerParams()
+        self.augmented = augmented
+        self.edge_filter = edge_filter
+        self._seed = derive_seed(seed)
+
+        self.levels = LevelSamples(num_vertices, k, derive_seed(seed, "levels"))
+        self._edge_levels = self.params.edge_levels(num_vertices)
+        self._edge_sampler = NestedSampler(
+            self._edge_levels, derive_seed(seed, "edge-samples")
+        )
+        self._vertex_levels = self.params.vertex_levels(num_vertices)
+        self._y_samplers = [
+            NestedSampler(self._vertex_levels, derive_seed(seed, "y-samples", stack))
+            for stack in range(self.params.table_stacks)
+        ]
+
+        # Pass-1 sketches, allocated lazily: (vertex, r, j) -> sketch.
+        self._cluster_sketches: dict[tuple[int, int, int], SparseRecoverySketch] = {}
+
+        # Filled between passes.
+        self.forest: ClusterForest | None = None
+        self._terminal_trees: dict[Copy, set[int]] = {}
+        self._trees_of_vertex: dict[int, list[Copy]] = {}
+        # Pass-2 tables: (root, stack, j) -> table.
+        self._tables: dict[tuple[Copy, int, int], NeighborhoodHashTable] = {}
+        # Pass-2 repair sketches: root -> sketch of the root's cut edges.
+        self._cut_sketches: dict[Copy, SparseRecoverySketch] = {}
+
+        self.observed_edges: set[tuple[int, int]] = set()
+        self.diagnostics: dict[str, int] = {
+            "pass1_decode_failures": 0,
+            "pass2_table_overflows": 0,
+            "pass2_uncovered_keys": 0,
+            "pass2_repaired_keys": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+
+    @property
+    def passes_required(self) -> int:
+        return 2
+
+    def process(self, update: EdgeUpdate, pass_index: int) -> None:
+        if self.edge_filter is not None and not self.edge_filter(update.u, update.v):
+            return
+        if pass_index == 0:
+            self._process_first_pass(update)
+        else:
+            self._process_second_pass(update)
+
+    def end_pass(self, pass_index: int) -> None:
+        if pass_index == 0:
+            self._build_forest()
+            self._allocate_tables()
+
+    def finalize(self) -> SpannerOutput:
+        return self._recover_spanner()
+
+    def run(self, stream: DynamicStream) -> SpannerOutput:
+        """Convenience: run both passes over ``stream``."""
+        return run_passes(stream, self)
+
+    # ------------------------------------------------------------------
+    # Distributed merging (linearity across stream shards)
+    # ------------------------------------------------------------------
+
+    def merge_first_pass(self, other: "TwoPassSpannerBuilder") -> None:
+        """Add another same-seeded builder's pass-1 sketches into ours.
+
+        This is the distributed use case from the paper's introduction:
+        each server sketches its own shard of the update stream, the
+        sketches are summed, and the sum equals the sketch of the union
+        stream — so the forest built afterwards is exactly the
+        single-machine forest.
+        """
+        if other._seed != self._seed:
+            raise ValueError("builders must share a seed to merge")
+        for key, sketch in other._cluster_sketches.items():
+            mine = self._cluster_sketches.get(key)
+            if mine is None:
+                self._cluster_sketches[key] = sketch.copy()
+            else:
+                mine.combine(sketch)
+
+    def adopt_forest_from(self, other: "TwoPassSpannerBuilder") -> None:
+        """Take the between-pass state (forest + table layout) from a
+        coordinator builder, so pass-2 routing agrees across servers."""
+        if other.forest is None:
+            raise ValueError("the coordinator has not built its forest yet")
+        self.forest = other.forest
+        self._terminal_trees = other._terminal_trees
+        self._trees_of_vertex = other._trees_of_vertex
+        if not self._tables:
+            self._allocate_tables()
+
+    def merge_second_pass(self, other: "TwoPassSpannerBuilder") -> None:
+        """Add another same-seeded builder's pass-2 tables into ours."""
+        if other._seed != self._seed:
+            raise ValueError("builders must share a seed to merge")
+        for key, table in other._tables.items():
+            self._tables[key].combine(table)
+        for root, sketch in other._cut_sketches.items():
+            self._cut_sketches[root].combine(sketch)
+
+    # ------------------------------------------------------------------
+    # Pass 1: cluster sketches
+    # ------------------------------------------------------------------
+
+    def _cluster_sketch(self, vertex: int, r: int, j: int) -> SparseRecoverySketch:
+        key = (vertex, r, j)
+        sketch = self._cluster_sketches.get(key)
+        if sketch is None:
+            # Seeds depend on (r, j) only: sketches of different vertices
+            # are summable, which _build_forest relies on.
+            sketch = SparseRecoverySketch(
+                domain_size=self.num_vertices * self.num_vertices,
+                budget=self.params.cluster_budget,
+                seed=derive_seed(self._seed, "cluster-sketch", r, j),
+                rows=self.params.cluster_rows,
+            )
+            self._cluster_sketches[key] = sketch
+        return sketch
+
+    def _process_first_pass(self, update: EdgeUpdate) -> None:
+        pair = edge_index(update.u, update.v, self.num_vertices)
+        deepest_j = min(self._edge_sampler.level(pair), self._edge_levels)
+        for endpoint, other in ((update.u, update.v), (update.v, update.u)):
+            for r in self.levels.levels_of(other):
+                if r == 0:
+                    continue  # Q sums only target levels r = i+1 >= 1
+                for j in range(deepest_j + 1):
+                    self._cluster_sketch(endpoint, r, j).update(pair, update.sign)
+
+    def _build_forest(self) -> None:
+        """Between-pass forest construction (lines 8-20 of Algorithm 1)."""
+        forest = ClusterForest(self.num_vertices, self.k)
+        for level in range(self.k):
+            for vertex in self.levels.members(level):
+                forest.register_copy((vertex, level))
+
+        for level in range(self.k - 1):
+            target = level + 1
+            for vertex in self.levels.members(level):
+                copy: Copy = (vertex, level)
+                tree = forest.subtree_vertices(copy)
+                attached = self._attach_via_sketches(forest, copy, tree, target)
+                if not attached:
+                    forest.mark_terminal(copy)
+        for vertex in self.levels.members(self.k - 1):
+            forest.mark_terminal((vertex, self.k - 1))
+
+        forest.validate()
+        self.forest = forest
+        self._terminal_trees = forest.terminal_trees()
+        self._trees_of_vertex = forest.trees_containing()
+
+    def _attach_via_sketches(
+        self, forest: ClusterForest, copy: Copy, tree: set[int], target: int
+    ) -> bool:
+        """Decode ``Q^{target}_j = sum_{v in tree} S^{target}_j(v)`` from
+        the sparsest level down; attach on the first usable edge."""
+        for j in range(self._edge_levels, -1, -1):
+            combined: SparseRecoverySketch | None = None
+            for v in tree:
+                sketch = self._cluster_sketches.get((v, target, j))
+                if sketch is None:
+                    continue
+                if combined is None:
+                    combined = sketch.copy()
+                else:
+                    combined.combine(sketch)
+            if combined is None:
+                continue  # no member saw any edge at this level
+            decoded = combined.decode()
+            if decoded is None:
+                self.diagnostics["pass1_decode_failures"] += 1
+                continue
+            if not decoded:
+                continue
+            edges = sorted(
+                edge_from_index(index, self.num_vertices) for index in decoded
+            )
+            if self.augmented:
+                self.observed_edges.update(edges)
+            for a, b in edges:
+                # One endpoint lies in the tree, the other must be the
+                # C_target parent; prefer a parent outside the tree.
+                candidates = []
+                if self.levels.contains(b, target) and a in tree:
+                    candidates.append((b not in tree, b, (a, b)))
+                if self.levels.contains(a, target) and b in tree:
+                    candidates.append((a not in tree, a, (a, b)))
+                if not candidates:
+                    continue
+                candidates.sort(reverse=True)
+                prefer_outside, parent, witness = candidates[0]
+                forest.attach(copy, parent, witness)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Pass 2: neighborhood hash tables
+    # ------------------------------------------------------------------
+
+    def _allocate_tables(self) -> None:
+        for root in self._terminal_trees:
+            capacity = self.params.table_capacity(self.num_vertices, root[1], self.k)
+            for stack in range(self.params.table_stacks):
+                for j in range(self._vertex_levels + 1):
+                    self._tables[(root, stack, j)] = NeighborhoodHashTable(
+                        self.num_vertices,
+                        capacity,
+                        derive_seed(self._seed, "table", root[0], root[1], stack, j),
+                        rows=self.params.table_rows,
+                        bucket_factor=self.params.table_bucket_factor,
+                    )
+            if self.params.repair_budget_factor > 0:
+                self._cut_sketches[root] = SparseRecoverySketch(
+                    domain_size=self.num_vertices * self.num_vertices,
+                    budget=max(8, math.ceil(self.params.repair_budget_factor * capacity)),
+                    seed=derive_seed(self._seed, "cut-sketch", root[0], root[1]),
+                    rows=3,
+                )
+
+    def _process_second_pass(self, update: EdgeUpdate) -> None:
+        if self.forest is None:
+            raise RuntimeError("second pass before the forest was built")
+        pair = edge_index(update.u, update.v, self.num_vertices)
+        for inside, outside in ((update.u, update.v), (update.v, update.u)):
+            for root in self._trees_of_vertex[inside]:
+                if outside in self._terminal_trees[root]:
+                    continue
+                cut_sketch = self._cut_sketches.get(root)
+                if cut_sketch is not None:
+                    cut_sketch.update(pair, update.sign)
+                for stack, sampler in enumerate(self._y_samplers):
+                    deepest = min(sampler.level(inside), self._vertex_levels)
+                    for j in range(deepest + 1):
+                        self._tables[(root, stack, j)].add_neighbor(
+                            key=outside, neighbor=inside, delta=update.sign
+                        )
+
+    def _recover_spanner(self) -> SpannerOutput:
+        """Post-pass-2 recovery (lines 20-33 of Algorithm 2)."""
+        if self.forest is None:
+            raise RuntimeError("finalize before passes ran")
+        spanner = Graph(self.num_vertices)
+
+        # Step 1: witness edges of every attached copy.
+        for a, b in self.forest.witness_edges():
+            if not spanner.has_edge(a, b):
+                spanner.add_edge(a, b)
+
+        # Step 2: per terminal root, decode all tables and take, for each
+        # outside key, the highest-level 1-sparse payload.
+        for root, tree in self._terminal_trees.items():
+            decoded_tables = {}
+            for stack in range(self.params.table_stacks):
+                for j in range(self._vertex_levels, -1, -1):
+                    table = self._tables[(root, stack, j)]
+                    decoded = table.decode_neighbors()
+                    if decoded is None:
+                        self.diagnostics["pass2_table_overflows"] += 1
+                        continue
+                    decoded_tables[(stack, j)] = decoded
+            keys = set()
+            for decoded in decoded_tables.values():
+                keys.update(decoded)
+            uncovered = []
+            for v in sorted(keys):
+                covered = False
+                for j in range(self._vertex_levels, -1, -1):
+                    for stack in range(self.params.table_stacks):
+                        result = decoded_tables.get((stack, j), {}).get(v)
+                        if result is None or result.status is not DecodeStatus.ONE_SPARSE:
+                            continue
+                        w = result.index
+                        if w not in tree:
+                            continue  # fingerprint-level noise; skip
+                        if self.augmented:
+                            self.observed_edges.add((min(w, v), max(w, v)))
+                        if not covered:
+                            if not spanner.has_edge(w, v):
+                                spanner.add_edge(w, v)
+                            covered = True
+                    if covered:
+                        break
+                if not covered:
+                    uncovered.append(v)
+            if uncovered:
+                repaired = self._repair_coverage(root, tree, uncovered, spanner)
+                self.diagnostics["pass2_repaired_keys"] += repaired
+                self.diagnostics["pass2_uncovered_keys"] += len(uncovered) - repaired
+
+        for level in range(self.k):
+            count = sum(1 for root in self._terminal_trees if root[1] == level)
+            self.diagnostics[f"terminals_level_{level}"] = count
+
+        return SpannerOutput(
+            spanner=spanner,
+            forest=self.forest,
+            observed_edges=set(self.observed_edges),
+            diagnostics=dict(self.diagnostics),
+        )
+
+    def _repair_coverage(
+        self, root: Copy, tree: set[int], uncovered: list[int], spanner: Graph
+    ) -> int:
+        """Patch table-missed keys from the root's cut-edge sketch.
+
+        Returns the number of keys repaired.  Only possible when the cut
+        sketch decodes, i.e. the root's cut is within its budget.
+        """
+        cut_sketch = self._cut_sketches.get(root)
+        if cut_sketch is None:
+            return 0
+        decoded = cut_sketch.decode()
+        if decoded is None:
+            return 0
+        best_neighbor: dict[int, int] = {}
+        for index in decoded:
+            a, b = edge_from_index(index, self.num_vertices)
+            if a in tree and b not in tree:
+                inside, outside = a, b
+            elif b in tree and a not in tree:
+                inside, outside = b, a
+            else:
+                continue
+            current = best_neighbor.get(outside)
+            if current is None or inside < current:
+                best_neighbor[outside] = inside
+        if self.augmented:
+            for index in decoded:
+                a, b = edge_from_index(index, self.num_vertices)
+                self.observed_edges.add((a, b))
+        repaired = 0
+        for v in uncovered:
+            w = best_neighbor.get(v)
+            if w is None:
+                continue
+            if not spanner.has_edge(w, v):
+                spanner.add_edge(w, v)
+            repaired += 1
+        return repaired
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        """Measured words held by every sketch component."""
+        report = SpaceReport()
+        report.add("level-sample seeds", self.levels.space_words())
+        report.add("edge-sample seeds", self._edge_sampler.space_words())
+        for sampler in self._y_samplers:
+            report.add("vertex-sample seeds", sampler.space_words())
+        for sketch in self._cluster_sketches.values():
+            report.add("pass1 cluster sketches", sketch.space_words())
+        for table in self._tables.values():
+            report.add("pass2 hash tables", table.space_words())
+        for sketch in self._cut_sketches.values():
+            report.add("pass2 repair sketches", sketch.space_words())
+        return report
+
+    def space_words(self) -> int:
+        return self.space_report().total_words()

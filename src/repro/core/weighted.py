@@ -1,0 +1,138 @@
+"""Weighted spanners via geometric weight classes (Remark 14).
+
+"Round weights to the nearest power of ``1 + gamma`` and run the
+unweighted spanner construction on each weight class" — costing a factor
+``O(log(w_max/w_min) / gamma)`` in space.  The model guarantees an
+update's weight is known when it arrives (edges are inserted/removed
+whole, footnote 1 of the paper), so class routing is a pure function of
+the update.
+
+Output weights are the class *upper* bounds: sketches recover edge
+identities, not weights, and rounding up preserves the spanner
+inequality — every output distance dominates the true distance while the
+stretch grows only by the quantization factor ``(1 + gamma)``.  The
+bounds ``w_min, w_max`` are assumed known a priori, exactly as in
+[AGM12b] (the paper's footnote 1 makes the same assumption).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.parameters import SpannerParams
+from repro.core.two_pass_spanner import TwoPassSpannerBuilder
+from repro.graph.graph import Graph
+from repro.stream.pipeline import StreamingAlgorithm, run_passes
+from repro.stream.space import SpaceReport
+from repro.stream.stream import DynamicStream
+from repro.stream.updates import EdgeUpdate
+from repro.util.rng import derive_seed
+
+__all__ = ["WeightedTwoPassSpanner"]
+
+
+class WeightedTwoPassSpanner(StreamingAlgorithm):
+    """Two-pass ``(1+gamma) * 2^k``-spanner of a weighted dynamic stream.
+
+    Parameters
+    ----------
+    num_vertices, k, seed:
+        As in :class:`~repro.core.two_pass_spanner.TwoPassSpannerBuilder`.
+    w_min, w_max:
+        A-priori weight range; updates outside it are rejected.
+    gamma:
+        Weight-class ratio; classes are
+        ``[w_min (1+gamma)^t, w_min (1+gamma)^{t+1})``.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        k: int,
+        seed: int | str,
+        w_min: float,
+        w_max: float,
+        gamma: float = 0.5,
+        params: SpannerParams | None = None,
+    ):
+        if not 0 < w_min <= w_max:
+            raise ValueError(f"need 0 < w_min <= w_max, got ({w_min}, {w_max})")
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.num_vertices = num_vertices
+        self.k = k
+        self.w_min = w_min
+        self.w_max = w_max
+        self.gamma = gamma
+        self.num_classes = (
+            1 + math.floor(math.log(w_max / w_min) / math.log(1.0 + gamma))
+        )
+        self._builders = [
+            TwoPassSpannerBuilder(
+                num_vertices,
+                k,
+                derive_seed(seed, "weight-class", t),
+                params=params,
+            )
+            for t in range(self.num_classes)
+        ]
+        self.class_spanners: list[Graph] | None = None
+
+    def weight_class(self, weight: float) -> int:
+        """Index of the weight class containing ``weight``."""
+        if not self.w_min <= weight <= self.w_max:
+            raise ValueError(
+                f"weight {weight} outside the declared range [{self.w_min}, {self.w_max}]"
+            )
+        t = math.floor(math.log(weight / self.w_min) / math.log(1.0 + self.gamma))
+        return min(t, self.num_classes - 1)
+
+    def class_representative(self, t: int) -> float:
+        """Output weight of class ``t`` (its upper bound, clamped)."""
+        return min(self.w_max, self.w_min * (1.0 + self.gamma) ** (t + 1))
+
+    @property
+    def passes_required(self) -> int:
+        return 2
+
+    def begin_pass(self, pass_index: int) -> None:
+        for builder in self._builders:
+            builder.begin_pass(pass_index)
+
+    def process(self, update: EdgeUpdate, pass_index: int) -> None:
+        self._builders[self.weight_class(update.weight)].process(update, pass_index)
+
+    def end_pass(self, pass_index: int) -> None:
+        for builder in self._builders:
+            builder.end_pass(pass_index)
+
+    def finalize(self) -> Graph:
+        """Union of the per-class spanners, with class-bound weights."""
+        spanner = Graph(self.num_vertices)
+        self.class_spanners = []
+        for t, builder in enumerate(self._builders):
+            output = builder.finalize()
+            self.class_spanners.append(output.spanner)
+            representative = self.class_representative(t)
+            for u, v, _ in output.spanner.edges():
+                if not spanner.has_edge(u, v) or spanner.weight(u, v) > representative:
+                    spanner.add_edge(u, v, representative)
+        return spanner
+
+    def run(self, stream: DynamicStream) -> Graph:
+        """Convenience: run both passes over ``stream``."""
+        return run_passes(stream, self)
+
+    def space_report(self) -> SpaceReport:
+        """Aggregated space across weight classes."""
+        report = SpaceReport()
+        for builder in self._builders:
+            report = report.merged(builder.space_report())
+        return report
+
+    def space_words(self) -> int:
+        return self.space_report().total_words()
+
+    def stretch_bound(self) -> float:
+        """The guaranteed stretch ``(1 + gamma) * 2^k``."""
+        return (1.0 + self.gamma) * (2 ** self.k)

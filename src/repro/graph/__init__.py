@@ -1,0 +1,81 @@
+"""Offline graph substrate: containers, metrics and workload generators.
+
+These utilities exist to *verify and benchmark* the streaming algorithms;
+the streaming algorithms themselves only consume updates and sketches.
+"""
+
+from repro.graph.cuts import cut_value, max_cut_discrepancy, sample_cuts
+from repro.graph.distances import (
+    StretchReport,
+    bfs_distances,
+    dijkstra_distances,
+    distance,
+    evaluate_additive_error,
+    evaluate_multiplicative_stretch,
+)
+from repro.graph.graph import Graph, edge_from_index, edge_index
+from repro.graph.metrics import (
+    DegreeSummary,
+    degree_summary,
+    diameter,
+    eccentricity,
+    girth,
+)
+from repro.graph.laplacian import (
+    SpectralBounds,
+    laplacian_matrix,
+    quadratic_form,
+    spectral_approximation,
+)
+from repro.graph.random_graphs import (
+    barbell_graph,
+    complete_graph,
+    connected_gnp,
+    cycle_graph,
+    disjoint_cliques_with_path,
+    grid_graph,
+    path_graph,
+    power_law_graph,
+    random_gnm,
+    random_gnp,
+    with_random_weights,
+)
+from repro.graph.resistance import edge_resistances, effective_resistance, resistance_matrix
+
+__all__ = [
+    "Graph",
+    "edge_index",
+    "edge_from_index",
+    "bfs_distances",
+    "dijkstra_distances",
+    "distance",
+    "StretchReport",
+    "evaluate_multiplicative_stretch",
+    "evaluate_additive_error",
+    "eccentricity",
+    "diameter",
+    "girth",
+    "DegreeSummary",
+    "degree_summary",
+    "laplacian_matrix",
+    "quadratic_form",
+    "SpectralBounds",
+    "spectral_approximation",
+    "resistance_matrix",
+    "effective_resistance",
+    "edge_resistances",
+    "cut_value",
+    "sample_cuts",
+    "max_cut_discrepancy",
+    "random_gnp",
+    "random_gnm",
+    "connected_gnp",
+    "cycle_graph",
+    "path_graph",
+    "grid_graph",
+    "complete_graph",
+    "barbell_graph",
+    "power_law_graph",
+    "disjoint_cliques_with_path",
+    "with_random_weights",
+]

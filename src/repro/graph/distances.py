@@ -1,0 +1,202 @@
+"""Shortest-path machinery and spanner-quality evaluation.
+
+Used only for verification and benchmarking — the streaming algorithms
+never run BFS on the input (they cannot: they hold sketches, not edges).
+
+Definitions follow the paper:
+
+* multiplicative ``t``-spanner (Definition 5):
+  ``d_G(u,v) <= d_H(u,v) <= t * d_G(u,v)`` for all pairs;
+* additive ``t``-spanner:
+  ``d_G(u,v) <= d_H(u,v) <= d_G(u,v) + t`` for all pairs (unweighted).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.graph.graph import Graph
+from repro.util.rng import rng_from_seed
+
+__all__ = [
+    "bfs_distances",
+    "dijkstra_distances",
+    "distance",
+    "StretchReport",
+    "evaluate_multiplicative_stretch",
+    "evaluate_additive_error",
+]
+
+
+def bfs_distances(graph: Graph, source: int, cutoff: float | None = None) -> dict[int, int]:
+    """Unweighted (hop) distances from ``source``; omits unreachable nodes.
+
+    ``cutoff`` stops the search once distances exceed it — the sparsifier's
+    connectivity tests only care whether the distance exceeds a threshold,
+    and truncated BFS keeps those tests cheap.
+    """
+    distances = {source: 0}
+    frontier = [source]
+    depth = 0
+    while frontier:
+        if cutoff is not None and depth >= cutoff:
+            break
+        depth += 1
+        next_frontier = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if v not in distances:
+                    distances[v] = depth
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return distances
+
+
+def dijkstra_distances(graph: Graph, source: int, cutoff: float | None = None) -> dict[int, float]:
+    """Weighted distances from ``source``; omits unreachable nodes."""
+    distances: dict[int, float] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        dist, u = heapq.heappop(heap)
+        if u in distances:
+            continue
+        if cutoff is not None and dist > cutoff:
+            continue
+        distances[u] = dist
+        for v, weight in graph.neighbor_weights(u):
+            if v not in distances:
+                heapq.heappush(heap, (dist + weight, v))
+    return distances
+
+
+def distance(graph: Graph, u: int, v: int, weighted: bool = False, cutoff: float | None = None) -> float:
+    """Distance between ``u`` and ``v``; ``math.inf`` if disconnected."""
+    if u == v:
+        return 0.0
+    if weighted:
+        found = dijkstra_distances(graph, u, cutoff=cutoff)
+    else:
+        found = bfs_distances(graph, u, cutoff=cutoff)
+    return float(found.get(v, math.inf))
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Worst/mean stretch of a subgraph against its base graph.
+
+    ``max_stretch`` is ``inf`` when the subgraph disconnects a pair that
+    the base graph connects (a spanner must never do that).
+    """
+
+    max_stretch: float
+    mean_stretch: float
+    pairs_checked: int
+
+    def within(self, stretch_bound: float) -> bool:
+        """Whether every checked pair is within ``stretch_bound``."""
+        return self.max_stretch <= stretch_bound + 1e-9
+
+
+def _sample_pairs(num_vertices: int, sample_pairs: int | None, seed: int) -> list[tuple[int, int]] | None:
+    if sample_pairs is None:
+        return None
+    rng = rng_from_seed(seed, "stretch-pairs")
+    pairs = []
+    for _ in range(sample_pairs):
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v:
+            pairs.append((min(u, v), max(u, v)))
+    return pairs
+
+
+def evaluate_multiplicative_stretch(
+    graph: Graph,
+    spanner: Graph,
+    weighted: bool = False,
+    sample_pairs: int | None = None,
+    seed: int = 0,
+) -> StretchReport:
+    """Measure ``max/mean d_H(u,v) / d_G(u,v)`` over connected pairs.
+
+    With ``sample_pairs=None`` all pairs are checked (single-source
+    searches from every vertex); otherwise a seeded random pair sample is
+    used, which is how the benchmarks keep large instances affordable.
+    """
+    pairs = _sample_pairs(graph.num_vertices, sample_pairs, seed)
+    ratios: list[float] = []
+    worst = 0.0
+
+    def search(g: Graph, source: int) -> dict[int, float]:
+        if weighted:
+            return dijkstra_distances(g, source)
+        return {k: float(v) for k, v in bfs_distances(g, source).items()}
+
+    if pairs is None:
+        sources = range(graph.num_vertices)
+    else:
+        sources = sorted({u for u, _ in pairs})
+    wanted: dict[int, set[int]] | None = None
+    if pairs is not None:
+        wanted = {}
+        for u, v in pairs:
+            wanted.setdefault(u, set()).add(v)
+
+    for source in sources:
+        base = search(graph, source)
+        over = search(spanner, source)
+        targets = wanted[source] if wanted is not None else base.keys()
+        for target in targets:
+            if target == source:
+                continue
+            base_dist = base.get(target)
+            if base_dist is None or base_dist == 0:
+                continue  # disconnected in G: no requirement
+            span_dist = over.get(target, math.inf)
+            ratio = span_dist / base_dist
+            ratios.append(ratio)
+            worst = max(worst, ratio)
+    if not ratios:
+        return StretchReport(max_stretch=1.0, mean_stretch=1.0, pairs_checked=0)
+    finite = [r for r in ratios if math.isfinite(r)]
+    mean = sum(finite) / len(finite) if finite else math.inf
+    return StretchReport(max_stretch=worst, mean_stretch=mean, pairs_checked=len(ratios))
+
+
+def evaluate_additive_error(
+    graph: Graph,
+    spanner: Graph,
+    sample_pairs: int | None = None,
+    seed: int = 0,
+) -> tuple[float, int]:
+    """Worst additive error ``max d_H(u,v) - d_G(u,v)`` (hop metric).
+
+    Returns ``(max_error, pairs_checked)``; error is ``inf`` if the
+    spanner disconnects a connected pair.
+    """
+    pairs = _sample_pairs(graph.num_vertices, sample_pairs, seed)
+    worst = 0.0
+    checked = 0
+    if pairs is None:
+        sources = range(graph.num_vertices)
+        wanted = None
+    else:
+        sources = sorted({u for u, _ in pairs})
+        wanted = {}
+        for u, v in pairs:
+            wanted.setdefault(u, set()).add(v)
+    for source in sources:
+        base = bfs_distances(graph, source)
+        over = bfs_distances(spanner, source)
+        targets = wanted[source] if wanted is not None else base.keys()
+        for target in targets:
+            if target == source:
+                continue
+            if target not in base:
+                continue
+            span_dist = over.get(target, math.inf)
+            worst = max(worst, span_dist - base[target])
+            checked += 1
+    return (worst, checked)

@@ -1,0 +1,215 @@
+"""Undirected weighted graph container.
+
+This is the *offline* graph representation used for inputs to stream
+generators, outputs of the streaming algorithms (spanners, sparsifiers,
+forests) and for verification (distances, Laplacians, cuts).  The
+streaming algorithms themselves never hold a :class:`Graph` of the input —
+they only see updates — which is what the space accounting measures.
+
+Vertices are integers ``0..n-1``.  Edges are unordered pairs with a
+positive weight (the paper's model: weighted edges are inserted and
+removed whole; multiplicity is a property of the *stream*, not of the
+final graph).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["Graph", "edge_index", "edge_from_index"]
+
+
+def edge_index(u: int, v: int, num_vertices: int) -> int:
+    """Map an unordered vertex pair to a stable index in ``[0, n^2)``.
+
+    The sketches treat the graph as a vector indexed by vertex pairs;
+    this is that indexing.  (We spend a factor ~2 over ``C(n, 2)`` for a
+    branch-free encode/decode; sketch space depends only on the number of
+    *cells*, not the domain size, so this is free.)
+    """
+    if u == v:
+        raise ValueError(f"self-loops are not allowed (vertex {u})")
+    if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+        raise ValueError(f"vertices ({u}, {v}) out of range [0, {num_vertices})")
+    if u > v:
+        u, v = v, u
+    return u * num_vertices + v
+
+
+def edge_from_index(index: int, num_vertices: int) -> tuple[int, int]:
+    """Inverse of :func:`edge_index`."""
+    u, v = divmod(index, num_vertices)
+    if not (0 <= u < v < num_vertices):
+        raise ValueError(f"index {index} does not encode a valid edge")
+    return (u, v)
+
+
+class Graph:
+    """Simple undirected graph with positive edge weights.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex ids are ``0..num_vertices-1``.
+    """
+
+    __slots__ = ("num_vertices", "_adjacency", "_num_edges")
+
+    def __init__(self, num_vertices: int):
+        if num_vertices <= 0:
+            raise ValueError(f"num_vertices must be positive, got {num_vertices}")
+        self.num_vertices = num_vertices
+        self._adjacency: list[dict[int, float]] = [dict() for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Insert edge ``{u, v}`` with ``weight`` (replaces any existing)."""
+        self._check_pair(u, v)
+        if weight <= 0:
+            raise ValueError(f"edge weight must be positive, got {weight}")
+        if v not in self._adjacency[u]:
+            self._num_edges += 1
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``{u, v}``; raises ``KeyError`` if absent."""
+        self._check_pair(u, v)
+        del self._adjacency[u][v]
+        del self._adjacency[v][u]
+        self._num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``{u, v}`` is present."""
+        self._check_pair(u, v)
+        return v in self._adjacency[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}``; raises ``KeyError`` if absent."""
+        return self._adjacency[u][v]
+
+    def degree(self, u: int) -> int:
+        """Number of edges incident on ``u``."""
+        return len(self._adjacency[u])
+
+    def neighbors(self, u: int) -> Iterator[int]:
+        """Iterate over the neighbors of ``u``."""
+        return iter(self._adjacency[u])
+
+    def neighbor_weights(self, u: int) -> Iterator[tuple[int, float]]:
+        """Iterate over ``(neighbor, weight)`` pairs of ``u``."""
+        return iter(self._adjacency[u].items())
+
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return self._num_edges
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over edges as ``(u, v, weight)`` with ``u < v``."""
+        for u in range(self.num_vertices):
+            for v, weight in self._adjacency[u].items():
+                if u < v:
+                    yield (u, v, weight)
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """The set of edges as ``(u, v)`` pairs with ``u < v``."""
+        return {(u, v) for u, v, _ in self.edges()}
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(weight for _, _, weight in self.edges())
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (trivially true for n=1)."""
+        if self.num_vertices <= 1:
+            return True
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for v in self._adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) == self.num_vertices
+
+    def connected_components(self) -> list[set[int]]:
+        """Connected components as vertex sets."""
+        seen: set[int] = set()
+        components = []
+        for start in range(self.num_vertices):
+            if start in seen:
+                continue
+            component = {start}
+            frontier = [start]
+            while frontier:
+                u = frontier.pop()
+                for v in self._adjacency[u]:
+                    if v not in component:
+                        component.add(v)
+                        frontier.append(v)
+            seen |= component
+            components.append(component)
+        return components
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Graph":
+        """Deep copy."""
+        clone = Graph(self.num_vertices)
+        for u, v, weight in self.edges():
+            clone.add_edge(u, v, weight)
+        return clone
+
+    def subgraph_of_edges(self, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """Subgraph on the same vertex set containing only ``edges``
+        (weights copied from this graph; absent pairs raise)."""
+        sub = Graph(self.num_vertices)
+        for u, v in edges:
+            sub.add_edge(u, v, self.weight(u, v))
+        return sub
+
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, edges: Iterable[tuple[int, int] | tuple[int, int, float]]
+    ) -> "Graph":
+        """Build a graph from ``(u, v)`` or ``(u, v, weight)`` tuples."""
+        graph = cls(num_vertices)
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                graph.add_edge(u, v)
+            else:
+                u, v, weight = edge  # type: ignore[misc]
+                graph.add_edge(u, v, weight)
+        return graph
+
+    def _check_pair(self, u: int, v: int) -> None:
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (vertex {u})")
+        if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+            raise ValueError(f"vertices ({u}, {v}) out of range [0, {self.num_vertices})")
+
+    def __repr__(self) -> str:
+        return f"Graph(num_vertices={self.num_vertices}, num_edges={self._num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self.num_vertices != other.num_vertices:
+            return False
+        return dict(self._edge_weight_items()) == dict(other._edge_weight_items())
+
+    def _edge_weight_items(self) -> Iterator[tuple[tuple[int, int], float]]:
+        for u, v, weight in self.edges():
+            yield ((u, v), weight)

@@ -1,0 +1,99 @@
+"""Global graph metrics used by experiments and workload characterization.
+
+These complement :mod:`repro.graph.distances` (which is pairwise):
+diameter/eccentricity summarize how much room a stretch guarantee has to
+bite, girth witnesses spanner size bounds (a ``t``-spanner with girth
+``> t + 1`` is size-optimal), and degree statistics characterize the
+high/low split the additive spanner's analysis depends on.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+
+from repro.graph.distances import bfs_distances
+from repro.graph.graph import Graph
+
+__all__ = ["eccentricity", "diameter", "girth", "DegreeSummary", "degree_summary"]
+
+
+def eccentricity(graph: Graph, vertex: int) -> float:
+    """Largest hop distance from ``vertex`` to any reachable vertex.
+
+    ``inf`` if some vertex is unreachable (disconnected graph).
+    """
+    found = bfs_distances(graph, vertex)
+    if len(found) < graph.num_vertices:
+        return math.inf
+    return float(max(found.values()))
+
+
+def diameter(graph: Graph) -> float:
+    """Largest hop distance between any connected pair.
+
+    For a disconnected graph, returns the largest *finite* eccentricity
+    over components (``0`` for an edgeless graph).
+    """
+    worst = 0.0
+    for vertex in range(graph.num_vertices):
+        found = bfs_distances(graph, vertex)
+        if found:
+            worst = max(worst, float(max(found.values())))
+    return worst
+
+
+def girth(graph: Graph) -> float:
+    """Length of the shortest cycle; ``inf`` for forests.
+
+    BFS from every vertex; a non-tree edge closing a BFS level witnesses
+    a cycle of length ``d(u) + d(v) + 1`` (or ``+ 2`` within a level) —
+    the standard ``O(nm)`` exact algorithm for unweighted graphs is
+    implemented via parent tracking.
+    """
+    best = math.inf
+    for source in range(graph.num_vertices):
+        distance = {source: 0}
+        parent = {source: -1}
+        frontier = [source]
+        while frontier:
+            next_frontier = []
+            for u in frontier:
+                for v in graph.neighbors(u):
+                    if v not in distance:
+                        distance[v] = distance[u] + 1
+                        parent[v] = u
+                        next_frontier.append(v)
+                    elif parent[u] != v:
+                        # Non-tree edge: cycle through the BFS tree.
+                        best = min(best, distance[u] + distance[v] + 1)
+            frontier = next_frontier
+    return best
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Degree distribution statistics."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+
+    def skew(self) -> float:
+        """``max / mean`` — heavy-tail indicator (1.0 = regular)."""
+        if self.mean == 0:
+            return 1.0
+        return self.maximum / self.mean
+
+
+def degree_summary(graph: Graph) -> DegreeSummary:
+    """Summarize the degree distribution of ``graph``."""
+    degrees = [graph.degree(u) for u in range(graph.num_vertices)]
+    return DegreeSummary(
+        minimum=min(degrees),
+        maximum=max(degrees),
+        mean=sum(degrees) / len(degrees),
+        median=float(statistics.median(degrees)),
+    )

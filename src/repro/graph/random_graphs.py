@@ -1,0 +1,208 @@
+"""Workload graph generators.
+
+The paper has no testbed, so these synthetic families are the workloads
+the experiments run on.  Families were chosen to exercise the claims:
+
+* ``random_gnp`` / ``random_gnm`` — the generic dense/sparse regime for
+  spanner size and sparsifier quality;
+* ``power_law_graph`` (Chung–Lu) — the skewed-degree "social network"
+  motivation from the introduction, and the high/low degree split the
+  additive spanner's analysis revolves around;
+* ``cycle_graph`` / ``path_graph`` / ``grid_graph`` — high-diameter
+  instances where stretch is actually stressed;
+* ``barbell_graph`` — low-conductance bottleneck, the hard case for cut
+  and spectral approximation;
+* ``disjoint_cliques_with_path`` — the Theorem 4 lower-bound instance
+  shape.
+
+All generators are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.graph import Graph
+from repro.util.rng import rng_from_seed
+
+__all__ = [
+    "random_gnp",
+    "random_gnm",
+    "connected_gnp",
+    "cycle_graph",
+    "path_graph",
+    "grid_graph",
+    "complete_graph",
+    "barbell_graph",
+    "power_law_graph",
+    "disjoint_cliques_with_path",
+    "with_random_weights",
+]
+
+
+def random_gnp(num_vertices: int, p: float, seed: int | str) -> Graph:
+    """Erdős–Rényi ``G(n, p)``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = rng_from_seed(seed, "gnp", num_vertices, p)
+    graph = Graph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_gnm(num_vertices: int, num_edges: int, seed: int | str) -> Graph:
+    """Uniform graph with exactly ``num_edges`` edges."""
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError(f"num_edges {num_edges} exceeds maximum {max_edges}")
+    rng = rng_from_seed(seed, "gnm", num_vertices, num_edges)
+    graph = Graph(num_vertices)
+    added = 0
+    while added < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def connected_gnp(num_vertices: int, p: float, seed: int | str) -> Graph:
+    """``G(n, p)`` plus a random Hamiltonian path to force connectivity.
+
+    Keeps expected density ~``p`` while guaranteeing every pair has a
+    finite distance, which simplifies stretch accounting in experiments.
+    """
+    graph = random_gnp(num_vertices, p, seed)
+    rng = rng_from_seed(seed, "connector", num_vertices)
+    order = list(range(num_vertices))
+    rng.shuffle(order)
+    for i in range(num_vertices - 1):
+        u, v = order[i], order[i + 1]
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+def cycle_graph(num_vertices: int) -> Graph:
+    """The ``n``-cycle."""
+    graph = Graph(num_vertices)
+    for u in range(num_vertices):
+        graph.add_edge(u, (u + 1) % num_vertices)
+    return graph
+
+
+def path_graph(num_vertices: int) -> Graph:
+    """The ``n``-path."""
+    graph = Graph(num_vertices)
+    for u in range(num_vertices - 1):
+        graph.add_edge(u, u + 1)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid."""
+    graph = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(node, node + 1)
+            if r + 1 < rows:
+                graph.add_edge(node, node + cols)
+    return graph
+
+
+def complete_graph(num_vertices: int) -> Graph:
+    """The complete graph ``K_n``."""
+    graph = Graph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            graph.add_edge(u, v)
+    return graph
+
+
+def barbell_graph(clique_size: int, bridge_length: int = 1) -> Graph:
+    """Two ``K_m`` cliques joined by a path of ``bridge_length`` edges."""
+    n = 2 * clique_size + max(0, bridge_length - 1)
+    graph = Graph(n)
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            graph.add_edge(u, v)
+            graph.add_edge(clique_size + u, clique_size + v)
+    left_anchor = 0
+    right_anchor = clique_size
+    if bridge_length == 1:
+        graph.add_edge(left_anchor, right_anchor)
+    else:
+        previous = left_anchor
+        for i in range(bridge_length - 1):
+            middle = 2 * clique_size + i
+            graph.add_edge(previous, middle)
+            previous = middle
+        graph.add_edge(previous, right_anchor)
+    return graph
+
+
+def power_law_graph(num_vertices: int, exponent: float, seed: int | str, mean_degree: float = 4.0) -> Graph:
+    """Chung–Lu graph with power-law expected degrees.
+
+    Vertex ``i`` gets expected degree ``~ (i+1)^(-1/(exponent-1))``
+    rescaled to ``mean_degree``; edges appear independently with
+    probability ``min(1, w_u w_v / sum_w)``.
+    """
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must exceed 1, got {exponent}")
+    rng = rng_from_seed(seed, "powerlaw", num_vertices, exponent)
+    raw = [(i + 1.0) ** (-1.0 / (exponent - 1.0)) for i in range(num_vertices)]
+    scale = mean_degree * num_vertices / sum(raw)
+    weights = [w * scale for w in raw]
+    total = sum(weights)
+    graph = Graph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            probability = min(1.0, weights[u] * weights[v] / total)
+            if rng.random() < probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def disjoint_cliques_with_path(num_blocks: int, block_size: int, p: float, seed: int | str) -> Graph:
+    """``num_blocks`` disjoint ``G(block_size, p)`` blocks plus a path of
+    single edges linking consecutive blocks — the Theorem 4 hard-instance
+    shape (Alice's blocks, Bob's path)."""
+    n = num_blocks * block_size
+    rng = rng_from_seed(seed, "blocks", num_blocks, block_size, p)
+    graph = Graph(n)
+    for block in range(num_blocks):
+        base = block * block_size
+        for i in range(block_size):
+            for j in range(i + 1, block_size):
+                if rng.random() < p:
+                    graph.add_edge(base + i, base + j)
+    for block in range(num_blocks - 1):
+        u = block * block_size + rng.randrange(block_size)
+        v = (block + 1) * block_size + rng.randrange(block_size)
+        graph.add_edge(u, v)
+    return graph
+
+
+def with_random_weights(
+    graph: Graph, seed: int | str, w_min: float = 1.0, w_max: float = 16.0
+) -> Graph:
+    """Copy of ``graph`` with log-uniform random weights in [w_min, w_max].
+
+    Log-uniform exercises the paper's geometric weight-class reduction
+    (Remark 14) across several classes.
+    """
+    if w_min <= 0 or w_max < w_min:
+        raise ValueError(f"need 0 < w_min <= w_max, got ({w_min}, {w_max})")
+    rng = rng_from_seed(seed, "weights")
+    weighted = Graph(graph.num_vertices)
+    for u, v, _ in graph.edges():
+        weight = math.exp(rng.uniform(math.log(w_min), math.log(w_max)))
+        weighted.add_edge(u, v, weight)
+    return weighted

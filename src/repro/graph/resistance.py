@@ -1,0 +1,43 @@
+"""Effective resistances (the sampling weights of Theorem 7 / [SS08]).
+
+``R_e`` for an edge ``e = (u, v)`` is the potential difference across
+``e`` when a unit current is injected at ``u`` and extracted at ``v`` in
+the electrical network where each edge has conductance ``w_e``.  In
+matrix form ``R_uv = (chi_u - chi_v)^T L^+ (chi_u - chi_v)``.
+
+Dense pseudoinverse computation — used by the Spielman–Srivastava
+baseline and by tests that validate the sparsifier pipeline's sampling
+rates against the quantity they are meant to approximate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.laplacian import laplacian_matrix
+
+__all__ = ["resistance_matrix", "effective_resistance", "edge_resistances"]
+
+
+def resistance_matrix(graph: Graph) -> np.ndarray:
+    """All-pairs effective resistances (``inf``-free only if connected).
+
+    For pairs in different components the returned value is meaningless;
+    callers are expected to query pairs joined by an edge or to check
+    connectivity first.
+    """
+    pinv = np.linalg.pinv(laplacian_matrix(graph))
+    diag = np.diag(pinv)
+    return diag[:, None] + diag[None, :] - 2.0 * pinv
+
+
+def effective_resistance(graph: Graph, u: int, v: int) -> float:
+    """Effective resistance between ``u`` and ``v``."""
+    return float(resistance_matrix(graph)[u, v])
+
+
+def edge_resistances(graph: Graph) -> dict[tuple[int, int], float]:
+    """Effective resistance of every edge, keyed by ``(u, v)`` with u<v."""
+    matrix = resistance_matrix(graph)
+    return {(u, v): float(matrix[u, v]) for u, v, _ in graph.edges()}

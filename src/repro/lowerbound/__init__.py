@@ -1,0 +1,6 @@
+"""Theorem 4: the Ω(nd) additive-spanner lower bound, as a playable game."""
+
+from repro.lowerbound.hard_instance import HardInstance, sample_hard_instance
+from repro.lowerbound.protocol import GameReport, run_spanner_protocol
+
+__all__ = ["HardInstance", "sample_hard_instance", "GameReport", "run_spanner_protocol"]

@@ -1,0 +1,107 @@
+"""Theorem 4's hard distribution for additive spanners.
+
+Alice's input encodes an INDEX bit string of length ``r = Θ(nd)`` as
+``s`` disjoint random graphs ``G_1..G_s``, each drawn ``G(d, 1/2)`` on
+``d`` vertices (each potential in-block edge is one bit of ``X``).  Bob
+holds an index — a specific pair ``{U, V}`` inside a specific block
+``G_J`` — picks uniform pairs ``{U_l, V_l}`` in every other block, and
+appends the path edges ``{V_1, U_2}, {V_2, U_3}, ...`` to the stream.
+
+The shortest ``U_1 -> V_s`` path uses Bob's path edges plus, inside each
+block, either the pair edge (length 1, if that bit of ``X`` is 1) or a
+two-hop detour (length >= 2).  An additive spanner with distortion
+``n/d`` must therefore retain most of the pair edges that exist — which
+lets Bob read off his bit, so the algorithm's state must carry
+``Ω(nd)`` bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import rng_from_seed
+
+__all__ = ["HardInstance", "sample_hard_instance"]
+
+
+@dataclass
+class HardInstance:
+    """One draw from the hard distribution (Alice's side + Bob's side)."""
+
+    num_blocks: int
+    block_size: int
+    #: Alice's bits: (block, i, j) -> present, for 0 <= i < j < block_size.
+    bits: dict[tuple[int, int, int], bool]
+    #: Bob's chosen pair per block (local vertex ids).
+    pairs: list[tuple[int, int]]
+    #: Bob's secret index: which block's pair he must decide.
+    target_block: int
+
+    @property
+    def num_vertices(self) -> int:
+        return self.num_blocks * self.block_size
+
+    def vertex(self, block: int, local: int) -> int:
+        """Global vertex id of ``local`` inside ``block``."""
+        return block * self.block_size + local
+
+    def alice_edges(self) -> list[tuple[int, int]]:
+        """The edges of Alice's disjoint union ``G_1 ∪ ... ∪ G_s``."""
+        edges = []
+        for (block, i, j), present in self.bits.items():
+            if present:
+                edges.append((self.vertex(block, i), self.vertex(block, j)))
+        return edges
+
+    def bob_edges(self) -> list[tuple[int, int]]:
+        """Bob's path edges ``{V_l, U_{l+1}}``."""
+        edges = []
+        for block in range(self.num_blocks - 1):
+            _, v_here = self.pairs[block]
+            u_next, _ = self.pairs[block + 1]
+            edges.append((self.vertex(block, v_here), self.vertex(block + 1, u_next)))
+        return edges
+
+    def target_pair(self) -> tuple[int, int]:
+        """The global pair ``{U, V}`` whose bit Bob must output."""
+        u, v = self.pairs[self.target_block]
+        return (self.vertex(self.target_block, u), self.vertex(self.target_block, v))
+
+    def target_bit(self) -> bool:
+        """The ground truth ``X_I``."""
+        u, v = self.pairs[self.target_block]
+        i, j = min(u, v), max(u, v)
+        return self.bits[(self.target_block, i, j)]
+
+    def index_length(self) -> int:
+        """``r``: how many bits Alice's input encodes."""
+        return len(self.bits)
+
+
+def sample_hard_instance(num_blocks: int, block_size: int, seed: int | str) -> HardInstance:
+    """Draw an instance: uniform bits, uniform pairs, uniform target."""
+    if num_blocks < 2:
+        raise ValueError(f"need at least 2 blocks, got {num_blocks}")
+    if block_size < 2:
+        raise ValueError(f"need block_size >= 2, got {block_size}")
+    rng = rng_from_seed(seed, "hard-instance", num_blocks, block_size)
+    bits = {}
+    for block in range(num_blocks):
+        for i in range(block_size):
+            for j in range(i + 1, block_size):
+                bits[(block, i, j)] = rng.random() < 0.5
+    pairs = []
+    for _ in range(num_blocks):
+        u = rng.randrange(block_size)
+        v = rng.randrange(block_size - 1)
+        if v >= u:
+            v += 1
+        pairs.append((u, v))
+    target_block = rng.randrange(num_blocks)
+    return HardInstance(
+        num_blocks=num_blocks,
+        block_size=block_size,
+        bits=bits,
+        pairs=pairs,
+        target_block=target_block,
+    )

@@ -1,0 +1,50 @@
+"""Linear-sketching substrate.
+
+Every structure here is a *linear* function of the summarized vector:
+sketches built from the same seed can be added and subtracted, which is
+the property the paper's graph algorithms exploit (summing per-vertex
+sketches over a cluster, collapsing supernodes, subtracting recovered
+edge sets).
+
+Contents
+--------
+:class:`KWiseHash`, :class:`NestedSampler`
+    limited-independence hashing; nested geometric samples.
+:class:`OneSparseDetector`
+    exact 0-vs-1-sparse classification with field fingerprints.
+:class:`SparseRecoverySketch`
+    the paper's ``SKETCH_B`` / ``DECODE`` (Theorem 8 interface).
+:class:`DistinctElementsSketch`
+    ``L_0`` estimation (Theorem 9 interface).
+:class:`L0Sampler`
+    sample one nonzero coordinate (AGM building block).
+:class:`LinearHashTable`, :class:`NeighborhoodHashTable`
+    the second-pass hash tables ``H^u_j`` of Algorithm 2.
+"""
+
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.distinct import DistinctElementsSketch
+from repro.sketch.hashing import MERSENNE_61, KWiseHash, NestedSampler
+from repro.sketch.l0sampler import L0Sampler
+from repro.sketch.linear_hash_table import LinearHashTable, NeighborhoodHashTable
+from repro.sketch.onesparse import DecodeStatus, OneSparseDetector, OneSparseResult
+from repro.sketch.serialize import pack_ints, serialized_size_bytes, unpack_ints
+from repro.sketch.sparse_recovery import SparseRecoverySketch
+
+__all__ = [
+    "MERSENNE_61",
+    "KWiseHash",
+    "NestedSampler",
+    "DecodeStatus",
+    "OneSparseDetector",
+    "OneSparseResult",
+    "SparseRecoverySketch",
+    "CountSketch",
+    "DistinctElementsSketch",
+    "L0Sampler",
+    "LinearHashTable",
+    "NeighborhoodHashTable",
+    "pack_ints",
+    "unpack_ints",
+    "serialized_size_bytes",
+]

@@ -1,0 +1,128 @@
+"""k-wise independent hash families over a Mersenne-prime field.
+
+The paper's streaming constructions consume three kinds of limited
+randomness, all of which reduce to evaluating a ``k``-wise independent
+hash function on demand:
+
+* the vertex samples ``C_r`` (``Pr[v in C_r] = n^{-r/k}``),
+* the nested edge samples ``E_j`` (``Pr[(a,b) in E_j] = 2^{-j}``, with
+  ``E_0 ⊇ E_1 ⊇ ...``), and
+* the bucket choices inside the sparse-recovery sketches.
+
+Section 6.3 of the paper notes that ``O(log n)``-wise independence
+suffices for the ``E_j`` and that Nisan's generator can replace the
+remaining perfect randomness; lazily evaluated polynomial hashing is the
+standard practical surrogate and keeps each hash function at ``k`` field
+elements of state.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import derive_seed, rng_from_seed
+
+__all__ = ["MERSENNE_61", "KWiseHash", "NestedSampler"]
+
+#: The Mersenne prime 2^61 - 1; field arithmetic mod this prime is exact in
+#: Python integers and collision probabilities are ~2^-61 per comparison.
+MERSENNE_61 = (1 << 61) - 1
+
+
+class KWiseHash:
+    """A ``k``-wise independent hash function ``h: Z -> [0, p)``.
+
+    Implemented as a random degree-``(k-1)`` polynomial over the field
+    ``F_p`` with ``p = 2^61 - 1``.  Evaluation is Horner's rule, O(k).
+
+    Two instances built from the same ``seed`` (and same ``k``) are
+    identical — this is how sketches that must be *summable* share their
+    randomness.  Instances are immutable after construction, so
+    :meth:`shared` may intern them (sketch stacks that share per-round
+    seeds then also share the hash objects, a large memory win).
+    """
+
+    __slots__ = ("k", "_coeffs")
+
+    _intern_cache: dict[tuple[int, int], "KWiseHash"] = {}
+
+    @classmethod
+    def shared(cls, k: int, seed: int | str) -> "KWiseHash":
+        """Return a (possibly cached) instance for ``(k, seed)``."""
+        key = (k, derive_seed(seed, "intern-key"))
+        cached = cls._intern_cache.get(key)
+        if cached is None:
+            cached = cls(k, seed)
+            cls._intern_cache[key] = cached
+        return cached
+
+    def __init__(self, k: int, seed: int | str):
+        if k < 1:
+            raise ValueError(f"independence k must be >= 1, got {k}")
+        self.k = k
+        rng = rng_from_seed(seed, "kwise", k)
+        self._coeffs = [rng.randrange(MERSENNE_61) for _ in range(k)]
+        # A zero leading coefficient is harmless (it only lowers the
+        # polynomial degree), so no rejection sampling is needed.
+
+    def __call__(self, x: int) -> int:
+        """Hash ``x`` to a field element in ``[0, 2^61 - 1)``."""
+        acc = 0
+        for coeff in self._coeffs:
+            acc = (acc * x + coeff) % MERSENNE_61
+        return acc
+
+    def unit(self, x: int) -> float:
+        """Hash ``x`` to a float in ``[0, 1)`` (k-wise independent)."""
+        return self(x) / MERSENNE_61
+
+    def bucket(self, x: int, m: int) -> int:
+        """Hash ``x`` to a bucket in ``[0, m)``."""
+        if m <= 0:
+            raise ValueError(f"bucket count must be positive, got {m}")
+        return self(x) % m
+
+    def included(self, x: int, probability: float) -> bool:
+        """Return whether ``x`` belongs to a sample taken at ``probability``."""
+        return self.unit(x) < probability
+
+    def space_words(self) -> int:
+        """Persistent state, in machine words (one per coefficient)."""
+        return self.k
+
+
+class NestedSampler:
+    """Nested geometric samples ``S_0 ⊇ S_1 ⊇ ...`` with ``Pr[x in S_j] = 2^-j``.
+
+    A single hash value determines membership at *every* level: ``x`` is in
+    ``S_j`` iff the hashed unit value is below ``2^-j``.  :meth:`level`
+    returns the deepest level containing ``x`` so callers can enumerate
+    ``j = 0..level(x)`` in one evaluation — the access pattern used by the
+    per-level sketches ``S^r_j(u)`` of Algorithm 1.
+    """
+
+    __slots__ = ("max_level", "_hash")
+
+    def __init__(self, max_level: int, seed: int | str, independence: int = 16):
+        if max_level < 0:
+            raise ValueError(f"max_level must be >= 0, got {max_level}")
+        self.max_level = max_level
+        self._hash = KWiseHash.shared(independence, derive_seed(seed, "nested"))
+
+    def level(self, x: int) -> int:
+        """Deepest ``j`` (capped at ``max_level``) with ``x`` in ``S_j``."""
+        unit = self._hash.unit(x)
+        level = 0
+        threshold = 0.5
+        while level < self.max_level and unit < threshold:
+            level += 1
+            threshold /= 2.0
+        return level
+
+    def contains(self, x: int, j: int) -> bool:
+        """Whether ``x`` belongs to the level-``j`` sample ``S_j``."""
+        if j == 0:
+            return True
+        return self._hash.unit(x) < 2.0 ** (-j)
+
+    def space_words(self) -> int:
+        """Persistent state, in machine words."""
+        return self._hash.space_words()

@@ -1,0 +1,75 @@
+"""Compact serialization of sketch state.
+
+Two places genuinely need bytes rather than word counts:
+
+* the Theorem 4 communication game — Alice's *message* is the
+  algorithm's state, and its length in bits is the quantity the lower
+  bound speaks about;
+* the distributed setting — servers ship sketch states to a coordinator.
+
+Every sketch in the repository exposes ``state_ints()``, a flat integer
+sequence that fully determines its dynamic state (hash seeds are
+excluded: they are shared knowledge derived from the public seed, just
+as the paper's protocols assume shared randomness).  This module packs
+such sequences with ZigZag + varint encoding — small magnitudes
+(the common case: empty cells are 0) cost one byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["pack_ints", "unpack_ints", "serialized_size_bytes"]
+
+
+def _wide_zigzag(value: int) -> int:
+    # Arbitrary-precision zigzag: non-negative -> even, negative -> odd.
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def _zigzag_decode(encoded: int) -> int:
+    if encoded & 1:
+        return -((encoded + 1) >> 1)
+    return encoded >> 1
+
+
+def pack_ints(values: Iterable[int]) -> bytes:
+    """Encode a sequence of (possibly huge, possibly negative) ints."""
+    chunks = bytearray()
+    for value in values:
+        encoded = _wide_zigzag(value)
+        while True:
+            byte = encoded & 0x7F
+            encoded >>= 7
+            if encoded:
+                chunks.append(byte | 0x80)
+            else:
+                chunks.append(byte)
+                break
+    return bytes(chunks)
+
+
+def unpack_ints(data: bytes) -> list[int]:
+    """Inverse of :func:`pack_ints`."""
+    values = []
+    current = 0
+    shift = 0
+    for byte in data:
+        current |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+        else:
+            values.append(_zigzag_decode(current))
+            current = 0
+            shift = 0
+    if shift != 0:
+        raise ValueError("truncated varint stream")
+    return values
+
+
+def serialized_size_bytes(sketch) -> int:
+    """Bytes needed to ship ``sketch``'s dynamic state.
+
+    ``sketch`` must expose ``state_ints()``.
+    """
+    return len(pack_ints(sketch.state_ints()))

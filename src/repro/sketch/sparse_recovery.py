@@ -1,0 +1,254 @@
+"""Exact ``B``-sparse recovery: the paper's ``SKETCH_B`` / ``DECODE`` pair.
+
+Theorem 8 (quoting [CM06]) promises a randomized linear map ``T`` with
+``O(B log^3 n)`` rows such that any ``B``-sparse integer vector ``x`` can
+be recovered exactly from ``Tx`` with probability ``1 - n^{-c}``.  We
+implement the standard practical construction with the same interface and
+guarantees:
+
+* ``d`` hash rows, each with ``m = ceil(c * B)`` buckets;
+* every bucket is a Ganguly 1-sparse detector (see
+  :mod:`repro.sketch.onesparse`);
+* decoding peels: find a bucket that currently summarizes a 1-sparse
+  sub-vector, extract its coordinate, subtract it from every row, repeat.
+
+Decoding *self-verifies*: it succeeds only if all buckets are driven to
+zero, so a sketch "knows" whether it decoded (the property the paper gets
+by attaching a distinct-elements guard; our residual check is strictly
+stronger, and :mod:`repro.sketch.distinct` is still provided and used
+where the paper calls for degree estimates).
+
+The sketch is linear: two sketches built from the same seed can be added
+or subtracted, and a sketch of ``x`` plus a sketch of ``y`` decodes to
+``x + y``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.sketch.hashing import MERSENNE_61, KWiseHash
+from repro.util.rng import derive_seed
+
+__all__ = ["SparseRecoverySketch"]
+
+#: Independence of the bucket-choice hash functions.  Theorem 8 only needs
+#: O(1)-wise independence; 6-wise keeps peeling well-behaved in practice.
+_BUCKET_HASH_INDEPENDENCE = 6
+
+
+class SparseRecoverySketch:
+    """Linear sketch with exact decode of ``<= budget``-sparse vectors.
+
+    Parameters
+    ----------
+    domain_size:
+        Coordinates live in ``[0, domain_size)``.
+    budget:
+        Target sparsity ``B``; decoding is guaranteed (whp) whenever the
+        summarized vector has at most ``budget`` nonzero coordinates.
+    seed:
+        Randomness name.  Sketches are summable iff seeds (and shapes)
+        match.
+    rows:
+        Number of independent hash rows ``d`` (peeling redundancy).
+    bucket_factor:
+        Buckets per row are ``max(4, ceil(bucket_factor * budget))``.
+    """
+
+    __slots__ = (
+        "domain_size",
+        "budget",
+        "rows",
+        "buckets",
+        "_seed_key",
+        "_z",
+        "_row_hashes",
+        "_totals",
+        "_index_sums",
+        "_fingerprints",
+    )
+
+    def __init__(
+        self,
+        domain_size: int,
+        budget: int,
+        seed: int | str,
+        rows: int = 4,
+        bucket_factor: float = 2.0,
+    ):
+        if domain_size <= 0:
+            raise ValueError(f"domain_size must be positive, got {domain_size}")
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        if rows < 2:
+            raise ValueError(f"rows must be >= 2 for peeling, got {rows}")
+        self.domain_size = domain_size
+        self.budget = budget
+        self.rows = rows
+        self.buckets = max(4, math.ceil(bucket_factor * budget))
+        self._seed_key = derive_seed(seed, "sparse-recovery", domain_size, budget, rows)
+        self._z = 1 + self._seed_key % (MERSENNE_61 - 1)
+        self._row_hashes = [
+            KWiseHash.shared(_BUCKET_HASH_INDEPENDENCE, derive_seed(self._seed_key, "row", r))
+            for r in range(rows)
+        ]
+        size = rows * self.buckets
+        self._totals = [0] * size
+        self._index_sums = [0] * size
+        self._fingerprints = [0] * size
+
+    # ------------------------------------------------------------------
+    # Streaming updates
+    # ------------------------------------------------------------------
+
+    def update(self, index: int, delta: int) -> None:
+        """Apply ``x[index] += delta``."""
+        if not 0 <= index < self.domain_size:
+            raise IndexError(f"index {index} out of domain [0, {self.domain_size})")
+        if delta == 0:
+            return
+        power = pow(self._z, index, MERSENNE_61)
+        fingerprint_delta = delta * power
+        index_delta = delta * index
+        for row, row_hash in enumerate(self._row_hashes):
+            cell = row * self.buckets + row_hash.bucket(index, self.buckets)
+            self._totals[cell] += delta
+            self._index_sums[cell] += index_delta
+            self._fingerprints[cell] = (self._fingerprints[cell] + fingerprint_delta) % MERSENNE_61
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def decode(self) -> dict[int, int] | None:
+        """Recover the summarized vector as ``{index: value}``.
+
+        Returns ``None`` when the vector is not decodable (more than
+        ``budget`` nonzeros, up to peeling slack) — never a wrong answer,
+        up to the ``~1/2^61`` fingerprint failure probability.  An empty
+        dict means the vector is (whp) zero.
+        """
+        totals = list(self._totals)
+        index_sums = list(self._index_sums)
+        fingerprints = list(self._fingerprints)
+        recovered: dict[int, int] = {}
+        power_cache: dict[int, int] = {}
+
+        def cell_one_sparse(cell: int) -> tuple[int, int] | None:
+            total = totals[cell]
+            if total == 0:
+                return None
+            if index_sums[cell] % total != 0:
+                return None
+            index = index_sums[cell] // total
+            if not 0 <= index < self.domain_size:
+                return None
+            power = power_cache.get(index)
+            if power is None:
+                power = pow(self._z, index, MERSENNE_61)
+                power_cache[index] = power
+            if (total % MERSENNE_61) * power % MERSENNE_61 != fingerprints[cell]:
+                return None
+            return (index, total)
+
+        # Queue-based peeling: after an extraction only the d cells of the
+        # extracted index can change state, so re-examine exactly those.
+        size = self.rows * self.buckets
+        queue = deque(range(size))
+        queued = [True] * size
+        while queue:
+            cell = queue.popleft()
+            queued[cell] = False
+            extracted = cell_one_sparse(cell)
+            if extracted is None:
+                continue
+            index, value = extracted
+            recovered[index] = recovered.get(index, 0) + value
+            power = power_cache[index]
+            fingerprint_delta = value * power
+            index_delta = value * index
+            for row, row_hash in enumerate(self._row_hashes):
+                target = row * self.buckets + row_hash.bucket(index, self.buckets)
+                totals[target] -= value
+                index_sums[target] -= index_delta
+                fingerprints[target] = (fingerprints[target] - fingerprint_delta) % MERSENNE_61
+                if not queued[target]:
+                    queued[target] = True
+                    queue.append(target)
+
+        residual_clean = all(
+            totals[cell] == 0 and index_sums[cell] == 0 and fingerprints[cell] == 0
+            for cell in range(size)
+        )
+        if not residual_clean:
+            return None
+        return {index: value for index, value in recovered.items() if value != 0}
+
+    def decode_support(self) -> list[int] | None:
+        """Sorted nonzero coordinates, or ``None`` if undecodable."""
+        decoded = self.decode()
+        if decoded is None:
+            return None
+        return sorted(decoded)
+
+    def is_zero(self) -> bool:
+        """Whether the summarized vector is (whp) identically zero."""
+        return (
+            all(value == 0 for value in self._totals)
+            and all(value == 0 for value in self._index_sums)
+            and all(value == 0 for value in self._fingerprints)
+        )
+
+    # ------------------------------------------------------------------
+    # Linearity
+    # ------------------------------------------------------------------
+
+    def combine(self, other: "SparseRecoverySketch", sign: int = 1) -> None:
+        """In-place ``self += sign * other``; seeds/shapes must match."""
+        if self._seed_key != other._seed_key:
+            raise ValueError("cannot combine sketches with different seeds")
+        if sign not in (1, -1):
+            raise ValueError(f"sign must be +1 or -1, got {sign}")
+        for cell in range(self.rows * self.buckets):
+            self._totals[cell] += sign * other._totals[cell]
+            self._index_sums[cell] += sign * other._index_sums[cell]
+            self._fingerprints[cell] = (
+                self._fingerprints[cell] + sign * other._fingerprints[cell]
+            ) % MERSENNE_61
+
+    def copy(self) -> "SparseRecoverySketch":
+        """Return an independent copy with the same state and seed."""
+        clone = object.__new__(SparseRecoverySketch)
+        clone.domain_size = self.domain_size
+        clone.budget = self.budget
+        clone.rows = self.rows
+        clone.buckets = self.buckets
+        clone._seed_key = self._seed_key
+        clone._z = self._z
+        clone._row_hashes = self._row_hashes  # hashes are immutable, share
+        clone._totals = list(self._totals)
+        clone._index_sums = list(self._index_sums)
+        clone._fingerprints = list(self._fingerprints)
+        return clone
+
+    def state_ints(self) -> list[int]:
+        """Dynamic state as a flat int sequence (for serialization).
+
+        Hash functions and the fingerprint base are seed-derived shared
+        knowledge and are not part of the shipped state.
+        """
+        return list(self._totals) + list(self._index_sums) + list(self._fingerprints)
+
+    def space_words(self) -> int:
+        """Persistent state, in machine words."""
+        cells = self.rows * self.buckets
+        hash_words = sum(h.space_words() for h in self._row_hashes)
+        return 3 * cells + hash_words + 1  # +1 for the fingerprint base
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseRecoverySketch(domain_size={self.domain_size}, budget={self.budget}, "
+            f"rows={self.rows}, buckets={self.buckets})"
+        )

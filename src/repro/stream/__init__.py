@@ -1,0 +1,20 @@
+"""The dynamic streaming model: updates, streams, passes, space, workloads."""
+
+from repro.stream.generators import adversarial_churn_stream, stream_from_graph
+from repro.stream.pipeline import StreamingAlgorithm, run_passes
+from repro.stream.sharding import shard_by_edge, shard_round_robin
+from repro.stream.space import SpaceReport
+from repro.stream.stream import DynamicStream
+from repro.stream.updates import EdgeUpdate
+
+__all__ = [
+    "EdgeUpdate",
+    "DynamicStream",
+    "StreamingAlgorithm",
+    "run_passes",
+    "SpaceReport",
+    "stream_from_graph",
+    "adversarial_churn_stream",
+    "shard_round_robin",
+    "shard_by_edge",
+]

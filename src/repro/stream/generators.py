@@ -1,0 +1,109 @@
+"""Dynamic-stream workload generators.
+
+Dynamic streams differ from insertion-only streams in exactly one way —
+deletions — so every generator here can interleave *churn*: transient
+edges that are inserted and later deleted.  A sketch-based algorithm
+cannot tell churned edges from surviving ones until the deletions arrive,
+which is precisely the regime the paper's linearity arguments address
+(and the regime in which insertion-only algorithms break).
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.stream.stream import DynamicStream
+from repro.stream.updates import EdgeUpdate
+from repro.util.rng import rng_from_seed
+
+__all__ = ["stream_from_graph", "adversarial_churn_stream"]
+
+
+def stream_from_graph(
+    graph: Graph,
+    seed: int | str,
+    churn: float = 0.0,
+    shuffle: bool = True,
+) -> DynamicStream:
+    """Encode ``graph`` as a dynamic stream whose final graph is ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The target final graph.
+    seed:
+        Randomness for ordering and churn placement.
+    churn:
+        Ratio of transient edges to real edges: ``churn * m`` edges *not*
+        in the final graph are inserted and then deleted, interleaved at
+        random positions (subject to insert-before-delete).
+    shuffle:
+        Randomize insertion order of the real edges.
+    """
+    if churn < 0:
+        raise ValueError(f"churn must be >= 0, got {churn}")
+    rng = rng_from_seed(seed, "stream-order")
+    real_edges = list(graph.edges())
+    if shuffle:
+        rng.shuffle(real_edges)
+
+    num_transient = int(churn * len(real_edges))
+    transient: list[tuple[int, int, float]] = []
+    present = graph.edge_set()
+    attempts = 0
+    n = graph.num_vertices
+    while len(transient) < num_transient and attempts < 50 * (num_transient + 1):
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        pair = (min(u, v), max(u, v))
+        if pair in present:
+            continue
+        present.add(pair)
+        transient.append((pair[0], pair[1], 1.0))
+
+    tokens: list[EdgeUpdate] = [EdgeUpdate(u, v, +1, w) for u, v, w in real_edges]
+    for u, v, w in transient:
+        insert_at = rng.randrange(len(tokens) + 1)
+        tokens.insert(insert_at, EdgeUpdate(u, v, +1, w))
+        delete_at = rng.randrange(insert_at + 1, len(tokens) + 1)
+        tokens.insert(delete_at, EdgeUpdate(u, v, -1, w))
+
+    return DynamicStream(graph.num_vertices, tokens)
+
+
+def adversarial_churn_stream(
+    graph: Graph,
+    seed: int | str,
+    rounds: int = 2,
+) -> DynamicStream:
+    """A stress stream: the full final graph is inserted, then for each
+    round every edge of a random *dense decoy subgraph* is inserted and
+    deleted again.  The decoys dominate the token count, so any algorithm
+    that commits to early edges (as an insertion-only algorithm would)
+    keeps almost only garbage.
+    """
+    rng = rng_from_seed(seed, "adversarial")
+    n = graph.num_vertices
+    stream = DynamicStream(n)
+    for u, v, w in graph.edges():
+        stream.insert(u, v, w)
+    present = graph.edge_set()
+    for _ in range(rounds):
+        decoys = []
+        for _ in range(graph.num_edges()):
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            if u == v:
+                continue
+            pair = (min(u, v), max(u, v))
+            if pair in present or pair in decoys:
+                continue
+            decoys.append(pair)
+        for u, v in decoys:
+            stream.insert(u, v)
+        rng.shuffle(decoys)
+        for u, v in decoys:
+            stream.delete(u, v)
+    return stream

@@ -1,0 +1,65 @@
+"""Pass-controlled execution of streaming algorithms.
+
+The paper states exact pass budgets (Theorem 1: two passes; Theorem 3:
+one pass) and those budgets are part of what the experiments verify, so
+algorithms declare ``passes_required`` and the runner counts the passes
+it actually performs.  An algorithm never touches the stream object — it
+only receives updates through :meth:`StreamingAlgorithm.process`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.stream.stream import DynamicStream
+from repro.stream.updates import EdgeUpdate
+
+__all__ = ["StreamingAlgorithm", "run_passes"]
+
+
+class StreamingAlgorithm(abc.ABC):
+    """Interface for dynamic-stream algorithms.
+
+    Lifecycle: for each pass ``p`` in ``0..passes_required-1`` the runner
+    calls ``begin_pass(p)``, then ``process(update)`` for every token,
+    then ``end_pass(p)``; finally ``finalize()`` returns the result.
+    Post-processing that the paper performs "after the first pass"
+    belongs in ``end_pass``.
+    """
+
+    @property
+    @abc.abstractmethod
+    def passes_required(self) -> int:
+        """How many passes over the stream this algorithm needs."""
+
+    def begin_pass(self, pass_index: int) -> None:
+        """Hook: a pass is starting."""
+
+    @abc.abstractmethod
+    def process(self, update: EdgeUpdate, pass_index: int) -> None:
+        """Consume one stream token."""
+
+    def end_pass(self, pass_index: int) -> None:
+        """Hook: a pass ended (between-pass computation goes here)."""
+
+    @abc.abstractmethod
+    def finalize(self) -> Any:
+        """Produce the algorithm's output after the last pass."""
+
+    def space_words(self) -> int:
+        """Persistent sketch state in machine words (0 if not tracked)."""
+        return 0
+
+
+def run_passes(stream: DynamicStream, algorithm: StreamingAlgorithm) -> Any:
+    """Run ``algorithm`` over ``stream`` with exactly its declared passes."""
+    passes = algorithm.passes_required
+    if passes < 1:
+        raise ValueError(f"passes_required must be >= 1, got {passes}")
+    for pass_index in range(passes):
+        algorithm.begin_pass(pass_index)
+        for update in stream:
+            algorithm.process(update, pass_index)
+        algorithm.end_pass(pass_index)
+    return algorithm.finalize()

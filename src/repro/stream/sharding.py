@@ -1,0 +1,51 @@
+"""Stream sharding for the distributed setting.
+
+The paper's introduction frames linear sketching as a *distributed*
+primitive: servers hold disjoint shards of the update stream, sketch
+locally, and communicate only sketches (``S x = S x^1 + ... + S x^s``).
+These helpers split a :class:`~repro.stream.stream.DynamicStream` into
+per-server token lists under two disciplines:
+
+* :func:`shard_round_robin` — tokens alternate across servers (models a
+  load balancer; a single edge's insert and delete may land on
+  *different* servers, which only a linear sketch survives);
+* :func:`shard_by_edge` — all updates of an edge go to one server
+  (models edge-partitioned ingestion).
+
+Both preserve per-edge update order, so each shard is a valid stream
+fragment; only their union reconstructs the graph.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import edge_index
+from repro.sketch.hashing import KWiseHash
+from repro.stream.stream import DynamicStream
+from repro.stream.updates import EdgeUpdate
+from repro.util.rng import derive_seed
+
+__all__ = ["shard_round_robin", "shard_by_edge"]
+
+
+def shard_round_robin(stream: DynamicStream, num_servers: int) -> list[list[EdgeUpdate]]:
+    """Deal tokens across ``num_servers`` in arrival order."""
+    if num_servers < 1:
+        raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+    shards: list[list[EdgeUpdate]] = [[] for _ in range(num_servers)]
+    for position, update in enumerate(stream):
+        shards[position % num_servers].append(update)
+    return shards
+
+
+def shard_by_edge(
+    stream: DynamicStream, num_servers: int, seed: int | str = 0
+) -> list[list[EdgeUpdate]]:
+    """Route every update of a given edge to one hash-chosen server."""
+    if num_servers < 1:
+        raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+    router = KWiseHash.shared(4, derive_seed(seed, "shard-router"))
+    shards: list[list[EdgeUpdate]] = [[] for _ in range(num_servers)]
+    for update in stream:
+        pair = edge_index(update.u, update.v, stream.num_vertices)
+        shards[router.bucket(pair, num_servers)].append(update)
+    return shards

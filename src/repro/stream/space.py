@@ -1,0 +1,54 @@
+"""Space accounting.
+
+The paper's results are space bounds, so the experiments must *measure*
+space rather than assert it.  Convention used throughout the repository:
+every sketch object exposes ``space_words()``, the number of persistent
+machine words (counters, field elements, hash coefficients) it holds.
+One word models ``O(log n)`` bits; reported bit counts multiply by 64.
+
+:class:`SpaceReport` aggregates per-component word counts so experiments
+can print a breakdown (e.g. pass-1 cluster sketches vs pass-2 hash
+tables) next to the theory's ``~O(k n^{1+1/k})`` target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SpaceReport"]
+
+
+@dataclass
+class SpaceReport:
+    """Named word counts with totals."""
+
+    components: dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, words: int) -> None:
+        """Accumulate ``words`` under ``name``."""
+        if words < 0:
+            raise ValueError(f"word count must be >= 0, got {words}")
+        self.components[name] = self.components.get(name, 0) + words
+
+    def total_words(self) -> int:
+        """Total words across all components."""
+        return sum(self.components.values())
+
+    def total_bits(self, bits_per_word: int = 64) -> int:
+        """Total bits, assuming ``bits_per_word``-bit words."""
+        return self.total_words() * bits_per_word
+
+    def merged(self, other: "SpaceReport") -> "SpaceReport":
+        """A new report combining both component maps."""
+        result = SpaceReport(dict(self.components))
+        for name, words in other.components.items():
+            result.add(name, words)
+        return result
+
+    def format_table(self) -> str:
+        """Human-readable breakdown, largest components first."""
+        lines = ["component                          words"]
+        for name, words in sorted(self.components.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{name:<32} {words:>8}")
+        lines.append(f"{'TOTAL':<32} {self.total_words():>8}")
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""The dynamic edge stream and its model rules.
+
+A :class:`DynamicStream` is a materialized update sequence that can be
+replayed multiple times — "passes" in the streaming sense.  The class
+enforces the paper's model invariants on construction/append:
+
+* multiplicities never go negative (a deletion must match a prior
+  insertion);
+* in weighted mode, while an edge is present all further updates must
+  carry the same weight (weights change only through full removal and
+  re-insertion — the model's no-turnstile rule).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.graph.graph import Graph
+from repro.stream.updates import EdgeUpdate
+
+__all__ = ["DynamicStream"]
+
+
+class DynamicStream:
+    """A replayable dynamic-graph stream over ``num_vertices`` vertices."""
+
+    def __init__(self, num_vertices: int, updates: Iterable[EdgeUpdate] = ()):
+        if num_vertices <= 0:
+            raise ValueError(f"num_vertices must be positive, got {num_vertices}")
+        self.num_vertices = num_vertices
+        self._updates: list[EdgeUpdate] = []
+        self._multiplicity: dict[tuple[int, int], int] = {}
+        self._weight: dict[tuple[int, int], float] = {}
+        for update in updates:
+            self.append(update)
+
+    def append(self, update: EdgeUpdate) -> None:
+        """Add one update, enforcing the model invariants."""
+        if not (0 <= update.u < self.num_vertices and 0 <= update.v < self.num_vertices):
+            raise ValueError(
+                f"update touches vertices {update.pair} outside [0, {self.num_vertices})"
+            )
+        pair = update.pair
+        current = self._multiplicity.get(pair, 0)
+        if current > 0 and self._weight[pair] != update.weight:
+            raise ValueError(
+                f"edge {pair} is present with weight {self._weight[pair]}; the model "
+                f"forbids turnstile weight changes (got {update.weight})"
+            )
+        updated = current + update.sign
+        if updated < 0:
+            raise ValueError(f"edge {pair} multiplicity would become negative")
+        if updated == 0:
+            self._multiplicity.pop(pair, None)
+            self._weight.pop(pair, None)
+        else:
+            self._multiplicity[pair] = updated
+            self._weight[pair] = update.weight
+        self._updates.append(update)
+
+    def insert(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Convenience: append an insertion."""
+        self.append(EdgeUpdate(u, v, +1, weight))
+
+    def delete(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Convenience: append a deletion."""
+        self.append(EdgeUpdate(u, v, -1, weight))
+
+    def __iter__(self) -> Iterator[EdgeUpdate]:
+        """One pass over the stream."""
+        return iter(self._updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def final_multiplicities(self) -> dict[tuple[int, int], int]:
+        """Edge multiplicities after the whole stream."""
+        return dict(self._multiplicity)
+
+    def final_graph(self) -> Graph:
+        """The graph at the end of the stream (multiplicity collapsed)."""
+        graph = Graph(self.num_vertices)
+        for (u, v), multiplicity in self._multiplicity.items():
+            if multiplicity > 0:
+                graph.add_edge(u, v, self._weight[(u, v)])
+        return graph
+
+    def num_insertions(self) -> int:
+        """Total insert tokens."""
+        return sum(1 for update in self._updates if update.sign == 1)
+
+    def num_deletions(self) -> int:
+        """Total delete tokens."""
+        return sum(1 for update in self._updates if update.sign == -1)
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicStream(num_vertices={self.num_vertices}, updates={len(self._updates)}, "
+            f"live_edges={len(self._multiplicity)})"
+        )

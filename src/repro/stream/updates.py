@@ -1,0 +1,52 @@
+"""Stream update records: the dynamic streaming model's alphabet.
+
+The paper's model (Section 1): a stream ``S = a_1 .. a_t`` with
+``a_k in [n] x [n] x {-1, +1}``; the multigraph's edge multiplicity is
+``x_{ij} = #insertions - #deletions >= 0``.  For weighted graphs the
+stream may only *add a weighted edge or completely remove it* (no
+turnstile weight increments — see the footnote to Section 1), so an
+update carries the edge's full weight and the weight is known at update
+time.  :class:`~repro.stream.stream.DynamicStream` enforces both rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EdgeUpdate"]
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One stream token: insert (+1) or delete (-1) edge ``{u, v}``.
+
+    ``weight`` is the weight of the edge being inserted/removed (always
+    1.0 for unweighted streams).  ``u < v`` is canonicalized at
+    construction.
+    """
+
+    u: int
+    v: int
+    sign: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError(f"self-loops are not allowed (vertex {self.u})")
+        if self.sign not in (1, -1):
+            raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.u > self.v:
+            low, high = self.v, self.u
+            object.__setattr__(self, "u", low)
+            object.__setattr__(self, "v", high)
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """The canonical ``(u, v)`` pair, ``u < v``."""
+        return (self.u, self.v)
+
+    def inverted(self) -> "EdgeUpdate":
+        """The update that cancels this one."""
+        return EdgeUpdate(self.u, self.v, -self.sign, self.weight)

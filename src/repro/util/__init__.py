@@ -1,0 +1,5 @@
+"""Small shared utilities: deterministic seed derivation and misc helpers."""
+
+from repro.util.rng import derive_seed, rng_from_seed
+
+__all__ = ["derive_seed", "rng_from_seed"]

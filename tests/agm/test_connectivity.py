@@ -1,0 +1,141 @@
+"""Tests for one-pass connectivity applications of AGM sketches."""
+
+import pytest
+
+from repro.agm.connectivity import (
+    BipartitenessChecker,
+    ConnectivityChecker,
+    KConnectivityCertificate,
+)
+from repro.graph.cuts import cut_value
+from repro.graph.graph import Graph
+from repro.graph.random_graphs import (
+    complete_graph,
+    connected_gnp,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.stream.generators import stream_from_graph
+
+
+def stream_of(graph, seed=1, churn=0.3):
+    return stream_from_graph(graph, seed=seed, churn=churn)
+
+
+class TestConnectivityChecker:
+    def test_connected_graph(self):
+        graph = connected_gnp(30, 0.15, seed=1)
+        checker = ConnectivityChecker(30, seed=2)
+        components = checker.run(stream_of(graph))
+        assert len(components) == 1
+
+    def test_components_match(self):
+        graph = Graph.from_edges(9, [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 8)])
+        checker = ConnectivityChecker(9, seed=3)
+        components = checker.run(stream_of(graph, churn=0.0))
+        assert sorted(map(sorted, components)) == [[0, 1, 2], [3, 4], [5, 6, 7, 8]]
+
+    def test_deletion_splits_components(self):
+        # Build a path, then delete the middle edge via churn-free stream.
+        stream = stream_of(path_graph(6), churn=0.0)
+        stream.delete(2, 3)
+        checker = ConnectivityChecker(6, seed=4)
+        components = checker.run(stream)
+        assert sorted(map(sorted, components)) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_single_pass(self):
+        assert ConnectivityChecker(4, seed=1).passes_required == 1
+
+    def test_space_words_positive(self):
+        assert ConnectivityChecker(4, seed=1).space_words() > 0
+
+
+class TestBipartitenessChecker:
+    def test_even_cycle_bipartite(self):
+        checker = BipartitenessChecker(8, seed=5)
+        assert checker.run(stream_of(cycle_graph(8), churn=0.0)) is True
+
+    def test_odd_cycle_not_bipartite(self):
+        checker = BipartitenessChecker(9, seed=6)
+        assert checker.run(stream_of(cycle_graph(9), churn=0.0)) is False
+
+    def test_grid_bipartite(self):
+        checker = BipartitenessChecker(20, seed=7)
+        assert checker.run(stream_of(grid_graph(4, 5), churn=0.0)) is True
+
+    def test_triangle_plus_isolated_not_bipartite(self):
+        graph = Graph.from_edges(5, [(0, 1), (1, 2), (0, 2)])
+        checker = BipartitenessChecker(5, seed=8)
+        assert checker.run(stream_of(graph, churn=0.0)) is False
+
+    def test_deletion_restores_bipartiteness(self):
+        # A 5-cycle is odd; deleting one edge leaves a path (bipartite).
+        stream = stream_of(cycle_graph(5), churn=0.0)
+        stream.delete(0, 4)
+        checker = BipartitenessChecker(5, seed=9)
+        assert checker.run(stream) is True
+
+    def test_empty_graph_bipartite(self):
+        checker = BipartitenessChecker(4, seed=10)
+        assert checker.run(stream_of(Graph(4), churn=0.0)) is True
+
+    def test_mixed_components(self):
+        # One bipartite component + one odd cycle: not bipartite.
+        graph = Graph.from_edges(7, [(0, 1), (2, 3), (3, 4), (4, 2)])
+        checker = BipartitenessChecker(7, seed=11)
+        assert checker.run(stream_of(graph, churn=0.0)) is False
+
+
+class TestKConnectivityCertificate:
+    def test_certificate_is_subgraph(self):
+        graph = connected_gnp(20, 0.3, seed=12)
+        certifier = KConnectivityCertificate(20, k=3, seed=13)
+        certificate = certifier.run(stream_of(graph))
+        for u, v, _ in certificate.edges():
+            assert graph.has_edge(u, v)
+
+    def test_certificate_size_bound(self):
+        graph = complete_graph(16)
+        certifier = KConnectivityCertificate(16, k=3, seed=14)
+        certificate = certifier.run(stream_of(graph, churn=0.0))
+        assert certificate.num_edges() <= 3 * 15
+
+    def test_preserves_connectivity(self):
+        graph = connected_gnp(24, 0.2, seed=15)
+        certifier = KConnectivityCertificate(24, k=2, seed=16)
+        certificate = certifier.run(stream_of(graph))
+        assert certificate.is_connected()
+
+    def test_small_cuts_preserved(self):
+        """Cuts of value < k must be preserved exactly."""
+        # Two K_6 blocks joined by exactly 2 edges: a cut of value 2.
+        graph = Graph(12)
+        for base in (0, 6):
+            for i in range(6):
+                for j in range(i + 1, 6):
+                    graph.add_edge(base + i, base + j)
+        graph.add_edge(0, 6)
+        graph.add_edge(3, 9)
+        certifier = KConnectivityCertificate(12, k=3, seed=17)
+        certificate = certifier.run(stream_of(graph, churn=0.0))
+        side = set(range(6))
+        assert cut_value(certificate, side) == cut_value(graph, side) == 2.0
+
+    def test_k1_is_spanning_forest(self):
+        graph = connected_gnp(18, 0.25, seed=18)
+        certifier = KConnectivityCertificate(18, k=1, seed=19)
+        certificate = certifier.run(stream_of(graph))
+        assert certificate.num_edges() == 17
+        assert certificate.is_connected()
+
+    def test_forests_are_edge_disjoint_by_construction(self):
+        # With k=2 on a tree, the second forest finds nothing new.
+        graph = path_graph(10)
+        certifier = KConnectivityCertificate(10, k=2, seed=20)
+        certificate = certifier.run(stream_of(graph, churn=0.0))
+        assert certificate.num_edges() == 9
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KConnectivityCertificate(8, k=0, seed=1)

@@ -1,0 +1,202 @@
+"""Tests for AGM spanning-forest sketches."""
+
+import pytest
+
+from repro.agm.incidence import decode_edge, incidence_updates
+from repro.agm.spanning_forest import AgmSketch, DisjointSets
+from repro.graph.graph import Graph
+from repro.graph.random_graphs import connected_gnp, cycle_graph, path_graph, random_gnp
+
+
+def feed_graph(sketch: AgmSketch, graph: Graph) -> None:
+    for u, v, _ in graph.edges():
+        sketch.update(u, v, 1)
+
+
+def forest_components(num_vertices, forest_edges, seeds=None):
+    dsu = DisjointSets(num_vertices)
+    for a, b in forest_edges:
+        dsu.union(a, b)
+    groups = {}
+    for vertex in range(num_vertices):
+        groups.setdefault(dsu.find(vertex), set()).add(vertex)
+    return sorted(map(sorted, groups.values()))
+
+
+class TestDisjointSets:
+    def test_union_find(self):
+        dsu = DisjointSets(5)
+        assert dsu.union(0, 1)
+        assert not dsu.union(1, 0)
+        assert dsu.find(0) == dsu.find(1)
+        assert dsu.num_sets() == 4
+
+    def test_num_sets_all_singletons(self):
+        assert DisjointSets(7).num_sets() == 7
+
+
+class TestIncidence:
+    def test_updates_signed(self):
+        updates = incidence_updates(3, 1, 2, num_vertices=10)
+        assert len(updates) == 2
+        (low_vertex, coord1, d1), (high_vertex, coord2, d2) = updates
+        assert low_vertex == 1 and d1 == 2
+        assert high_vertex == 3 and d2 == -2
+        assert coord1 == coord2
+        assert decode_edge(coord1, 10) == (1, 3)
+
+    def test_component_sum_cancels_internal_edges(self):
+        """Summing samplers over a component leaves only outgoing edges."""
+        sketch = AgmSketch(4, seed=1, rounds=2)
+        sketch.update(0, 1, 1)  # internal to {0,1}
+        sketch.update(1, 2, 1)  # leaves {0,1}
+        combined = sketch._samplers[0][0].copy()
+        combined.combine(sketch._samplers[1][0])
+        sampled = combined.sample()
+        assert sampled is not None
+        assert decode_edge(sampled[0], 4) == (1, 2)
+
+
+class TestSpanningForest:
+    def test_empty_graph(self):
+        sketch = AgmSketch(5, seed=2)
+        assert sketch.spanning_forest() == []
+
+    def test_single_edge(self):
+        sketch = AgmSketch(4, seed=3)
+        sketch.update(1, 3, 1)
+        assert sketch.spanning_forest() == [(1, 3)]
+
+    def test_path_graph_fully_connected(self):
+        graph = path_graph(12)
+        sketch = AgmSketch(12, seed=4)
+        feed_graph(sketch, graph)
+        forest = sketch.spanning_forest()
+        assert len(forest) == 11
+        assert forest_components(12, forest) == [list(range(12))]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_connected_graph(self, seed):
+        graph = connected_gnp(32, 0.1, seed=seed)
+        sketch = AgmSketch(32, seed=100 + seed)
+        feed_graph(sketch, graph)
+        forest = sketch.spanning_forest()
+        assert len(forest) == 31
+        for a, b in forest:
+            assert graph.has_edge(a, b)
+
+    def test_components_match_graph(self):
+        graph = Graph.from_edges(9, [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 8)])
+        sketch = AgmSketch(9, seed=5)
+        feed_graph(sketch, graph)
+        components = sorted(map(sorted, sketch.connected_components()))
+        assert components == [[0, 1, 2], [3, 4], [5, 6, 7, 8]]
+
+    def test_deletions_respected(self):
+        sketch = AgmSketch(6, seed=6)
+        graph = cycle_graph(6)
+        feed_graph(sketch, graph)
+        # Delete two adjacent cycle edges: vertex between them isolates.
+        sketch.update(0, 1, -1)
+        sketch.update(1, 2, -1)
+        components = sorted(map(sorted, sketch.connected_components()))
+        assert components == [[0, 2, 3, 4, 5], [1]]
+
+    def test_forest_edges_exist_after_churn(self):
+        graph = connected_gnp(24, 0.12, seed=7)
+        sketch = AgmSketch(24, seed=8)
+        feed_graph(sketch, graph)
+        # Insert then delete a batch of decoys.
+        decoys = [(0, 23), (1, 22), (2, 21), (3, 20)]
+        decoys = [(u, v) for u, v in decoys if not graph.has_edge(u, v)]
+        for u, v in decoys:
+            sketch.update(u, v, 1)
+        for u, v in decoys:
+            sketch.update(u, v, -1)
+        forest = sketch.spanning_forest()
+        assert len(forest) == 23
+        for a, b in forest:
+            assert graph.has_edge(a, b)
+
+    def test_multigraph_multiplicities(self):
+        sketch = AgmSketch(3, seed=9)
+        sketch.update(0, 1, 3)  # multiplicity 3
+        sketch.update(1, 2, 1)
+        forest = sketch.spanning_forest()
+        assert forest_components(3, forest) == [[0, 1, 2]]
+
+
+class TestSupernodes:
+    def test_collapsed_groups_pre_merged(self):
+        # No edges at all: vertices in the same group still form one
+        # component.
+        sketch = AgmSketch(6, seed=10)
+        components = sorted(map(sorted, sketch.connected_components(supernodes=[0, 0, 1, 1, 2, 2])))
+        assert components == [[0, 1], [2, 3], [4, 5]]
+
+    def test_contracted_forest_uses_original_edges(self):
+        # Two groups {0,1} and {2,3} joined by edge (1, 2).
+        sketch = AgmSketch(4, seed=11)
+        sketch.update(1, 2, 1)
+        forest = sketch.spanning_forest(supernodes=[0, 0, 1, 1])
+        assert forest == [(1, 2)]
+
+    def test_internal_edges_not_sampled(self):
+        sketch = AgmSketch(4, seed=12)
+        sketch.update(0, 1, 1)  # internal to group 0
+        sketch.update(2, 3, 1)  # internal to group 1
+        forest = sketch.spanning_forest(supernodes=[0, 0, 1, 1])
+        assert forest == []
+
+    def test_supernode_length_validated(self):
+        sketch = AgmSketch(4, seed=13)
+        with pytest.raises(ValueError):
+            sketch.spanning_forest(supernodes=[0, 0])
+
+
+class TestLinearity:
+    def test_combine_two_edge_sets(self):
+        """Two servers each hold half the edges; merged sketches give a
+        spanning forest of the union — the distributed use case."""
+        graph = connected_gnp(20, 0.15, seed=14)
+        edges = list(graph.edges())
+        half = len(edges) // 2
+        left = AgmSketch(20, seed=15)
+        right = AgmSketch(20, seed=15)
+        for u, v, _ in edges[:half]:
+            left.update(u, v, 1)
+        for u, v, _ in edges[half:]:
+            right.update(u, v, 1)
+        left.combine(right)
+        forest = left.spanning_forest()
+        assert len(forest) == 19
+
+    def test_subtract_edges(self):
+        graph = cycle_graph(8)
+        sketch = AgmSketch(8, seed=16)
+        feed_graph(sketch, graph)
+        sketch.subtract_edges({(0, 1): 1, (4, 5): 1})
+        components = sorted(map(sorted, sketch.connected_components()))
+        assert components == [[0, 5, 6, 7], [1, 2, 3, 4]]
+
+    def test_combine_rejects_different_seeds(self):
+        with pytest.raises(ValueError):
+            AgmSketch(4, seed=1).combine(AgmSketch(4, seed=2))
+
+
+class TestReliability:
+    def test_connectivity_success_rate(self):
+        """Spanning forest must fully connect connected inputs in nearly
+        all trials (Theorem 10 is a whp statement)."""
+        failures = 0
+        trials = 20
+        for trial in range(trials):
+            graph = connected_gnp(24, 0.12, seed=300 + trial)
+            sketch = AgmSketch(24, seed=400 + trial)
+            feed_graph(sketch, graph)
+            if len(sketch.spanning_forest()) != 23:
+                failures += 1
+        assert failures <= 1
+
+    def test_space_words_positive(self):
+        assert AgmSketch(8, seed=17).space_words() > 0

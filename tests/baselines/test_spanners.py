@@ -1,0 +1,153 @@
+"""Tests for the spanner baselines (Baswana–Sen, greedy, Thorup–Zwick)."""
+
+import math
+
+import pytest
+
+from repro.baselines.baswana_sen import baswana_sen_spanner
+from repro.baselines.greedy_spanner import greedy_spanner
+from repro.baselines.thorup_zwick import ThorupZwickOracle
+from repro.graph.distances import distance, evaluate_multiplicative_stretch
+from repro.graph.graph import Graph
+from repro.graph.random_graphs import (
+    complete_graph,
+    connected_gnp,
+    cycle_graph,
+    random_gnp,
+    with_random_weights,
+)
+
+
+class TestBaswanaSen:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_stretch_bound_unweighted(self, k):
+        graph = connected_gnp(40, 0.2, seed=k)
+        spanner = baswana_sen_spanner(graph, k, seed=10 + k)
+        report = evaluate_multiplicative_stretch(graph, spanner)
+        assert report.within(2 * k - 1)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_stretch_bound_weighted(self, k):
+        graph = with_random_weights(connected_gnp(30, 0.25, seed=k), seed=k)
+        spanner = baswana_sen_spanner(graph, k, seed=20 + k)
+        report = evaluate_multiplicative_stretch(graph, spanner, weighted=True)
+        assert report.within(2 * k - 1)
+
+    def test_k1_returns_whole_graph(self):
+        graph = connected_gnp(20, 0.3, seed=5)
+        spanner = baswana_sen_spanner(graph, 1, seed=6)
+        assert spanner.edge_set() == graph.edge_set()
+
+    def test_size_reduction_on_dense_graph(self):
+        graph = complete_graph(40)
+        spanner = baswana_sen_spanner(graph, 2, seed=7)
+        # K_40 has 780 edges; a 3-spanner should be well below half.
+        assert spanner.num_edges() < 390
+
+    def test_size_close_to_theory_bound(self):
+        n, k = 60, 3
+        graph = complete_graph(n)
+        sizes = [
+            baswana_sen_spanner(graph, k, seed=s).num_edges() for s in range(5)
+        ]
+        bound = 6 * k * n ** (1 + 1 / k)  # generous constant over E[size]
+        assert sum(sizes) / len(sizes) < bound
+
+    def test_spanner_is_subgraph(self):
+        graph = connected_gnp(30, 0.3, seed=8)
+        spanner = baswana_sen_spanner(graph, 2, seed=9)
+        for u, v, w in spanner.edges():
+            assert graph.has_edge(u, v)
+            assert graph.weight(u, v) == w
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            baswana_sen_spanner(Graph(3), 0, seed=1)
+
+
+class TestGreedySpanner:
+    @pytest.mark.parametrize("stretch", [1, 3, 5])
+    def test_stretch_guarantee(self, stretch):
+        graph = connected_gnp(30, 0.25, seed=stretch)
+        spanner = greedy_spanner(graph, stretch)
+        report = evaluate_multiplicative_stretch(graph, spanner)
+        assert report.within(stretch)
+
+    def test_weighted_stretch_guarantee(self):
+        graph = with_random_weights(connected_gnp(25, 0.3, seed=4), seed=4)
+        spanner = greedy_spanner(graph, 3.0)
+        report = evaluate_multiplicative_stretch(graph, spanner, weighted=True)
+        assert report.within(3.0)
+
+    def test_stretch_one_keeps_cycle_chords(self):
+        graph = cycle_graph(8)
+        spanner = greedy_spanner(graph, 1.0)
+        assert spanner.edge_set() == graph.edge_set()
+
+    def test_girth_property(self):
+        # A greedy t-spanner has girth > t + 1: check no triangles for t=3.
+        graph = complete_graph(15)
+        spanner = greedy_spanner(graph, 3)
+        edges = spanner.edge_set()
+        for u, v in edges:
+            common = set(spanner.neighbors(u)) & set(spanner.neighbors(v))
+            assert not common, f"triangle through {(u, v)}"
+
+    def test_sparser_than_input(self):
+        graph = complete_graph(30)
+        assert greedy_spanner(graph, 3).num_edges() < graph.num_edges() / 2
+
+    def test_invalid_stretch(self):
+        with pytest.raises(ValueError):
+            greedy_spanner(Graph(3), 0.5)
+
+
+class TestThorupZwick:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_stretch_guarantee(self, k):
+        graph = connected_gnp(30, 0.2, seed=30 + k)
+        oracle = ThorupZwickOracle(graph, k, seed=40 + k)
+        for u in range(0, 30, 5):
+            for v in range(1, 30, 7):
+                if u == v:
+                    continue
+                true = distance(graph, u, v)
+                estimate = oracle.query(u, v)
+                assert true <= estimate + 1e-9
+                assert estimate <= (2 * k - 1) * true + 1e-9
+
+    def test_weighted_queries(self):
+        graph = with_random_weights(connected_gnp(25, 0.25, seed=50), seed=50)
+        oracle = ThorupZwickOracle(graph, 2, seed=51)
+        for u, v in [(0, 10), (3, 17), (5, 24)]:
+            true = distance(graph, u, v, weighted=True)
+            estimate = oracle.query(u, v)
+            assert true <= estimate + 1e-9
+            assert estimate <= 3 * true + 1e-9
+
+    def test_same_vertex_zero(self):
+        graph = connected_gnp(10, 0.4, seed=52)
+        oracle = ThorupZwickOracle(graph, 2, seed=53)
+        assert oracle.query(4, 4) == 0.0
+
+    def test_disconnected_pairs_infinite(self):
+        graph = Graph.from_edges(4, [(0, 1), (2, 3)])
+        oracle = ThorupZwickOracle(graph, 2, seed=54)
+        assert oracle.query(0, 2) == math.inf
+
+    def test_k1_is_exact(self):
+        graph = connected_gnp(15, 0.3, seed=55)
+        oracle = ThorupZwickOracle(graph, 1, seed=56)
+        for u in range(15):
+            for v in range(u + 1, 15):
+                assert oracle.query(u, v) == pytest.approx(distance(graph, u, v))
+
+    def test_space_entries_shrink_with_k(self):
+        graph = random_gnp(60, 0.3, seed=57)
+        exact = ThorupZwickOracle(graph, 1, seed=58)
+        compressed = ThorupZwickOracle(graph, 3, seed=58)
+        assert compressed.space_entries() < exact.space_entries()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ThorupZwickOracle(Graph(3), 0, seed=1)

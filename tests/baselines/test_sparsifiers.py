@@ -1,0 +1,100 @@
+"""Tests for the sparsifier baselines (Spielman–Srivastava, AGM-style)."""
+
+import pytest
+
+from repro.baselines.agm_sparsifier import AgmCutSparsifier
+from repro.baselines.spielman_srivastava import spielman_srivastava_sparsifier
+from repro.graph.cuts import max_cut_discrepancy
+from repro.graph.graph import Graph
+from repro.graph.laplacian import spectral_approximation
+from repro.graph.random_graphs import (
+    barbell_graph,
+    complete_graph,
+    connected_gnp,
+    with_random_weights,
+)
+from repro.stream.generators import stream_from_graph
+from repro.stream.pipeline import run_passes
+
+
+class TestSpielmanSrivastava:
+    def test_spectral_quality_on_dense_graph(self):
+        graph = complete_graph(40)
+        sparsifier = spielman_srivastava_sparsifier(graph, eps=0.5, seed=1)
+        bounds = spectral_approximation(graph, sparsifier)
+        assert bounds.low > 0.3
+        assert bounds.high < 1.9
+
+    def test_sparsifies_dense_graph(self):
+        # At laptop n the theory constant saturates p_e = 1, so use the
+        # bare sampling rate (oversample=1) to observe the reduction.
+        graph = complete_graph(60)
+        sparsifier = spielman_srivastava_sparsifier(graph, eps=1.0, seed=2, oversample=1.0)
+        assert sparsifier.num_edges() < graph.num_edges() / 2
+
+    def test_keeps_bridges(self):
+        # A bridge has w_e * R_e = 1: sampled with probability 1.
+        graph = barbell_graph(8)
+        sparsifier = spielman_srivastava_sparsifier(graph, eps=0.5, seed=3)
+        assert sparsifier.has_edge(0, 8)
+
+    def test_tree_kept_entirely(self):
+        # Every tree edge has p_e = 1.
+        from repro.graph.random_graphs import path_graph
+
+        graph = path_graph(20)
+        sparsifier = spielman_srivastava_sparsifier(graph, eps=0.3, seed=4)
+        assert sparsifier.edge_set() == graph.edge_set()
+
+    def test_weighted_input(self):
+        graph = with_random_weights(connected_gnp(25, 0.4, seed=5), seed=5)
+        sparsifier = spielman_srivastava_sparsifier(graph, eps=0.5, seed=6)
+        bounds = spectral_approximation(graph, sparsifier)
+        assert bounds.low > 0.2
+        assert bounds.high < 2.2
+
+    def test_cut_preservation(self):
+        graph = complete_graph(40)
+        sparsifier = spielman_srivastava_sparsifier(graph, eps=0.5, seed=7)
+        assert max_cut_discrepancy(graph, sparsifier, trials=100, seed=8) < 0.6
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            spielman_srivastava_sparsifier(Graph(3), eps=0.0, seed=1)
+
+
+class TestAgmCutSparsifier:
+    def run(self, graph, seed=1, **kwargs):
+        stream = stream_from_graph(graph, seed=seed, churn=0.3)
+        algorithm = AgmCutSparsifier(graph.num_vertices, seed=seed, **kwargs)
+        return run_passes(stream, algorithm)
+
+    def test_single_pass_declared(self):
+        assert AgmCutSparsifier(8, seed=1).passes_required == 1
+
+    def test_connectivity_preserved(self):
+        graph = connected_gnp(24, 0.15, seed=10)
+        sparsifier = self.run(graph, seed=11)
+        assert sparsifier.is_connected()
+
+    def test_output_is_subgraph(self):
+        graph = connected_gnp(24, 0.15, seed=12)
+        sparsifier = self.run(graph, seed=13)
+        for u, v, _ in sparsifier.edges():
+            assert graph.has_edge(u, v)
+
+    def test_sparsifies_dense_graph(self):
+        graph = complete_graph(32)
+        sparsifier = self.run(graph, seed=14, certificate_size=4)
+        assert sparsifier.num_edges() < graph.num_edges()
+
+    def test_cut_quality_loose(self):
+        """The simplified baseline is only expected to be in the right
+        ballpark — within a constant factor on sampled cuts."""
+        graph = connected_gnp(28, 0.3, seed=15)
+        sparsifier = self.run(graph, seed=16, certificate_size=6)
+        discrepancy = max_cut_discrepancy(graph, sparsifier, trials=60, seed=17)
+        assert discrepancy < 4.0
+
+    def test_space_words_positive(self):
+        assert AgmCutSparsifier(8, seed=1).space_words() > 0

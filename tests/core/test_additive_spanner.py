@@ -1,0 +1,122 @@
+"""Tests for the one-pass additive spanner (Theorem 3)."""
+
+import pytest
+
+from repro.core.additive_spanner import AdditiveSpannerBuilder
+from repro.core.parameters import AdditiveParams
+from repro.graph.distances import evaluate_additive_error
+from repro.graph.graph import Graph
+from repro.graph.random_graphs import (
+    complete_graph,
+    connected_gnp,
+    cycle_graph,
+    power_law_graph,
+)
+from repro.stream.generators import stream_from_graph
+
+
+def build(graph, d, seed, churn=0.3, **kwargs):
+    stream = stream_from_graph(graph, seed=seed, churn=churn)
+    builder = AdditiveSpannerBuilder(graph.num_vertices, d, seed=seed, **kwargs)
+    spanner = builder.run(stream)
+    return builder, spanner
+
+
+class TestDistortion:
+    @pytest.mark.parametrize("d", [2, 4])
+    def test_additive_error_bounded(self, d):
+        graph = connected_gnp(64, 0.15, seed=d)
+        builder, spanner = build(graph, d, seed=80 + d)
+        error, _ = evaluate_additive_error(graph, spanner)
+        # Theorem 3: error = O(n/d); allow the detour constant (2 hops
+        # per visited cluster, |C| ~ n/d clusters in expectation).
+        assert error <= 6 * graph.num_vertices / d
+
+    def test_power_law_distortion(self):
+        graph = power_law_graph(96, exponent=2.3, seed=5)
+        builder, spanner = build(graph, 4, seed=85)
+        error, _ = evaluate_additive_error(graph, spanner)
+        assert error <= 6 * 96 / 4
+
+    def test_low_degree_graph_is_kept_exactly(self):
+        # Every vertex of a cycle has degree 2 <= d log n: all edges are
+        # in E_low, so the spanner is the graph itself — zero error.
+        graph = cycle_graph(40)
+        _, spanner = build(graph, 4, seed=86)
+        error, _ = evaluate_additive_error(graph, spanner)
+        assert error == 0.0
+        assert spanner.edge_set() == graph.edge_set()
+
+    def test_dense_graph_connectivity_preserved(self):
+        graph = complete_graph(48)
+        _, spanner = build(graph, 4, seed=87)
+        assert spanner.is_connected()
+        error, _ = evaluate_additive_error(graph, spanner, sample_pairs=200, seed=1)
+        assert error <= 6 * 48 / 4
+
+
+class TestStructure:
+    def test_single_pass_declared(self):
+        assert AdditiveSpannerBuilder(8, 2, seed=1).passes_required == 1
+
+    def test_spanner_is_subgraph(self):
+        graph = connected_gnp(48, 0.2, seed=6)
+        _, spanner = build(graph, 4, seed=88, churn=1.0)
+        for u, v, _ in spanner.edges():
+            assert graph.has_edge(u, v)
+
+    def test_deletions_respected(self):
+        graph = connected_gnp(32, 0.2, seed=7)
+        _, spanner = build(graph, 2, seed=89, churn=2.0)
+        for u, v, _ in spanner.edges():
+            assert graph.has_edge(u, v)
+
+    def test_disconnected_graph(self):
+        graph = Graph.from_edges(8, [(0, 1), (1, 2), (4, 5), (5, 6)])
+        _, spanner = build(graph, 2, seed=90, churn=0.0)
+        components = sorted(map(sorted, spanner.connected_components()))
+        assert [0, 1, 2] in components
+
+    def test_empty_graph(self):
+        _, spanner = build(Graph(6), 2, seed=91, churn=0.0)
+        assert spanner.num_edges() == 0
+
+    def test_degree_split_diagnostics(self):
+        graph = power_law_graph(80, exponent=2.2, seed=8)
+        builder, _ = build(graph, 2, seed=92)
+        assert builder.diagnostics["low_degree"] + builder.diagnostics["high_degree"] == 80
+        assert builder.diagnostics["orphan_high_degree"] <= 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdditiveSpannerBuilder(0, 2, seed=1)
+        with pytest.raises(ValueError):
+            AdditiveSpannerBuilder(8, 0, seed=1)
+
+
+class TestSpaceScaling:
+    def test_space_grows_with_d(self):
+        small = AdditiveSpannerBuilder(32, 2, seed=1)
+        large = AdditiveSpannerBuilder(32, 8, seed=1)
+        assert small.space_words() < large.space_words()
+
+    def test_space_report_components(self):
+        builder = AdditiveSpannerBuilder(16, 2, seed=2)
+        report = builder.space_report()
+        assert "neighborhood sketches" in report.components
+        assert "agm sketches" in report.components
+
+
+class TestSizeOfSpanner:
+    def test_spanner_edge_count_near_nd(self):
+        """~O(nd): E_low has <= n * O(d log n) edges, F and F' are
+        forests.  Check against the generous explicit bound."""
+        graph = complete_graph(40)
+        builder, spanner = build(graph, 2, seed=93)
+        bound = 40 * builder.degree_threshold * 3 + 2 * 40
+        assert spanner.num_edges() <= bound
+
+    def test_sparser_than_dense_input(self):
+        graph = complete_graph(64)
+        _, spanner = build(graph, 2, seed=94)
+        assert spanner.num_edges() < graph.num_edges() / 2

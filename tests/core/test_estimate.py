@@ -1,0 +1,95 @@
+"""Tests for ESTIMATE (robust connectivities, Algorithm 4)."""
+
+import pytest
+
+from repro.core.estimate import RobustConnectivityEstimator
+from repro.core.offline_spanner import offline_two_phase_spanner
+from repro.core.parameters import SparsifierParams
+from repro.graph.graph import Graph
+from repro.graph.random_graphs import barbell_graph, complete_graph
+from repro.util.rng import derive_seed
+
+
+def build_estimator(graph, k=2, seed=1, params=None):
+    estimator = RobustConnectivityEstimator(
+        graph.num_vertices, 2 ** k, seed=seed, params=params
+    )
+    for j in range(estimator.reps):
+        for t in range(1, estimator.depths + 1):
+            filtered = Graph(graph.num_vertices)
+            for u, v, w in graph.edges():
+                if estimator.member(j, t, u, v):
+                    filtered.add_edge(u, v, w)
+            output = offline_two_phase_spanner(filtered, k, derive_seed(seed, "o", j, t))
+            estimator.attach_oracle(j, t, output.spanner)
+    return estimator
+
+
+class TestMembership:
+    def test_level_one_contains_everything(self):
+        estimator = RobustConnectivityEstimator(20, 4, seed=1)
+        assert all(estimator.member(0, 1, u, u + 1) for u in range(19))
+
+    def test_nested_in_t(self):
+        estimator = RobustConnectivityEstimator(40, 4, seed=2)
+        for u in range(0, 40, 3):
+            for v in range(u + 1, 40, 5):
+                for t in range(1, estimator.depths):
+                    if estimator.member(0, t + 1, u, v):
+                        assert estimator.member(0, t, u, v)
+
+    def test_rate_halves(self):
+        estimator = RobustConnectivityEstimator(60, 4, seed=3)
+        pairs = [(u, v) for u in range(60) for v in range(u + 1, 60)]
+        at_2 = sum(1 for u, v in pairs if estimator.member(0, 2, u, v))
+        assert 0.4 * len(pairs) < at_2 < 0.6 * len(pairs)
+
+    def test_attach_validation(self):
+        estimator = RobustConnectivityEstimator(10, 4, seed=4)
+        with pytest.raises(IndexError):
+            estimator.attach_oracle(estimator.reps, 1, Graph(10))
+        with pytest.raises(IndexError):
+            estimator.attach_oracle(0, 0, Graph(10))
+
+    def test_oracles_missing_counts(self):
+        estimator = RobustConnectivityEstimator(10, 4, seed=5)
+        total = estimator.reps * estimator.depths
+        assert estimator.oracles_missing() == total
+        estimator.attach_oracle(0, 1, Graph(10))
+        assert estimator.oracles_missing() == total - 1
+
+
+class TestQueries:
+    def test_bridge_has_high_connectivity_estimate(self):
+        """A bridge disconnects under light subsampling: q̂ large."""
+        graph = barbell_graph(6)
+        estimator = build_estimator(graph, seed=6)
+        bridge_q = estimator.query(0, 6)
+        assert bridge_q >= 2.0 ** (-4)
+
+    def test_clique_edge_not_above_bridge(self):
+        # K_8 blocks give a clear separation; with K_6 the lambda^2 slack
+        # can invert the (coarse, power-of-two) estimates.
+        graph = barbell_graph(8)
+        estimator = build_estimator(graph, seed=7)
+        bridge_q = estimator.query(0, 8)
+        clique_q = estimator.query(0, 1)  # inside a K_8
+        assert clique_q <= bridge_q
+
+    def test_dense_graph_edges_survive_subsampling(self):
+        graph = complete_graph(24)
+        estimator = build_estimator(graph, seed=8)
+        # Any K_24 edge stays well-connected under halving: q̂ below 1/2.
+        assert estimator.query(3, 17) <= 0.5
+
+    def test_sampling_level_is_log_of_query(self):
+        graph = barbell_graph(6)
+        estimator = build_estimator(graph, seed=9)
+        for (u, v) in [(0, 6), (0, 1)]:
+            level = estimator.sampling_level(u, v)
+            assert 2.0 ** (-level) == pytest.approx(estimator.query(u, v))
+
+    def test_query_without_oracles_raises(self):
+        estimator = RobustConnectivityEstimator(10, 4, seed=10)
+        with pytest.raises(RuntimeError):
+            estimator.query(0, 1)

@@ -1,0 +1,112 @@
+"""Tests for the cluster hierarchy samples and the cluster forest."""
+
+import pytest
+
+from repro.core.cluster_forest import ClusterForest
+from repro.core.levels import LevelSamples
+
+
+class TestLevelSamples:
+    def test_level_zero_is_everything(self):
+        levels = LevelSamples(50, k=3, seed=1)
+        assert levels.members(0) == list(range(50))
+
+    def test_deterministic(self):
+        first = LevelSamples(100, k=3, seed=2)
+        second = LevelSamples(100, k=3, seed=2)
+        for r in range(3):
+            assert first.members(r) == second.members(r)
+
+    def test_levels_shrink_geometrically(self):
+        n, k = 4096, 3
+        levels = LevelSamples(n, k, seed=3)
+        sizes = [len(levels.members(r)) for r in range(k)]
+        assert sizes[0] == n
+        # E|C_1| = n^{2/3} = 256, E|C_2| = n^{1/3} = 16.
+        assert 128 < sizes[1] < 512
+        assert 4 < sizes[2] < 64
+
+    def test_levels_of_contains_zero(self):
+        levels = LevelSamples(30, k=2, seed=4)
+        for v in range(30):
+            assert 0 in levels.levels_of(v)
+
+    def test_independent_levels(self):
+        # Same vertex, different levels should not be perfectly correlated.
+        levels = LevelSamples(2000, k=2, seed=5)
+        members = set(levels.members(1))
+        assert 0 < len(members) < 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LevelSamples(10, k=0, seed=1)
+        with pytest.raises(ValueError):
+            LevelSamples(0, k=1, seed=1)
+        with pytest.raises(IndexError):
+            LevelSamples(10, k=2, seed=1).contains(0, 2)
+
+    def test_space_words_small(self):
+        # The whole hierarchy is just hash seeds — O(k) words.
+        assert LevelSamples(10_000, k=4, seed=6).space_words() < 200
+
+
+class TestClusterForest:
+    def build_small_forest(self):
+        # Levels: C_0 = {0,1,2,3}, C_1 = {2, 3}; copies (0,0)..(3,0),
+        # (2,1), (3,1).  Attach (0,0)->(2,1) and (1,0)->(3,1).
+        forest = ClusterForest(num_vertices=4, k=2)
+        for v in range(4):
+            forest.register_copy((v, 0))
+        for v in (2, 3):
+            forest.register_copy((v, 1))
+        forest.attach((0, 0), 2, witness_edge=(0, 2))
+        forest.attach((1, 0), 3, witness_edge=(3, 1))
+        forest.mark_terminal((2, 0))
+        forest.mark_terminal((3, 0))
+        forest.mark_terminal((2, 1))
+        forest.mark_terminal((3, 1))
+        return forest
+
+    def test_subtree_vertices(self):
+        forest = self.build_small_forest()
+        assert forest.subtree_vertices((2, 1)) == {0, 2}
+        assert forest.subtree_vertices((3, 1)) == {1, 3}
+        assert forest.subtree_vertices((2, 0)) == {2}
+
+    def test_terminal_trees(self):
+        forest = self.build_small_forest()
+        trees = forest.terminal_trees()
+        assert trees[(2, 1)] == {0, 2}
+        assert trees[(2, 0)] == {2}
+        assert len(trees) == 4
+
+    def test_trees_containing(self):
+        forest = self.build_small_forest()
+        containing = forest.trees_containing()
+        assert set(containing[0]) == {(2, 1)}
+        assert set(containing[2]) == {(2, 0), (2, 1)}
+
+    def test_witness_edges_canonicalized(self):
+        forest = self.build_small_forest()
+        assert forest.witness_edges() == {(0, 2), (1, 3)}
+
+    def test_validate_passes(self):
+        self.build_small_forest().validate()
+
+    def test_validate_rejects_parented_terminal(self):
+        forest = self.build_small_forest()
+        forest.mark_terminal((0, 0))  # (0,0) has a parent: invalid
+        with pytest.raises(AssertionError):
+            forest.validate()
+
+    def test_attach_at_top_level_rejected(self):
+        forest = ClusterForest(num_vertices=4, k=2)
+        with pytest.raises(ValueError):
+            forest.attach((0, 1), 2, witness_edge=(0, 2))
+
+    def test_register_validation(self):
+        forest = ClusterForest(num_vertices=4, k=2)
+        with pytest.raises(ValueError):
+            forest.register_copy((4, 0))
+        with pytest.raises(ValueError):
+            forest.register_copy((0, 2))

@@ -1,0 +1,112 @@
+"""Tests for the offline two-phase spanner (reference semantics)."""
+
+import math
+
+import pytest
+
+from repro.core.offline_spanner import offline_two_phase_spanner
+from repro.graph.distances import evaluate_multiplicative_stretch
+from repro.graph.graph import Graph
+from repro.graph.random_graphs import (
+    complete_graph,
+    connected_gnp,
+    cycle_graph,
+    grid_graph,
+    power_law_graph,
+)
+
+
+class TestStretch:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_stretch_at_most_2_to_k(self, k, seed):
+        graph = connected_gnp(60, 0.15, seed=seed)
+        output = offline_two_phase_spanner(graph, k, seed=100 + seed)
+        report = evaluate_multiplicative_stretch(graph, output.spanner)
+        assert report.within(2 ** k), f"stretch {report.max_stretch} > {2 ** k}"
+
+    def test_stretch_on_grid(self):
+        graph = grid_graph(8, 8)
+        output = offline_two_phase_spanner(graph, 2, seed=7)
+        report = evaluate_multiplicative_stretch(graph, output.spanner)
+        assert report.within(4)
+
+    def test_stretch_on_power_law(self):
+        graph = power_law_graph(80, exponent=2.3, seed=8)
+        output = offline_two_phase_spanner(graph, 2, seed=9)
+        report = evaluate_multiplicative_stretch(graph, output.spanner)
+        assert report.within(4)
+
+    def test_k1_keeps_connectivity_with_stretch_2(self):
+        graph = connected_gnp(40, 0.2, seed=10)
+        output = offline_two_phase_spanner(graph, 1, seed=11)
+        report = evaluate_multiplicative_stretch(graph, output.spanner)
+        assert report.within(2)
+
+
+class TestStructure:
+    def test_spanner_is_subgraph(self):
+        graph = connected_gnp(50, 0.2, seed=12)
+        output = offline_two_phase_spanner(graph, 2, seed=13)
+        for u, v, _ in output.spanner.edges():
+            assert graph.has_edge(u, v)
+
+    def test_forest_is_consistent(self):
+        graph = connected_gnp(50, 0.2, seed=14)
+        output = offline_two_phase_spanner(graph, 3, seed=15)
+        output.forest.validate()
+
+    def test_every_vertex_in_some_terminal_tree(self):
+        graph = connected_gnp(40, 0.15, seed=16)
+        output = offline_two_phase_spanner(graph, 2, seed=17)
+        containing = output.forest.trees_containing()
+        for v in range(40):
+            assert containing[v], f"vertex {v} in no terminal tree"
+
+    def test_witness_edges_are_graph_edges(self):
+        graph = connected_gnp(40, 0.2, seed=18)
+        output = offline_two_phase_spanner(graph, 3, seed=19)
+        for a, b in output.forest.witness_edges():
+            assert graph.has_edge(a, b)
+
+    def test_disconnected_graph_stays_disconnected(self):
+        graph = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        output = offline_two_phase_spanner(graph, 2, seed=20)
+        components = sorted(map(sorted, output.spanner.connected_components()))
+        assert components == [[0, 1, 2], [3, 4, 5]]
+
+    def test_empty_graph(self):
+        output = offline_two_phase_spanner(Graph(5), 2, seed=21)
+        assert output.spanner.num_edges() == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            offline_two_phase_spanner(Graph(3), 0, seed=1)
+
+
+class TestSize:
+    def test_size_bound_on_dense_graph(self):
+        # Lemma 12: |E'| = O(k n^{1+1/k} log n).
+        n, k = 100, 2
+        graph = complete_graph(n)
+        sizes = []
+        for seed in range(3):
+            output = offline_two_phase_spanner(graph, k, seed=seed)
+            sizes.append(output.spanner.num_edges())
+        bound = 4 * k * n ** (1 + 1 / k) * math.log2(n)
+        assert sum(sizes) / len(sizes) < bound
+
+    def test_dense_graph_compressed(self):
+        graph = complete_graph(80)
+        output = offline_two_phase_spanner(graph, 2, seed=22)
+        assert output.spanner.num_edges() < graph.num_edges() / 2
+
+    def test_sparse_graph_not_inflated(self):
+        graph = cycle_graph(50)
+        output = offline_two_phase_spanner(graph, 2, seed=23)
+        assert output.spanner.num_edges() <= graph.num_edges()
+
+    def test_diagnostics_terminal_counts(self):
+        graph = connected_gnp(60, 0.2, seed=24)
+        output = offline_two_phase_spanner(graph, 2, seed=25)
+        assert any(key.startswith("terminals_level_") for key in output.diagnostics)

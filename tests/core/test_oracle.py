@@ -1,0 +1,76 @@
+"""Tests for the spanner-backed distance oracle."""
+
+import math
+
+import pytest
+
+from repro.core.oracle import SpannerDistanceOracle, recommended_k
+from repro.graph.distances import distance
+from repro.graph.graph import Graph
+from repro.graph.random_graphs import connected_gnp
+from repro.stream.generators import stream_from_graph
+
+
+class TestRecommendedK:
+    def test_sqrt_log_n(self):
+        assert recommended_k(2) == 1
+        assert recommended_k(16) == 2
+        assert recommended_k(512) == 3
+        assert recommended_k(1 << 16) == 4
+
+    def test_at_least_one(self):
+        assert recommended_k(1) == 1
+
+
+class TestOracle:
+    def build(self, n=48, seed=1, k=2):
+        graph = connected_gnp(n, 0.2, seed=seed)
+        stream = stream_from_graph(graph, seed=seed, churn=0.3)
+        oracle = SpannerDistanceOracle(n, seed=seed + 1, k=k).build(stream)
+        return graph, oracle
+
+    def test_query_guarantee(self):
+        graph, oracle = self.build()
+        for u in range(0, 48, 7):
+            for v in range(3, 48, 11):
+                if u == v:
+                    continue
+                true = distance(graph, u, v)
+                estimate = oracle.query(u, v)
+                assert true <= estimate <= oracle.stretch * true
+
+    def test_same_vertex_zero(self):
+        _, oracle = self.build()
+        assert oracle.query(7, 7) == 0.0
+
+    def test_disconnected_pairs_infinite(self):
+        graph = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        stream = stream_from_graph(graph, seed=9, churn=0.0)
+        oracle = SpannerDistanceOracle(6, seed=10, k=2).build(stream)
+        assert oracle.query(0, 5) == math.inf
+
+    def test_default_k_from_policy(self):
+        oracle = SpannerDistanceOracle(512, seed=1)
+        assert oracle.k == recommended_k(512)
+        assert oracle.stretch == 2 ** oracle.k
+
+    def test_query_before_build_raises(self):
+        oracle = SpannerDistanceOracle(8, seed=1, k=2)
+        with pytest.raises(RuntimeError):
+            oracle.query(0, 1)
+        with pytest.raises(RuntimeError):
+            oracle.spanner()
+
+    def test_spanner_accessor(self):
+        graph, oracle = self.build()
+        spanner = oracle.spanner()
+        for u, v, _ in spanner.edges():
+            assert graph.has_edge(u, v)
+
+    def test_space_words_positive(self):
+        _, oracle = self.build(n=32)
+        assert oracle.space_words() > 0
+
+    def test_queries_cached_consistent(self):
+        _, oracle = self.build(n=32)
+        assert oracle.query(0, 5) == oracle.query(0, 5)

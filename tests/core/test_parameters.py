@@ -1,0 +1,105 @@
+"""Tests for the parameter policy (theory constants -> calibrated knobs)."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import AdditiveParams, SpannerParams, SparsifierParams
+
+
+class TestSpannerParams:
+    def test_edge_levels_is_log_n_squared(self):
+        params = SpannerParams()
+        assert params.edge_levels(64) == math.ceil(math.log2(64 * 64))
+        assert params.edge_levels(1) >= 2
+
+    def test_vertex_levels_is_log_n(self):
+        params = SpannerParams()
+        assert params.vertex_levels(64) == 6
+        assert params.vertex_levels(1) >= 1
+
+    def test_table_capacity_scales_with_level(self):
+        params = SpannerParams()
+        n, k = 256, 2
+        low = params.table_capacity(n, 0, k)
+        high = params.table_capacity(n, 1, k)
+        assert low < high
+
+    def test_table_capacity_capped_at_n(self):
+        params = SpannerParams(table_capacity_factor=100.0)
+        assert params.table_capacity(64, 1, 2) == 64
+
+    def test_table_capacity_floor(self):
+        params = SpannerParams(table_capacity_factor=1e-6)
+        assert params.table_capacity(64, 0, 2) == 8
+
+    def test_defaults_documented_values(self):
+        params = SpannerParams()
+        assert params.cluster_budget == 8
+        assert params.table_stacks == 4
+        assert params.repair_budget_factor > 0
+
+
+class TestAdditiveParams:
+    def test_center_probability_is_one_over_d(self):
+        params = AdditiveParams()
+        assert params.center_probability(256, 4) == pytest.approx(0.25)
+        assert params.center_probability(256, 1) == 1.0
+
+    def test_center_probability_capped(self):
+        params = AdditiveParams(center_rate_factor=10.0)
+        assert params.center_probability(256, 2) == 1.0
+
+    def test_degree_threshold_d_log_n(self):
+        params = AdditiveParams()
+        assert params.degree_threshold(256, 4) == math.ceil(4 * 8)
+
+    def test_neighborhood_budget_covers_threshold(self):
+        params = AdditiveParams()
+        for n in (64, 256):
+            for d in (1, 4, 16):
+                budget = params.neighborhood_budget(n, d)
+                assert budget >= params.degree_threshold(n, d)
+
+    def test_budget_floor(self):
+        params = AdditiveParams(neighborhood_budget_factor=1e-6)
+        assert params.neighborhood_budget(16, 1) == 8
+
+
+class TestSparsifierParams:
+    def test_estimate_reps_log_n(self):
+        params = SparsifierParams()
+        assert params.estimate_reps(256) == 8
+        assert params.estimate_reps(2) >= 3
+
+    def test_levels_default_log_n_squared(self):
+        params = SparsifierParams()
+        assert params.levels(64) == math.ceil(math.log2(64 * 64))
+
+    def test_levels_override(self):
+        params = SparsifierParams(estimate_levels=5)
+        assert params.levels(1024) == 5
+
+    def test_sampling_rounds_scale_with_stretch_squared(self):
+        params = SparsifierParams()
+        z4 = params.sampling_rounds(4, 64)
+        z8 = params.sampling_rounds(8, 64)
+        assert z8 == pytest.approx(4 * z4, rel=0.1)
+
+    def test_sampling_rounds_factor_scales_linearly(self):
+        small = SparsifierParams(sampling_rounds_factor=0.1)
+        large = SparsifierParams(sampling_rounds_factor=0.2)
+        assert large.sampling_rounds(4, 64) == pytest.approx(
+            2 * small.sampling_rounds(4, 64), rel=0.1
+        )
+
+    def test_rounds_floor(self):
+        params = SparsifierParams(sampling_rounds_factor=1e-9)
+        assert params.sampling_rounds(4, 64) == 2
+
+    def test_epsilon_cubed_in_denominator(self):
+        tight = SparsifierParams(epsilon=0.25)
+        loose = SparsifierParams(epsilon=0.5)
+        assert tight.sampling_rounds(4, 64) == pytest.approx(
+            8 * loose.sampling_rounds(4, 64), rel=0.15
+        )

@@ -1,0 +1,101 @@
+"""Tests for the weighted two-pass spanner (Remark 14)."""
+
+import math
+
+import pytest
+
+from repro.core.weighted import WeightedTwoPassSpanner
+from repro.graph.distances import dijkstra_distances
+from repro.graph.graph import Graph
+from repro.graph.random_graphs import connected_gnp, with_random_weights
+from repro.stream.generators import stream_from_graph
+
+
+def build(graph, k=2, seed=1, w_min=1.0, w_max=16.0, gamma=0.5):
+    stream = stream_from_graph(graph, seed=seed, churn=0.3)
+    builder = WeightedTwoPassSpanner(
+        graph.num_vertices, k, seed=seed, w_min=w_min, w_max=w_max, gamma=gamma
+    )
+    spanner = builder.run(stream)
+    return builder, spanner
+
+
+def max_weighted_stretch(graph, spanner):
+    worst = 0.0
+    for source in range(graph.num_vertices):
+        base = dijkstra_distances(graph, source)
+        over = dijkstra_distances(spanner, source)
+        for target, dist in base.items():
+            if target == source or dist == 0:
+                continue
+            worst = max(worst, over.get(target, math.inf) / dist)
+    return worst
+
+
+class TestWeightClasses:
+    def test_class_count(self):
+        builder = WeightedTwoPassSpanner(8, 2, seed=1, w_min=1.0, w_max=16.0, gamma=1.0)
+        # log_2(16) = 4 -> classes [1,2),[2,4),[4,8),[8,16),{16}.
+        assert builder.num_classes == 5
+
+    def test_class_routing(self):
+        builder = WeightedTwoPassSpanner(8, 2, seed=1, w_min=1.0, w_max=16.0, gamma=1.0)
+        assert builder.weight_class(1.0) == 0
+        assert builder.weight_class(1.9) == 0
+        assert builder.weight_class(2.0) == 1
+        assert builder.weight_class(16.0) == 4
+
+    def test_class_representative_dominates(self):
+        builder = WeightedTwoPassSpanner(8, 2, seed=1, w_min=1.0, w_max=16.0, gamma=0.5)
+        for weight in (1.0, 1.4, 3.0, 9.9, 16.0):
+            t = builder.weight_class(weight)
+            assert builder.class_representative(t) >= weight - 1e-9
+
+    def test_out_of_range_weight_rejected(self):
+        builder = WeightedTwoPassSpanner(8, 2, seed=1, w_min=1.0, w_max=4.0)
+        with pytest.raises(ValueError):
+            builder.weight_class(8.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WeightedTwoPassSpanner(8, 2, seed=1, w_min=0.0, w_max=1.0)
+        with pytest.raises(ValueError):
+            WeightedTwoPassSpanner(8, 2, seed=1, w_min=1.0, w_max=16.0, gamma=0.0)
+
+
+class TestWeightedStretch:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_stretch_bound_holds(self, seed):
+        graph = with_random_weights(connected_gnp(36, 0.2, seed=seed), seed=seed)
+        builder, spanner = build(graph, k=2, seed=40 + seed)
+        worst = max_weighted_stretch(graph, spanner)
+        assert worst <= builder.stretch_bound() + 1e-6
+
+    def test_distances_dominate_true_distances(self):
+        """Class-upper-bound weights must never *under*-estimate."""
+        graph = with_random_weights(connected_gnp(30, 0.25, seed=3), seed=3)
+        _, spanner = build(graph, k=2, seed=44)
+        for source in range(0, 30, 5):
+            base = dijkstra_distances(graph, source)
+            over = dijkstra_distances(spanner, source)
+            for target, dist in over.items():
+                if target in base:
+                    assert dist >= base[target] - 1e-9
+
+    def test_spanner_edges_exist_in_graph(self):
+        graph = with_random_weights(connected_gnp(30, 0.25, seed=4), seed=4)
+        _, spanner = build(graph, k=2, seed=45)
+        for u, v, _ in spanner.edges():
+            assert graph.has_edge(u, v)
+
+    def test_uniform_weights_single_class(self):
+        graph = connected_gnp(30, 0.2, seed=5)  # all weights 1.0
+        builder, spanner = build(graph, k=2, seed=46, w_min=1.0, w_max=1.0)
+        assert builder.num_classes == 1
+        worst = max_weighted_stretch(graph, spanner)
+        assert worst <= builder.stretch_bound() + 1e-6
+
+    def test_space_report_aggregates_classes(self):
+        graph = with_random_weights(connected_gnp(24, 0.25, seed=6), seed=6)
+        builder, _ = build(graph, k=2, seed=47)
+        assert builder.space_report().total_words() > 0

@@ -1,0 +1,119 @@
+"""Tests for distances and stretch evaluation (cross-checked vs networkx)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph.distances import (
+    bfs_distances,
+    dijkstra_distances,
+    distance,
+    evaluate_additive_error,
+    evaluate_multiplicative_stretch,
+)
+from repro.graph.graph import Graph
+from repro.graph.random_graphs import connected_gnp, cycle_graph, path_graph, with_random_weights
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    result = nx.Graph()
+    result.add_nodes_from(range(graph.num_vertices))
+    for u, v, w in graph.edges():
+        result.add_edge(u, v, weight=w)
+    return result
+
+
+class TestBfs:
+    def test_path_graph_distances(self):
+        graph = path_graph(6)
+        assert bfs_distances(graph, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4, 5: 5}
+
+    def test_unreachable_omitted(self):
+        graph = Graph.from_edges(4, [(0, 1)])
+        assert 2 not in bfs_distances(graph, 0)
+
+    def test_cutoff_truncates(self):
+        graph = path_graph(10)
+        found = bfs_distances(graph, 0, cutoff=3)
+        assert max(found.values()) == 3
+        assert 4 not in found
+
+    def test_matches_networkx_on_random_graph(self):
+        graph = connected_gnp(40, 0.1, seed=5)
+        expected = nx.single_source_shortest_path_length(to_networkx(graph), 7)
+        assert bfs_distances(graph, 7) == dict(expected)
+
+
+class TestDijkstra:
+    def test_weighted_path(self):
+        graph = Graph.from_edges(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        assert dijkstra_distances(graph, 0) == {0: 0.0, 1: 2.0, 2: 5.0}
+
+    def test_prefers_lighter_detour(self):
+        graph = Graph.from_edges(3, [(0, 2, 10.0), (0, 1, 1.0), (1, 2, 1.0)])
+        assert dijkstra_distances(graph, 0)[2] == 2.0
+
+    def test_matches_networkx_on_weighted_random_graph(self):
+        graph = with_random_weights(connected_gnp(30, 0.15, seed=9), seed=9)
+        expected = nx.single_source_dijkstra_path_length(to_networkx(graph), 3)
+        mine = dijkstra_distances(graph, 3)
+        assert set(mine) == set(expected)
+        for node, dist in expected.items():
+            assert mine[node] == pytest.approx(dist)
+
+    def test_distance_helper(self):
+        graph = path_graph(5)
+        assert distance(graph, 0, 4) == 4.0
+        assert distance(graph, 0, 0) == 0.0
+
+    def test_distance_disconnected_is_inf(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        assert distance(graph, 0, 2) == math.inf
+
+
+class TestStretchEvaluation:
+    def test_identical_graph_stretch_one(self):
+        graph = connected_gnp(20, 0.3, seed=1)
+        report = evaluate_multiplicative_stretch(graph, graph)
+        assert report.max_stretch == pytest.approx(1.0)
+        assert report.within(1.0)
+
+    def test_cycle_minus_edge(self):
+        graph = cycle_graph(10)
+        spanner = graph.copy()
+        spanner.remove_edge(0, 9)
+        report = evaluate_multiplicative_stretch(graph, spanner)
+        assert report.max_stretch == pytest.approx(9.0)
+
+    def test_disconnection_gives_infinite_stretch(self):
+        graph = path_graph(4)
+        spanner = Graph(4)
+        report = evaluate_multiplicative_stretch(graph, spanner)
+        assert report.max_stretch == math.inf
+        assert not report.within(100.0)
+
+    def test_sampled_pairs_subset(self):
+        graph = connected_gnp(30, 0.2, seed=2)
+        report = evaluate_multiplicative_stretch(graph, graph, sample_pairs=25, seed=3)
+        assert 0 < report.pairs_checked <= 25
+        assert report.max_stretch == pytest.approx(1.0)
+
+    def test_weighted_stretch(self):
+        graph = Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.0)])
+        spanner = Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        report = evaluate_multiplicative_stretch(graph, spanner, weighted=True)
+        assert report.max_stretch == pytest.approx(1.0)  # path 0-1-2 matches weight 2
+
+    def test_additive_error_cycle(self):
+        graph = cycle_graph(12)
+        spanner = graph.copy()
+        spanner.remove_edge(0, 11)
+        error, checked = evaluate_additive_error(graph, spanner)
+        assert error == 10.0  # worst pair (0, 11): 11 hops vs 1
+        assert checked > 0
+
+    def test_additive_error_zero_for_same_graph(self):
+        graph = connected_gnp(25, 0.2, seed=4)
+        error, _ = evaluate_additive_error(graph, graph)
+        assert error == 0.0

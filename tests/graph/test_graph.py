@@ -1,0 +1,154 @@
+"""Tests for the Graph container and edge indexing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph, edge_from_index, edge_index
+
+
+class TestEdgeIndex:
+    def test_round_trip(self):
+        n = 50
+        for u in range(0, n, 7):
+            for v in range(u + 1, n, 3):
+                assert edge_from_index(edge_index(u, v, n), n) == (u, v)
+
+    def test_orientation_invariant(self):
+        assert edge_index(3, 9, 20) == edge_index(9, 3, 20)
+
+    def test_distinct_pairs_distinct_indices(self):
+        n = 30
+        indices = {edge_index(u, v, n) for u in range(n) for v in range(u + 1, n)}
+        assert len(indices) == n * (n - 1) // 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            edge_index(4, 4, 10)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            edge_index(0, 10, 10)
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ValueError):
+            edge_from_index(5 * 10 + 3, 10)  # u > v encoding
+
+
+class TestGraphBasics:
+    def test_empty(self):
+        graph = Graph(5)
+        assert graph.num_edges() == 0
+        assert list(graph.edges()) == []
+
+    def test_add_and_query(self):
+        graph = Graph(5)
+        graph.add_edge(0, 1, 2.5)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.weight(0, 1) == 2.5
+        assert graph.num_edges() == 1
+
+    def test_add_replaces_weight(self):
+        graph = Graph(5)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 0, 3.0)
+        assert graph.num_edges() == 1
+        assert graph.weight(0, 1) == 3.0
+
+    def test_remove(self):
+        graph = Graph(5)
+        graph.add_edge(0, 1)
+        graph.remove_edge(1, 0)
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges() == 0
+
+    def test_remove_absent_raises(self):
+        graph = Graph(5)
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 1)
+
+    def test_degrees_and_neighbors(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        assert graph.degree(0) == 2
+        assert set(graph.neighbors(0)) == {1, 2}
+        assert graph.degree(3) == 0
+
+    def test_edges_iteration_canonical(self):
+        graph = Graph(4)
+        graph.add_edge(2, 1)
+        graph.add_edge(3, 0)
+        assert sorted(graph.edge_set()) == [(0, 3), (1, 2)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Graph(0)
+        graph = Graph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 3)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, 0.0)
+
+
+class TestConnectivity:
+    def test_connected_path(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.is_connected()
+        assert len(graph.connected_components()) == 1
+
+    def test_disconnected(self):
+        graph = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert not graph.is_connected()
+        components = graph.connected_components()
+        assert sorted(map(sorted, components)) == [[0, 1], [2, 3]]
+
+    def test_isolated_vertices(self):
+        graph = Graph(3)
+        assert len(graph.connected_components()) == 3
+
+
+class TestDerivation:
+    def test_copy_independent(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.num_edges() == 1
+        assert clone.num_edges() == 2
+
+    def test_subgraph_of_edges(self):
+        graph = Graph.from_edges(4, [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0)])
+        sub = graph.subgraph_of_edges([(1, 2)])
+        assert sub.edge_set() == {(1, 2)}
+        assert sub.weight(1, 2) == 3.0
+
+    def test_from_edges_with_weights(self):
+        graph = Graph.from_edges(3, [(0, 1, 5.0), (1, 2)])
+        assert graph.weight(0, 1) == 5.0
+        assert graph.weight(1, 2) == 1.0
+
+    def test_equality(self):
+        left = Graph.from_edges(3, [(0, 1, 2.0)])
+        right = Graph.from_edges(3, [(1, 0, 2.0)])
+        assert left == right
+        right.add_edge(1, 2)
+        assert left != right
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=19), st.integers(min_value=0, max_value=19)),
+        max_size=40,
+    )
+)
+def test_handshake_property(edges):
+    """Property: sum of degrees equals twice the edge count."""
+    graph = Graph(20)
+    for u, v in edges:
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    assert sum(graph.degree(u) for u in range(20)) == 2 * graph.num_edges()

@@ -1,0 +1,124 @@
+"""Tests for Laplacians, spectral ordering and effective resistances."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.laplacian import (
+    laplacian_matrix,
+    quadratic_form,
+    spectral_approximation,
+)
+from repro.graph.random_graphs import (
+    complete_graph,
+    connected_gnp,
+    cycle_graph,
+    path_graph,
+    with_random_weights,
+)
+from repro.graph.resistance import edge_resistances, effective_resistance
+
+
+class TestLaplacianMatrix:
+    def test_definition(self):
+        graph = Graph.from_edges(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        lap = laplacian_matrix(graph)
+        expected = np.array([[2.0, -2.0, 0.0], [-2.0, 5.0, -3.0], [0.0, -3.0, 3.0]])
+        assert np.allclose(lap, expected)
+
+    def test_rows_sum_to_zero(self):
+        graph = with_random_weights(connected_gnp(15, 0.3, seed=1), seed=1)
+        lap = laplacian_matrix(graph)
+        assert np.allclose(lap.sum(axis=1), 0.0)
+
+    def test_positive_semidefinite(self):
+        graph = connected_gnp(12, 0.4, seed=2)
+        eigenvalues = np.linalg.eigvalsh(laplacian_matrix(graph))
+        assert eigenvalues.min() > -1e-9
+
+    def test_quadratic_form_matches_matrix(self):
+        graph = with_random_weights(connected_gnp(10, 0.5, seed=3), seed=3)
+        lap = laplacian_matrix(graph)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x = rng.normal(size=10)
+            assert quadratic_form(graph, x) == pytest.approx(float(x @ lap @ x))
+
+
+class TestSpectralApproximation:
+    def test_same_graph_is_exact(self):
+        graph = connected_gnp(14, 0.3, seed=4)
+        bounds = spectral_approximation(graph, graph)
+        assert bounds.low == pytest.approx(1.0)
+        assert bounds.high == pytest.approx(1.0)
+        assert bounds.is_sparsifier(0.0 + 1e-9)
+
+    def test_scaled_graph(self):
+        graph = connected_gnp(14, 0.3, seed=5)
+        scaled = Graph(14)
+        for u, v, w in graph.edges():
+            scaled.add_edge(u, v, 1.5 * w)
+        bounds = spectral_approximation(graph, scaled)
+        assert bounds.low == pytest.approx(1.5)
+        assert bounds.high == pytest.approx(1.5)
+        assert bounds.epsilon() == pytest.approx(0.5)
+
+    def test_subgraph_bounded_above_by_one(self):
+        graph = complete_graph(10)
+        spanning_path = path_graph(10)
+        bounds = spectral_approximation(graph, spanning_path)
+        assert bounds.high <= 1.0 + 1e-9
+        assert bounds.low < 1.0
+
+    def test_candidate_connecting_new_vertices_is_infinite(self):
+        base = Graph.from_edges(4, [(0, 1), (2, 3)])
+        candidate = Graph.from_edges(4, [(0, 1), (2, 3), (1, 2)])
+        bounds = spectral_approximation(base, candidate)
+        assert bounds.high == math.inf
+
+    def test_empty_graphs(self):
+        bounds = spectral_approximation(Graph(3), Graph(3))
+        assert bounds.low == 1.0
+        assert bounds.high == 1.0
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            spectral_approximation(Graph(3), Graph(4))
+
+
+class TestEffectiveResistance:
+    def test_single_edge(self):
+        graph = Graph.from_edges(2, [(0, 1, 1.0)])
+        assert effective_resistance(graph, 0, 1) == pytest.approx(1.0)
+
+    def test_series_path(self):
+        # Resistors in series: R = sum of 1/w_e.
+        graph = Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 0.5)])
+        assert effective_resistance(graph, 0, 2) == pytest.approx(1.0 + 2.0)
+
+    def test_parallel_edges_via_cycle(self):
+        # A cycle of length n: edge resistance is (n-1)/n (1 in series
+        # parallel to n-1 in series).
+        n = 8
+        graph = cycle_graph(n)
+        expected = (n - 1) / n
+        assert effective_resistance(graph, 0, 1) == pytest.approx(expected)
+
+    def test_complete_graph_known_value(self):
+        # K_n: effective resistance across any edge is 2/n.
+        n = 10
+        graph = complete_graph(n)
+        assert effective_resistance(graph, 2, 7) == pytest.approx(2.0 / n)
+
+    def test_edge_resistances_bounded_by_one_over_weight(self):
+        graph = with_random_weights(connected_gnp(12, 0.4, seed=6), seed=6)
+        for (u, v), resistance in edge_resistances(graph).items():
+            assert resistance <= 1.0 / graph.weight(u, v) + 1e-9
+
+    def test_sum_over_tree_edges(self):
+        # Foster's theorem: sum of edge resistances equals n - 1.
+        graph = connected_gnp(12, 0.5, seed=7)
+        total = sum(edge_resistances(graph).values())
+        assert total == pytest.approx(graph.num_vertices - 1, abs=1e-6)

@@ -1,0 +1,107 @@
+"""Tests for global graph metrics (cross-checked vs networkx)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.metrics import degree_summary, diameter, eccentricity, girth
+from repro.graph.random_graphs import (
+    complete_graph,
+    connected_gnp,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    power_law_graph,
+)
+
+
+def to_networkx(graph):
+    result = nx.Graph()
+    result.add_nodes_from(range(graph.num_vertices))
+    result.add_edges_from((u, v) for u, v, _ in graph.edges())
+    return result
+
+
+class TestEccentricityAndDiameter:
+    def test_path_graph(self):
+        graph = path_graph(7)
+        assert eccentricity(graph, 0) == 6.0
+        assert eccentricity(graph, 3) == 3.0
+        assert diameter(graph) == 6.0
+
+    def test_cycle(self):
+        assert diameter(cycle_graph(10)) == 5.0
+
+    def test_complete(self):
+        assert diameter(complete_graph(6)) == 1.0
+
+    def test_disconnected_eccentricity_infinite(self):
+        graph = Graph.from_edges(4, [(0, 1)])
+        assert eccentricity(graph, 0) == math.inf
+
+    def test_disconnected_diameter_is_max_component(self):
+        graph = Graph.from_edges(7, [(0, 1), (1, 2), (2, 3), (4, 5)])
+        assert diameter(graph) == 3.0
+
+    def test_matches_networkx(self):
+        graph = connected_gnp(30, 0.15, seed=1)
+        assert diameter(graph) == nx.diameter(to_networkx(graph))
+
+    def test_empty_graph(self):
+        assert diameter(Graph(5)) == 0.0
+
+
+class TestGirth:
+    def test_forest_has_infinite_girth(self):
+        assert girth(path_graph(8)) == math.inf
+
+    def test_cycle_graph(self):
+        assert girth(cycle_graph(9)) == 9.0
+
+    def test_complete_graph_triangle(self):
+        assert girth(complete_graph(5)) == 3.0
+
+    def test_grid_has_girth_four(self):
+        assert girth(grid_graph(3, 4)) == 4.0
+
+    def test_petersen_like_check_vs_networkx(self):
+        graph = connected_gnp(24, 0.15, seed=3)
+        expected = nx.girth(to_networkx(graph))
+        mine = girth(graph)
+        if expected == math.inf:
+            assert mine == math.inf
+        else:
+            assert mine == float(expected)
+
+    def test_greedy_spanner_girth_witness(self):
+        """The classic size argument: a greedy t-spanner has girth > t+1."""
+        from repro.baselines import greedy_spanner
+
+        spanner = greedy_spanner(complete_graph(12), 3)
+        assert girth(spanner) > 4.0
+
+
+class TestDegreeSummary:
+    def test_regular_graph(self):
+        summary = degree_summary(cycle_graph(8))
+        assert summary.minimum == summary.maximum == 2
+        assert summary.mean == 2.0
+        assert summary.skew() == 1.0
+
+    def test_star_graph(self):
+        graph = Graph.from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        summary = degree_summary(graph)
+        assert summary.maximum == 4
+        assert summary.minimum == 1
+        assert summary.skew() > 2.0
+
+    def test_power_law_is_skewed(self):
+        graph = power_law_graph(100, exponent=2.2, seed=4)
+        assert degree_summary(graph).skew() > 3.0
+
+    def test_empty_graph(self):
+        summary = degree_summary(Graph(3))
+        assert summary.maximum == 0
+        assert summary.skew() == 1.0

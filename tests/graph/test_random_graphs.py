@@ -1,0 +1,142 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.graph.cuts import cut_value, max_cut_discrepancy
+from repro.graph.random_graphs import (
+    barbell_graph,
+    complete_graph,
+    connected_gnp,
+    cycle_graph,
+    disjoint_cliques_with_path,
+    grid_graph,
+    path_graph,
+    power_law_graph,
+    random_gnm,
+    random_gnp,
+    with_random_weights,
+)
+
+
+class TestGenerators:
+    def test_gnp_deterministic(self):
+        assert random_gnp(30, 0.2, seed=1) == random_gnp(30, 0.2, seed=1)
+        assert random_gnp(30, 0.2, seed=1) != random_gnp(30, 0.2, seed=2)
+
+    def test_gnp_density(self):
+        graph = random_gnp(60, 0.25, seed=3)
+        expected = 0.25 * 60 * 59 / 2
+        assert 0.7 * expected < graph.num_edges() < 1.3 * expected
+
+    def test_gnp_extremes(self):
+        assert random_gnp(10, 0.0, seed=1).num_edges() == 0
+        assert random_gnp(10, 1.0, seed=1).num_edges() == 45
+
+    def test_gnp_invalid_p(self):
+        with pytest.raises(ValueError):
+            random_gnp(10, 1.5, seed=1)
+
+    def test_gnm_exact_count(self):
+        graph = random_gnm(20, 37, seed=4)
+        assert graph.num_edges() == 37
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            random_gnm(5, 11, seed=1)
+
+    def test_connected_gnp_is_connected(self):
+        for seed in range(5):
+            assert connected_gnp(40, 0.05, seed=seed).is_connected()
+
+    def test_cycle_and_path(self):
+        assert cycle_graph(10).num_edges() == 10
+        assert path_graph(10).num_edges() == 9
+        assert cycle_graph(10).is_connected()
+
+    def test_grid(self):
+        graph = grid_graph(4, 5)
+        assert graph.num_vertices == 20
+        assert graph.num_edges() == 4 * 4 + 3 * 5  # horizontal + vertical
+        assert graph.is_connected()
+
+    def test_complete(self):
+        assert complete_graph(7).num_edges() == 21
+
+    def test_barbell(self):
+        graph = barbell_graph(5, bridge_length=3)
+        assert graph.is_connected()
+        # Two K_5s plus 3 bridge edges.
+        assert graph.num_edges() == 2 * 10 + 3
+
+    def test_barbell_direct_bridge(self):
+        graph = barbell_graph(4)
+        assert graph.num_edges() == 2 * 6 + 1
+        assert graph.has_edge(0, 4)
+
+    def test_power_law_skew(self):
+        graph = power_law_graph(100, exponent=2.2, seed=5)
+        degrees = sorted((graph.degree(u) for u in range(100)), reverse=True)
+        assert degrees[0] >= 3 * max(1, degrees[50])  # heavy head
+
+    def test_power_law_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            power_law_graph(10, exponent=1.0, seed=1)
+
+    def test_disjoint_cliques_with_path_connected(self):
+        graph = disjoint_cliques_with_path(4, 8, p=0.9, seed=6)
+        assert graph.num_vertices == 32
+        # The inter-block path contributes exactly num_blocks - 1 edges.
+        blocks = [set(range(b * 8, (b + 1) * 8)) for b in range(4)]
+        crossing = [
+            (u, v)
+            for u, v, _ in graph.edges()
+            if next(i for i, s in enumerate(blocks) if u in s)
+            != next(i for i, s in enumerate(blocks) if v in s)
+        ]
+        assert len(crossing) == 3
+
+    def test_with_random_weights_range(self):
+        graph = with_random_weights(random_gnp(20, 0.3, seed=7), seed=7, w_min=2.0, w_max=8.0)
+        for _, _, weight in graph.edges():
+            assert 2.0 <= weight <= 8.0
+
+    def test_with_random_weights_validation(self):
+        with pytest.raises(ValueError):
+            with_random_weights(random_gnp(5, 0.5, seed=1), seed=1, w_min=0.0)
+
+
+class TestCuts:
+    def test_cut_value_path(self):
+        graph = path_graph(4)
+        assert cut_value(graph, {0, 1}) == 1.0
+        assert cut_value(graph, {0, 2}) == 3.0
+
+    def test_cut_value_weighted(self):
+        graph = complete_graph(4)
+        weighted = with_random_weights(graph, seed=8, w_min=1.0, w_max=1.0)
+        assert cut_value(weighted, {0}) == pytest.approx(3.0)
+
+    def test_discrepancy_zero_for_identical(self):
+        graph = connected_gnp(20, 0.3, seed=9)
+        assert max_cut_discrepancy(graph, graph, trials=50, seed=1) == 0.0
+
+    def test_discrepancy_for_scaled(self):
+        graph = connected_gnp(20, 0.3, seed=10)
+        scaled = with_random_weights(graph, seed=1, w_min=2.0, w_max=2.0)
+        discrepancy = max_cut_discrepancy(graph, scaled, trials=50, seed=1)
+        assert discrepancy == pytest.approx(1.0)  # every cut doubled
+
+    def test_discrepancy_infinite_when_cut_created(self):
+        base = Graph_from_two_components()
+        candidate = base.copy()
+        candidate.add_edge(0, 2)
+        assert max_cut_discrepancy(base, candidate, trials=200, seed=2) == float("inf")
+
+
+def Graph_from_two_components():
+    from repro.graph.graph import Graph
+
+    graph = Graph(4)
+    graph.add_edge(0, 1)
+    graph.add_edge(2, 3)
+    return graph

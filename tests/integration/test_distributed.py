@@ -1,0 +1,141 @@
+"""Integration tests: the distributed (sharded-stream) setting.
+
+Linear sketches must produce identical results whether the stream is
+processed on one machine or sharded across servers and merged — the
+property the paper's introduction motivates.  These tests exercise the
+merge paths of every major structure.
+"""
+
+import pytest
+
+from repro.agm import AgmSketch
+from repro.core import TwoPassSpannerBuilder
+from repro.graph import connected_gnp, evaluate_multiplicative_stretch
+from repro.sketch import DistinctElementsSketch, L0Sampler, SparseRecoverySketch
+from repro.stream import shard_by_edge, shard_round_robin, stream_from_graph
+
+
+class TestSharding:
+    def test_round_robin_partitions_tokens(self):
+        graph = connected_gnp(20, 0.2, seed=1)
+        stream = stream_from_graph(graph, seed=2, churn=0.5)
+        shards = shard_round_robin(stream, 3)
+        assert sum(len(s) for s in shards) == len(stream)
+        # Interleaving: shard sizes differ by at most one.
+        sizes = sorted(len(s) for s in shards)
+        assert sizes[-1] - sizes[0] <= 1
+
+    def test_by_edge_keeps_edge_updates_together(self):
+        graph = connected_gnp(20, 0.2, seed=3)
+        stream = stream_from_graph(graph, seed=4, churn=1.0)
+        shards = shard_by_edge(stream, 4, seed=5)
+        assert sum(len(s) for s in shards) == len(stream)
+        owner = {}
+        for server, shard in enumerate(shards):
+            for update in shard:
+                assert owner.setdefault(update.pair, server) == server
+
+    def test_invalid_server_count(self):
+        graph = connected_gnp(5, 0.5, seed=6)
+        stream = stream_from_graph(graph, seed=7)
+        with pytest.raises(ValueError):
+            shard_round_robin(stream, 0)
+        with pytest.raises(ValueError):
+            shard_by_edge(stream, 0)
+
+
+class TestSketchMergeEquivalence:
+    """sketch(shard_1) + ... + sketch(shard_s) == sketch(stream)."""
+
+    def test_sparse_recovery_merge(self):
+        graph = connected_gnp(24, 0.2, seed=8)
+        stream = stream_from_graph(graph, seed=9, churn=0.5)
+        shards = shard_round_robin(stream, 3)
+
+        single = SparseRecoverySketch(24 * 24, 64, seed=10)
+        merged = SparseRecoverySketch(24 * 24, 64, seed=10)
+        parts = [SparseRecoverySketch(24 * 24, 64, seed=10) for _ in range(3)]
+        for update in stream:
+            single.update(update.u * 24 + update.v, update.sign)
+        for part, shard in zip(parts, shards):
+            for update in shard:
+                part.update(update.u * 24 + update.v, update.sign)
+            merged.combine(part)
+        assert merged.decode() == single.decode()
+
+    def test_l0_sampler_merge(self):
+        sampler_parts = [L0Sampler(1000, seed=11) for _ in range(2)]
+        sampler_parts[0].update(5, 1)
+        sampler_parts[0].update(9, 2)
+        sampler_parts[1].update(5, -1)
+        sampler_parts[0].combine(sampler_parts[1])
+        assert sampler_parts[0].sample() == (9, 2)
+
+    def test_distinct_elements_merge(self):
+        parts = [DistinctElementsSketch(1000, seed=12) for _ in range(2)]
+        for i in range(0, 64, 2):
+            parts[0].update(i, 1)
+        for i in range(1, 64, 2):
+            parts[1].update(i, 1)
+        parts[0].combine(parts[1])
+        assert 32 <= parts[0].estimate() <= 128
+
+    def test_agm_merge_across_shard_disciplines(self):
+        graph = connected_gnp(24, 0.15, seed=13)
+        stream = stream_from_graph(graph, seed=14, churn=0.6)
+        for shards in (
+            shard_round_robin(stream, 4),
+            shard_by_edge(stream, 4, seed=15),
+        ):
+            sketches = [AgmSketch(24, seed=16) for _ in shards]
+            for sketch, shard in zip(sketches, shards):
+                for update in shard:
+                    sketch.update(update.u, update.v, update.sign)
+            merged = sketches[0]
+            for sketch in sketches[1:]:
+                merged.combine(sketch)
+            assert len(merged.spanning_forest()) == 23
+
+
+class TestDistributedSpanner:
+    def test_sharded_two_pass_spanner_meets_guarantee(self):
+        n, k, servers = 40, 2, 3
+        graph = connected_gnp(n, 0.2, seed=17)
+        stream = stream_from_graph(graph, seed=18, churn=0.4)
+        shards = shard_round_robin(stream, servers)
+
+        builders = [TwoPassSpannerBuilder(n, k, seed=19) for _ in range(servers)]
+        for builder, shard in zip(builders, shards):
+            builder.begin_pass(0)
+            for update in shard:
+                builder.process(update, 0)
+        coordinator = builders[0]
+        for builder in builders[1:]:
+            coordinator.merge_first_pass(builder)
+        coordinator.end_pass(0)
+
+        for builder in builders[1:]:
+            builder.adopt_forest_from(coordinator)
+        for builder, shard in zip(builders, shards):
+            for update in shard:
+                builder.process(update, 1)
+        for builder in builders[1:]:
+            coordinator.merge_second_pass(builder)
+
+        output = coordinator.finalize()
+        report = evaluate_multiplicative_stretch(graph, output.spanner)
+        assert report.within(2 ** k)
+        for u, v, _ in output.spanner.edges():
+            assert graph.has_edge(u, v)
+
+    def test_merge_requires_same_seed(self):
+        left = TwoPassSpannerBuilder(8, 2, seed=1)
+        right = TwoPassSpannerBuilder(8, 2, seed=2)
+        with pytest.raises(ValueError):
+            left.merge_first_pass(right)
+
+    def test_adopt_requires_built_forest(self):
+        left = TwoPassSpannerBuilder(8, 2, seed=1)
+        right = TwoPassSpannerBuilder(8, 2, seed=1)
+        with pytest.raises(ValueError):
+            left.adopt_forest_from(right)

@@ -1,0 +1,149 @@
+"""Edge-case coverage across modules: tiny graphs, degenerate parameters,
+lifecycle misuse, and boundary shapes."""
+
+import pytest
+
+from repro.baselines import baswana_sen_spanner, greedy_spanner
+from repro.core import SpannerParams, TwoPassSpannerBuilder
+from repro.core.additive_spanner import AdditiveSpannerBuilder
+from repro.graph.graph import Graph
+from repro.graph.random_graphs import complete_graph, connected_gnp
+from repro.sketch import L0Sampler, SparseRecoverySketch
+from repro.stream.pipeline import StreamingAlgorithm, run_passes
+from repro.stream.stream import DynamicStream
+from repro.stream.generators import stream_from_graph
+
+
+class TestTinyGraphs:
+    def test_spanner_on_two_vertices(self):
+        stream = DynamicStream(2)
+        stream.insert(0, 1)
+        output = TwoPassSpannerBuilder(2, 2, seed=1).run(stream)
+        assert output.spanner.edge_set() == {(0, 1)}
+
+    def test_spanner_on_single_vertex(self):
+        stream = DynamicStream(1)
+        output = TwoPassSpannerBuilder(1, 2, seed=2).run(stream)
+        assert output.spanner.num_edges() == 0
+
+    def test_additive_on_two_vertices(self):
+        stream = DynamicStream(2)
+        stream.insert(0, 1)
+        spanner = AdditiveSpannerBuilder(2, 1, seed=3).run(stream)
+        assert spanner.edge_set() == {(0, 1)}
+
+    def test_k_exceeding_log_n(self):
+        # k=5 on n=8: levels C_3, C_4 are almost surely empty; everything
+        # must still work (terminals at low levels cover the graph).
+        graph = connected_gnp(8, 0.4, seed=4)
+        stream = stream_from_graph(graph, seed=5, churn=0.0)
+        output = TwoPassSpannerBuilder(8, 5, seed=6).run(stream)
+        from repro.graph import evaluate_multiplicative_stretch
+
+        report = evaluate_multiplicative_stretch(graph, output.spanner)
+        assert report.within(2 ** 5)
+
+    def test_baselines_on_trivial_graphs(self):
+        assert baswana_sen_spanner(Graph(3), 2, seed=1).num_edges() == 0
+        assert greedy_spanner(Graph(3), 3).num_edges() == 0
+        single = Graph.from_edges(2, [(0, 1)])
+        assert baswana_sen_spanner(single, 2, seed=2).edge_set() == {(0, 1)}
+        assert greedy_spanner(single, 3).edge_set() == {(0, 1)}
+
+
+class TestLifecycleMisuse:
+    def test_finalize_before_passes_raises(self):
+        builder = TwoPassSpannerBuilder(4, 2, seed=1)
+        with pytest.raises(RuntimeError):
+            builder.finalize()
+
+    def test_second_pass_before_forest_raises(self):
+        from repro.stream.updates import EdgeUpdate
+
+        builder = TwoPassSpannerBuilder(4, 2, seed=2)
+        with pytest.raises(RuntimeError):
+            builder.process(EdgeUpdate(0, 1, +1), 1)
+
+    def test_run_passes_rejects_zero_passes(self):
+        class Broken(StreamingAlgorithm):
+            @property
+            def passes_required(self):
+                return 0
+
+            def process(self, update, pass_index):
+                pass
+
+            def finalize(self):
+                return None
+
+        with pytest.raises(ValueError):
+            run_passes(DynamicStream(2), Broken())
+
+
+class TestEdgeFilterBoundaries:
+    def test_filter_excluding_everything(self):
+        graph = connected_gnp(16, 0.3, seed=7)
+        stream = stream_from_graph(graph, seed=8, churn=0.0)
+        builder = TwoPassSpannerBuilder(16, 2, seed=9, edge_filter=lambda u, v: False)
+        output = builder.run(stream)
+        assert output.spanner.num_edges() == 0
+
+    def test_filter_keeping_everything_matches_unfiltered_invariants(self):
+        graph = connected_gnp(24, 0.2, seed=10)
+        stream = stream_from_graph(graph, seed=11, churn=0.0)
+        builder = TwoPassSpannerBuilder(24, 2, seed=12, edge_filter=lambda u, v: True)
+        output = builder.run(stream)
+        from repro.graph import evaluate_multiplicative_stretch
+
+        assert evaluate_multiplicative_stretch(graph, output.spanner).within(4)
+
+
+class TestSketchShapeVariations:
+    @pytest.mark.parametrize("rows", [2, 3, 5])
+    def test_sparse_recovery_rows(self, rows):
+        sketch = SparseRecoverySketch(1000, 8, seed=13, rows=rows)
+        for i in range(8):
+            sketch.update(i * 7, i + 1)
+        assert sketch.decode() == {i * 7: i + 1 for i in range(8)}
+
+    @pytest.mark.parametrize("bucket_factor", [1.5, 2.0, 4.0])
+    def test_sparse_recovery_bucket_factor(self, bucket_factor):
+        sketch = SparseRecoverySketch(1000, 8, seed=14, bucket_factor=bucket_factor)
+        for i in range(8):
+            sketch.update(i * 13, 1)
+        assert sketch.decode() == {i * 13: 1 for i in range(8)}
+
+    @pytest.mark.parametrize("budget", [2, 4, 8])
+    def test_l0_sampler_budget(self, budget):
+        sampler = L0Sampler(1000, seed=15, budget=budget)
+        sampler.update(123, 4)
+        assert sampler.sample() == (123, 4)
+
+    def test_full_cancellation_is_zero(self):
+        left = SparseRecoverySketch(100, 4, seed=16)
+        right = SparseRecoverySketch(100, 4, seed=16)
+        for i in range(4):
+            left.update(i, i + 1)
+            right.update(i, i + 1)
+        left.combine(right, sign=-1)
+        assert left.is_zero()
+        assert left.decode() == {}
+
+
+class TestDenseExtremes:
+    def test_spanner_on_complete_graph_small_k1(self):
+        # k=1: every vertex is its own terminal cluster; coverage keeps
+        # one edge per neighbor — the whole K_n survives (stretch 1).
+        graph = complete_graph(12)
+        stream = stream_from_graph(graph, seed=17, churn=0.0)
+        output = TwoPassSpannerBuilder(12, 1, seed=18).run(stream)
+        assert output.spanner.edge_set() == graph.edge_set()
+
+    def test_repair_disabled_still_functional(self):
+        graph = connected_gnp(32, 0.2, seed=19)
+        stream = stream_from_graph(graph, seed=20, churn=0.0)
+        params = SpannerParams(repair_budget_factor=0.0)
+        output = TwoPassSpannerBuilder(32, 2, seed=21, params=params).run(stream)
+        from repro.graph import evaluate_multiplicative_stretch
+
+        assert evaluate_multiplicative_stretch(graph, output.spanner).within(4)

@@ -1,0 +1,117 @@
+"""End-to-end integration across modules: realistic pipelines combining
+streams, spanners, sparsifiers and verification."""
+
+import math
+
+import pytest
+
+from repro.agm import ConnectivityChecker, KConnectivityCertificate
+from repro.core import (
+    AdditiveSpannerBuilder,
+    SparsifierParams,
+    SpectralSparsifier,
+    TwoPassSpannerBuilder,
+    WeightedTwoPassSpanner,
+)
+from repro.graph import (
+    barbell_graph,
+    bfs_distances,
+    connected_gnp,
+    cut_value,
+    evaluate_additive_error,
+    evaluate_multiplicative_stretch,
+    power_law_graph,
+    spectral_approximation,
+    with_random_weights,
+)
+from repro.stream import adversarial_churn_stream, run_passes, stream_from_graph
+
+
+class TestSpannerThenQueries:
+    """Build once from the stream, answer many distance queries."""
+
+    def test_query_workload_on_spanner(self):
+        n = 64
+        graph = power_law_graph(n, exponent=2.2, seed=1)
+        stream = stream_from_graph(graph, seed=2, churn=0.4)
+        output = TwoPassSpannerBuilder(n, 2, seed=3).run(stream)
+        for source in range(0, n, 9):
+            base = bfs_distances(graph, source)
+            over = bfs_distances(output.spanner, source)
+            for target, dist in base.items():
+                if dist == 0:
+                    continue
+                assert over.get(target, math.inf) <= 4 * dist
+
+    def test_multiple_algorithms_one_stream(self):
+        """Run all three one/two-pass algorithms over the same stream."""
+        n = 48
+        graph = connected_gnp(n, 0.2, seed=4)
+        stream = stream_from_graph(graph, seed=5, churn=0.3)
+
+        spanner_out = TwoPassSpannerBuilder(n, 2, seed=6).run(stream)
+        additive = AdditiveSpannerBuilder(n, 4, seed=7).run(stream)
+        components = ConnectivityChecker(n, seed=8).run(stream)
+
+        assert evaluate_multiplicative_stretch(graph, spanner_out.spanner).within(4)
+        error, _ = evaluate_additive_error(graph, additive)
+        assert error <= 6 * n / 4
+        assert len(components) == 1
+
+
+class TestAdversarialStreams:
+    def test_two_pass_spanner_under_decoy_floods(self):
+        graph = connected_gnp(32, 0.2, seed=9)
+        stream = adversarial_churn_stream(graph, seed=10, rounds=3)
+        output = TwoPassSpannerBuilder(32, 2, seed=11).run(stream)
+        assert evaluate_multiplicative_stretch(graph, output.spanner).within(4)
+        for u, v, _ in output.spanner.edges():
+            assert graph.has_edge(u, v)
+
+    def test_additive_spanner_under_decoy_floods(self):
+        graph = connected_gnp(32, 0.25, seed=12)
+        stream = adversarial_churn_stream(graph, seed=13, rounds=3)
+        spanner = AdditiveSpannerBuilder(32, 4, seed=14).run(stream)
+        for u, v, _ in spanner.edges():
+            assert graph.has_edge(u, v)
+        error, _ = evaluate_additive_error(graph, spanner)
+        assert error <= 6 * 32 / 4
+
+    def test_certificate_under_decoy_floods(self):
+        graph = barbell_graph(8)
+        stream = adversarial_churn_stream(graph, seed=15, rounds=2)
+        certificate = KConnectivityCertificate(graph.num_vertices, 2, seed=16).run(stream)
+        assert certificate.is_connected()
+        assert certificate.has_edge(0, 8)  # the bridge survives
+
+
+class TestSparsifierConsumers:
+    """The sparsifier's output feeding downstream computations."""
+
+    def test_cuts_and_spectra_downstream(self):
+        graph = connected_gnp(32, 0.35, seed=17)
+        params = SparsifierParams(sampling_rounds_factor=0.15)
+        sparsifier = SpectralSparsifier(32, seed=18, k=2, params=params).sparsify_graph(graph)
+        bounds = spectral_approximation(graph, sparsifier)
+        assert bounds.epsilon() < 1.0
+        # A downstream consumer estimating a specific cut family.
+        for split in (8, 16, 24):
+            side = set(range(split))
+            base = cut_value(graph, side)
+            approx = cut_value(sparsifier, side)
+            assert approx == pytest.approx(base, rel=0.8)
+
+    def test_weighted_spanner_feeds_weighted_queries(self):
+        graph = with_random_weights(connected_gnp(32, 0.25, seed=19), seed=19)
+        stream = stream_from_graph(graph, seed=20, churn=0.4)
+        builder = WeightedTwoPassSpanner(32, 2, seed=21, w_min=1.0, w_max=16.0)
+        spanner = run_passes(stream, builder)
+        assert spanner.num_edges() <= graph.num_edges()
+        # Spanner distances dominate true distances (upper-bound weights).
+        from repro.graph import dijkstra_distances
+
+        base = dijkstra_distances(graph, 0)
+        over = dijkstra_distances(spanner, 0)
+        for target, dist in over.items():
+            if target in base:
+                assert dist >= base[target] - 1e-9

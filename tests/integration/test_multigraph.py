@@ -1,0 +1,93 @@
+"""Multigraph semantics end-to-end.
+
+The paper's model is a *multigraph*: `x_ij = #insertions - #deletions`
+may exceed 1, and an edge is present while its multiplicity is positive.
+"One needs to replace sets by multisets ... but this does not affect the
+performance of our sketches since they can handle vectors with
+polynomially large entries."  These tests drive multiplicities > 1
+through every algorithm.
+"""
+
+from repro.agm import AgmSketch, ConnectivityChecker
+from repro.core import AdditiveSpannerBuilder, TwoPassSpannerBuilder
+from repro.graph.distances import evaluate_multiplicative_stretch
+from repro.graph.graph import Graph
+from repro.graph.random_graphs import connected_gnp
+from repro.stream.stream import DynamicStream
+from repro.util.rng import rng_from_seed
+
+
+def multigraph_stream(graph: Graph, seed: int, max_multiplicity: int = 3) -> DynamicStream:
+    """Insert every edge 1..max_multiplicity times, then delete all but
+    one copy of each (final multiplicity exactly 1, peak higher)."""
+    rng = rng_from_seed(seed, "multigraph")
+    stream = DynamicStream(graph.num_vertices)
+    multiplicities = {}
+    for u, v, w in graph.edges():
+        count = rng.randrange(1, max_multiplicity + 1)
+        multiplicities[(u, v)] = count
+        for _ in range(count):
+            stream.insert(u, v, w)
+    for (u, v), count in multiplicities.items():
+        for _ in range(count - 1):
+            stream.delete(u, v, graph.weight(u, v))
+    return stream
+
+
+class TestMultigraphStreams:
+    def test_final_multiplicities(self):
+        graph = connected_gnp(20, 0.2, seed=1)
+        stream = multigraph_stream(graph, seed=2)
+        assert all(m == 1 for m in stream.final_multiplicities().values())
+        assert stream.final_graph() == graph
+
+    def test_peak_multiplicity_above_one(self):
+        graph = connected_gnp(20, 0.3, seed=3)
+        stream = multigraph_stream(graph, seed=4)
+        assert stream.num_insertions() > graph.num_edges()
+
+
+class TestAlgorithmsOnMultigraphs:
+    def test_two_pass_spanner(self):
+        graph = connected_gnp(36, 0.2, seed=5)
+        stream = multigraph_stream(graph, seed=6)
+        output = TwoPassSpannerBuilder(36, 2, seed=7).run(stream)
+        report = evaluate_multiplicative_stretch(graph, output.spanner)
+        assert report.within(4)
+        for u, v, _ in output.spanner.edges():
+            assert graph.has_edge(u, v)
+
+    def test_two_pass_spanner_residual_multiplicity(self):
+        """Edges whose multiplicity stays at 2 must still be present."""
+        stream = DynamicStream(6)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]:
+            stream.insert(u, v)
+            stream.insert(u, v)  # multiplicity 2, never deleted
+        output = TwoPassSpannerBuilder(6, 2, seed=8).run(stream)
+        report = evaluate_multiplicative_stretch(stream.final_graph(), output.spanner)
+        assert report.within(4)
+
+    def test_additive_spanner(self):
+        graph = connected_gnp(36, 0.25, seed=9)
+        stream = multigraph_stream(graph, seed=10)
+        spanner = AdditiveSpannerBuilder(36, 4, seed=11).run(stream)
+        for u, v, _ in spanner.edges():
+            assert graph.has_edge(u, v)
+
+    def test_agm_forest(self):
+        graph = connected_gnp(24, 0.15, seed=12)
+        sketch = AgmSketch(24, seed=13)
+        rng = rng_from_seed(14, "agm-multi")
+        for u, v, _ in graph.edges():
+            count = rng.randrange(1, 4)
+            sketch.update(u, v, count)
+        forest = sketch.spanning_forest()
+        assert len(forest) == 23
+        for a, b in forest:
+            assert graph.has_edge(a, b)
+
+    def test_connectivity_checker(self):
+        graph = connected_gnp(24, 0.15, seed=15)
+        stream = multigraph_stream(graph, seed=16)
+        components = ConnectivityChecker(24, seed=17).run(stream)
+        assert len(components) == 1

@@ -1,0 +1,130 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check the *invariants the paper's proofs rest on* under randomized
+inputs: linearity of every sketch against arbitrary update interleavings,
+model invariants of streams, and the structural invariants of spanner
+outputs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agm import AgmSketch
+from repro.core.offline_spanner import offline_two_phase_spanner
+from repro.graph.distances import evaluate_multiplicative_stretch
+from repro.graph.graph import Graph
+from repro.sketch import SparseRecoverySketch
+from repro.stream.stream import DynamicStream
+from repro.stream.updates import EdgeUpdate
+from repro.util.rng import derive_seed
+
+# Strategy: a small random final graph as an edge set on <= 12 vertices.
+edge_sets = st.sets(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)).filter(lambda p: p[0] != p[1]),
+    max_size=25,
+).map(lambda pairs: {(min(u, v), max(u, v)) for u, v in pairs})
+
+
+def graph_from(pairs):
+    graph = Graph(12)
+    for u, v in pairs:
+        graph.add_edge(u, v)
+    return graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges=edge_sets, churn_edges=edge_sets)
+def test_stream_final_graph_invariant(edges, churn_edges):
+    """Inserting the final edges plus insert/delete pairs of any other
+    edges always reproduces exactly the final graph."""
+    stream = DynamicStream(12)
+    transient = sorted(churn_edges - edges)
+    for u, v in transient:
+        stream.insert(u, v)
+    for u, v in sorted(edges):
+        stream.insert(u, v)
+    for u, v in transient:
+        stream.delete(u, v)
+    assert stream.final_graph() == graph_from(edges)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=edge_sets, split=st.integers(0, 100))
+def test_sketch_shard_merge_property(edges, split):
+    """sketch(A) + sketch(B) == sketch(A ∪ B) for any token split."""
+    tokens = sorted(edges)
+    cut = split % (len(tokens) + 1)
+    whole = SparseRecoverySketch(144, 32, seed=9)
+    left = SparseRecoverySketch(144, 32, seed=9)
+    right = SparseRecoverySketch(144, 32, seed=9)
+    for u, v in tokens:
+        whole.update(u * 12 + v, 1)
+    for u, v in tokens[:cut]:
+        left.update(u * 12 + v, 1)
+    for u, v in tokens[cut:]:
+        right.update(u * 12 + v, 1)
+    left.combine(right)
+    assert left.decode() == whole.decode()
+
+
+@settings(max_examples=25, deadline=None)
+@given(edges=edge_sets)
+def test_agm_components_match_graph(edges):
+    """AGM components equal true components on arbitrary small graphs.
+
+    Seed is derived from the input: the whp guarantee is over the
+    sketch's randomness for a fixed input graph.
+    """
+    graph = graph_from(edges)
+    sketch = AgmSketch(12, seed=derive_seed("prop-agm", tuple(sorted(edges))))
+    for u, v in sorted(edges):
+        sketch.update(u, v, 1)
+    mine = sorted(map(sorted, sketch.connected_components()))
+    truth = sorted(map(sorted, graph.connected_components()))
+    assert mine == truth
+
+
+@settings(max_examples=20, deadline=None)
+@given(edges=edge_sets, k=st.integers(1, 3))
+def test_offline_spanner_invariants_property(edges, k):
+    """For any graph and k: the offline spanner is a subgraph meeting
+    the 2^k stretch bound."""
+    graph = graph_from(edges)
+    seed = derive_seed("prop-spanner", tuple(sorted(edges)), k)
+    output = offline_two_phase_spanner(graph, k, seed=seed)
+    for u, v, _ in output.spanner.edges():
+        assert graph.has_edge(u, v)
+    report = evaluate_multiplicative_stretch(graph, output.spanner)
+    assert report.within(2 ** k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    edges=edge_sets,
+    deletions=st.integers(0, 5),
+)
+def test_agm_respects_deletions_property(edges, deletions):
+    """Deleting any subset of edges leaves components of the remainder."""
+    tokens = sorted(edges)
+    removed = tokens[:deletions]
+    remaining = {e for e in edges if e not in set(removed)}
+    sketch = AgmSketch(
+        12, seed=derive_seed("prop-agm-del", tuple(tokens), deletions)
+    )
+    for u, v in tokens:
+        sketch.update(u, v, 1)
+    for u, v in removed:
+        sketch.update(u, v, -1)
+    mine = sorted(map(sorted, sketch.connected_components()))
+    truth = sorted(map(sorted, graph_from(remaining).connected_components()))
+    assert mine == truth
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=edge_sets)
+def test_update_canonicalization_property(edges):
+    """EdgeUpdate always canonicalizes regardless of input orientation."""
+    for u, v in edges:
+        forward = EdgeUpdate(u, v, +1)
+        backward = EdgeUpdate(v, u, +1)
+        assert forward.pair == backward.pair == (min(u, v), max(u, v))

@@ -1,0 +1,146 @@
+"""Tests for the Theorem 4 lower-bound game."""
+
+import pytest
+
+from repro.core.additive_spanner import AdditiveSpannerBuilder
+from repro.graph.graph import Graph
+from repro.lowerbound.hard_instance import sample_hard_instance
+from repro.lowerbound.protocol import run_spanner_protocol
+from repro.stream.pipeline import StreamingAlgorithm
+from repro.util.rng import derive_seed
+
+
+class TestHardInstance:
+    def test_shape(self):
+        instance = sample_hard_instance(4, 8, seed=1)
+        assert instance.num_vertices == 32
+        assert instance.index_length() == 4 * 28  # s * C(8, 2)
+
+    def test_bits_roughly_half(self):
+        instance = sample_hard_instance(6, 10, seed=2)
+        ones = sum(1 for present in instance.bits.values() if present)
+        assert 0.35 * len(instance.bits) < ones < 0.65 * len(instance.bits)
+
+    def test_alice_edges_match_bits(self):
+        instance = sample_hard_instance(3, 6, seed=3)
+        edges = set(instance.alice_edges())
+        for (block, i, j), present in instance.bits.items():
+            pair = (instance.vertex(block, i), instance.vertex(block, j))
+            assert (pair in edges) == present
+
+    def test_alice_edges_stay_in_blocks(self):
+        instance = sample_hard_instance(4, 5, seed=4)
+        for u, v in instance.alice_edges():
+            assert u // 5 == v // 5
+
+    def test_bob_edges_connect_consecutive_blocks(self):
+        instance = sample_hard_instance(4, 5, seed=5)
+        bob = instance.bob_edges()
+        assert len(bob) == 3
+        for index, (u, v) in enumerate(bob):
+            assert u // 5 == index
+            assert v // 5 == index + 1
+
+    def test_target_consistency(self):
+        instance = sample_hard_instance(5, 6, seed=6)
+        u, v = instance.target_pair()
+        assert u // 6 == v // 6 == instance.target_block
+        assert isinstance(instance.target_bit(), bool)
+
+    def test_pairs_are_distinct_vertices(self):
+        instance = sample_hard_instance(8, 4, seed=7)
+        for u, v in instance.pairs:
+            assert u != v
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_hard_instance(1, 4, seed=1)
+        with pytest.raises(ValueError):
+            sample_hard_instance(4, 1, seed=1)
+
+
+class StoreEverything(StreamingAlgorithm):
+    """The trivial protocol: Alice sends all her edges."""
+
+    def __init__(self, num_vertices):
+        self.graph = Graph(num_vertices)
+        self.words = 0
+
+    @property
+    def passes_required(self):
+        return 1
+
+    def process(self, update, pass_index):
+        if update.sign > 0:
+            self.graph.add_edge(update.u, update.v)
+        self.words += 2
+
+    def finalize(self):
+        return self.graph
+
+    def space_words(self):
+        return self.words
+
+
+class StoreNothing(StreamingAlgorithm):
+    """The degenerate protocol: the message is empty."""
+
+    def __init__(self, num_vertices):
+        self.num_vertices = num_vertices
+
+    @property
+    def passes_required(self):
+        return 1
+
+    def process(self, update, pass_index):
+        pass
+
+    def finalize(self):
+        return Graph(self.num_vertices)
+
+    def space_words(self):
+        return 0
+
+
+class TestProtocol:
+    def test_store_everything_always_wins(self):
+        report = run_spanner_protocol(
+            4, 6, lambda n, t: StoreEverything(n), trials=20, seed=1
+        )
+        assert report.success_rate == 1.0
+        assert report.mean_message_words > 0
+
+    def test_store_nothing_is_a_coin_flip(self):
+        report = run_spanner_protocol(
+            4, 6, lambda n, t: StoreNothing(n), trials=60, seed=2
+        )
+        # Bob always answers "absent": correct iff the bit was 0 (p=1/2).
+        assert 0.3 < report.success_rate < 0.7
+
+    def test_additive_spanner_with_ample_space_wins(self):
+        def factory(n, trial):
+            return AdditiveSpannerBuilder(n, d=8, seed=derive_seed("g", trial))
+
+        report = run_spanner_protocol(4, 8, factory, trials=15, seed=3)
+        # d log n exceeds every block degree: all edges are E_low.
+        assert report.success_rate >= 0.9
+
+    def test_rejects_multi_pass_algorithms(self):
+        from repro.core.two_pass_spanner import TwoPassSpannerBuilder
+
+        with pytest.raises(ValueError):
+            run_spanner_protocol(
+                4, 6, lambda n, t: TwoPassSpannerBuilder(n, 2, seed=t), trials=1, seed=4
+            )
+
+    def test_report_accounting(self):
+        report = run_spanner_protocol(
+            3, 5, lambda n, t: StoreEverything(n), trials=5, seed=5
+        )
+        assert report.trials == 5
+        assert report.index_bits == 3 * 10
+        assert report.message_bits() == report.mean_message_words * 64
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            run_spanner_protocol(3, 5, lambda n, t: StoreNothing(n), trials=0, seed=6)

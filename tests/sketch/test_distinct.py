@@ -1,0 +1,105 @@
+"""Tests for the distinct-elements (L0) estimator."""
+
+import pytest
+
+from repro.sketch.distinct import DistinctElementsSketch
+
+
+def make(domain=100_000, seed=1, reps=32):
+    return DistinctElementsSketch(domain, seed, reps=reps)
+
+
+class TestEstimates:
+    def test_zero_vector(self):
+        assert make().estimate() == 0.0
+
+    def test_insert_then_delete_is_zero(self):
+        sketch = make()
+        for index in range(50):
+            sketch.update(index, 1)
+        for index in range(50):
+            sketch.update(index, -1)
+        assert sketch.estimate() == 0.0
+
+    @pytest.mark.parametrize("true_count", [1, 4, 16, 64, 256, 1024])
+    def test_factor_two_accuracy(self, true_count):
+        """The guard use case only needs a factor-2 estimate."""
+        sketch = make(seed=true_count)
+        for index in range(true_count):
+            sketch.update(index * 7, 1)
+        estimate = sketch.estimate()
+        assert true_count / 2 <= estimate <= true_count * 2
+
+    def test_multiplicities_do_not_inflate(self):
+        sketch = make(seed=5)
+        for index in range(32):
+            sketch.update(index, 9)  # large values, still 32 distinct
+        estimate = sketch.estimate()
+        assert 16 <= estimate <= 64
+
+    def test_deletions_tracked(self):
+        sketch = make(seed=6)
+        for index in range(256):
+            sketch.update(index, 1)
+        for index in range(192):
+            sketch.update(index, -1)
+        estimate = sketch.estimate()
+        assert 32 <= estimate <= 128  # true count is 64
+
+
+class TestGuardUseCase:
+    def test_decodability_guard_threshold(self):
+        """The paper's guard declares a SKETCH_B undecodable when the
+        estimated support exceeds 2B; check both sides of the threshold."""
+        budget = 16
+        small = make(seed=7)
+        for index in range(budget // 2):
+            small.update(index, 1)
+        assert small.estimate() <= 2 * budget
+
+        big = make(seed=8)
+        for index in range(budget * 20):
+            big.update(index, 1)
+        assert big.estimate() > 2 * budget
+
+
+class TestLinearity:
+    def test_combine_counts_union(self):
+        left = make(seed=9)
+        right = make(seed=9)
+        for index in range(100):
+            left.update(index, 1)
+        for index in range(100, 200):
+            right.update(index, 1)
+        left.combine(right)
+        assert 100 <= left.estimate() <= 400
+
+    def test_combine_subtract_cancels(self):
+        left = make(seed=10)
+        right = make(seed=10)
+        for index in range(64):
+            left.update(index, 1)
+            right.update(index, 1)
+        left.combine(right, sign=-1)
+        assert left.estimate() == 0.0
+
+    def test_combine_rejects_different_seed(self):
+        with pytest.raises(ValueError):
+            make(seed=1).combine(make(seed=2))
+
+
+class TestValidation:
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ValueError):
+            DistinctElementsSketch(0, seed=1)
+
+    def test_rejects_tiny_reps(self):
+        with pytest.raises(ValueError):
+            DistinctElementsSketch(10, seed=1, reps=2)
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(IndexError):
+            make(domain=5).update(5, 1)
+
+    def test_space_words_positive(self):
+        assert make().space_words() > 0

@@ -1,0 +1,104 @@
+"""Tests for the L0 sampler."""
+
+import collections
+
+import pytest
+
+from repro.sketch.l0sampler import L0Sampler
+
+
+def make(domain=10_000, seed=1, budget=4):
+    return L0Sampler(domain, seed, budget=budget)
+
+
+class TestSampling:
+    def test_zero_vector_returns_none(self):
+        sampler = make()
+        assert sampler.sample() is None
+        assert sampler.is_probably_zero()
+
+    def test_single_coordinate(self):
+        sampler = make()
+        sampler.update(42, 3)
+        assert sampler.sample() == (42, 3)
+
+    def test_sample_from_support(self):
+        sampler = make(seed=2)
+        support = {i * 11: i + 1 for i in range(100)}
+        for index, value in support.items():
+            sampler.update(index, value)
+        sampled = sampler.sample()
+        assert sampled is not None
+        index, value = sampled
+        assert support[index] == value
+
+    def test_deletions_respected(self):
+        sampler = make(seed=3)
+        for index in range(20):
+            sampler.update(index, 1)
+        for index in range(19):
+            sampler.update(index, -1)
+        assert sampler.sample() == (19, 1)
+
+    def test_negative_values_sampled(self):
+        sampler = make(seed=4)
+        sampler.update(10, -5)
+        assert sampler.sample() == (10, -5)
+
+    def test_success_rate_over_seeds(self):
+        """Sampling must succeed on nearly all nonzero vectors."""
+        successes = 0
+        trials = 60
+        for trial in range(trials):
+            sampler = L0Sampler(5000, seed=100 + trial)
+            for i in range(50):
+                sampler.update((trial * 97 + i * 131) % 5000, 1)
+            if sampler.sample() is not None:
+                successes += 1
+        assert successes >= trials - 2
+
+    def test_spread_across_support(self):
+        """Different seeds should sample different support elements (the
+        property Boruvka rounds rely on for fresh sampler stacks)."""
+        support = [i * 13 for i in range(64)]
+        seen = set()
+        for seed in range(40):
+            sampler = L0Sampler(2000, seed=seed)
+            for index in support:
+                sampler.update(index, 1)
+            sampled = sampler.sample()
+            if sampled is not None:
+                seen.add(sampled[0])
+        assert len(seen) >= 10
+
+
+class TestLinearity:
+    def test_combined_samplers_merge_support(self):
+        left = make(seed=7)
+        right = make(seed=7)
+        left.update(5, 1)
+        right.update(5, -1)
+        right.update(6, 1)
+        left.combine(right)
+        assert left.sample() == (6, 1)
+
+    def test_combine_rejects_different_seed(self):
+        with pytest.raises(ValueError):
+            make(seed=1).combine(make(seed=2))
+
+    def test_copy_is_independent(self):
+        sampler = make(seed=8)
+        sampler.update(3, 1)
+        clone = sampler.copy()
+        clone.update(3, -1)
+        assert sampler.sample() == (3, 1)
+        assert clone.sample() is None
+
+
+class TestValidation:
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ValueError):
+            L0Sampler(0, seed=1)
+
+    def test_space_words_positive(self):
+        assert make().space_words() > 0

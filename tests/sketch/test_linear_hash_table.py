@@ -1,0 +1,145 @@
+"""Tests for the linear hash tables H^u_j."""
+
+import pytest
+
+from repro.sketch.linear_hash_table import LinearHashTable, NeighborhoodHashTable
+from repro.sketch.onesparse import DecodeStatus
+
+
+class TestLinearHashTable:
+    def test_empty_decodes_empty(self):
+        table = LinearHashTable(key_domain=100, payload_len=3, capacity=8, seed=1)
+        assert table.decode() == {}
+
+    def test_single_key_round_trip(self):
+        table = LinearHashTable(key_domain=100, payload_len=3, capacity=8, seed=1)
+        table.add_payload(7, [1, 2, 3])
+        assert table.decode() == {7: [1, 2, 3]}
+
+    def test_payloads_accumulate(self):
+        table = LinearHashTable(key_domain=100, payload_len=2, capacity=8, seed=2)
+        table.add_payload(5, [1, 10])
+        table.add_payload(5, [2, 20])
+        assert table.decode() == {5: [3, 30]}
+
+    def test_many_keys_recovered(self):
+        table = LinearHashTable(key_domain=1000, payload_len=3, capacity=16, seed=3)
+        expected = {}
+        for key in range(0, 160, 10):
+            payload = [key, key + 1, key + 2]
+            table.add_payload(key, payload)
+            expected[key] = payload
+        assert table.decode() == expected
+
+    def test_zero_component_payload(self):
+        table = LinearHashTable(key_domain=50, payload_len=3, capacity=4, seed=4)
+        table.add_payload(3, [0, 5, 0])
+        assert table.decode() == {3: [0, 5, 0]}
+
+    def test_cancelled_payload_disappears(self):
+        table = LinearHashTable(key_domain=50, payload_len=2, capacity=4, seed=5)
+        table.add_payload(3, [1, 2])
+        table.add_payload(3, [1, 2], sign=-1)
+        assert table.decode() == {}
+
+    def test_overfull_detected(self):
+        table = LinearHashTable(key_domain=1000, payload_len=3, capacity=4, seed=6)
+        for key in range(100):
+            table.add_payload(key, [1, 1, 1])
+        assert table.decode() is None
+
+    def test_combine_merges_tables(self):
+        left = LinearHashTable(key_domain=100, payload_len=2, capacity=8, seed=7)
+        right = LinearHashTable(key_domain=100, payload_len=2, capacity=8, seed=7)
+        left.add_payload(1, [1, 0])
+        right.add_payload(2, [0, 2])
+        left.combine(right)
+        assert left.decode() == {1: [1, 0], 2: [0, 2]}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearHashTable(key_domain=0, payload_len=1, capacity=1, seed=1)
+        with pytest.raises(ValueError):
+            LinearHashTable(key_domain=1, payload_len=0, capacity=1, seed=1)
+        with pytest.raises(ValueError):
+            LinearHashTable(key_domain=1, payload_len=1, capacity=0, seed=1)
+        table = LinearHashTable(key_domain=10, payload_len=2, capacity=2, seed=1)
+        with pytest.raises(IndexError):
+            table.add_to_payload(10, 0, 1)
+        with pytest.raises(IndexError):
+            table.add_to_payload(0, 2, 1)
+        with pytest.raises(ValueError):
+            table.add_payload(0, [1])
+
+    def test_space_words_positive(self):
+        table = LinearHashTable(key_domain=10, payload_len=2, capacity=2, seed=1)
+        assert table.space_words() > 0
+
+
+class TestNeighborhoodHashTable:
+    def test_single_neighbor_recovered(self):
+        table = NeighborhoodHashTable(num_vertices=100, capacity=8, seed=1)
+        table.add_neighbor(key=7, neighbor=42, delta=1)
+        decoded = table.decode_neighbors()
+        assert decoded is not None
+        assert set(decoded) == {7}
+        result = decoded[7]
+        assert result.status is DecodeStatus.ONE_SPARSE
+        assert result.index == 42
+        assert result.value == 1
+
+    def test_multiple_keys(self):
+        table = NeighborhoodHashTable(num_vertices=200, capacity=16, seed=2)
+        for key in range(10):
+            table.add_neighbor(key=key, neighbor=100 + key, delta=1)
+        decoded = table.decode_neighbors()
+        assert decoded is not None
+        for key in range(10):
+            assert decoded[key].status is DecodeStatus.ONE_SPARSE
+            assert decoded[key].index == 100 + key
+
+    def test_two_neighbors_not_one_sparse(self):
+        table = NeighborhoodHashTable(num_vertices=100, capacity=8, seed=3)
+        table.add_neighbor(key=5, neighbor=10, delta=1)
+        table.add_neighbor(key=5, neighbor=11, delta=1)
+        decoded = table.decode_neighbors()
+        assert decoded is not None
+        assert decoded[5].status is DecodeStatus.NOT_ONE_SPARSE
+
+    def test_deleted_neighbor_drops_key(self):
+        table = NeighborhoodHashTable(num_vertices=100, capacity=8, seed=4)
+        table.add_neighbor(key=5, neighbor=10, delta=1)
+        table.add_neighbor(key=5, neighbor=10, delta=-1)
+        decoded = table.decode_neighbors()
+        assert decoded == {}
+
+    def test_delete_one_of_two_neighbors(self):
+        table = NeighborhoodHashTable(num_vertices=100, capacity=8, seed=5)
+        table.add_neighbor(key=5, neighbor=10, delta=1)
+        table.add_neighbor(key=5, neighbor=11, delta=1)
+        table.add_neighbor(key=5, neighbor=10, delta=-1)
+        decoded = table.decode_neighbors()
+        assert decoded is not None
+        assert decoded[5].status is DecodeStatus.ONE_SPARSE
+        assert decoded[5].index == 11
+
+    def test_overfull_detected(self):
+        table = NeighborhoodHashTable(num_vertices=500, capacity=4, seed=6)
+        for key in range(100):
+            table.add_neighbor(key=key, neighbor=key + 200, delta=1)
+        assert table.decode_neighbors() is None
+
+    def test_combine(self):
+        left = NeighborhoodHashTable(num_vertices=100, capacity=8, seed=7)
+        right = NeighborhoodHashTable(num_vertices=100, capacity=8, seed=7)
+        left.add_neighbor(key=1, neighbor=50, delta=1)
+        right.add_neighbor(key=2, neighbor=60, delta=1)
+        left.combine(right)
+        decoded = left.decode_neighbors()
+        assert decoded is not None
+        assert decoded[1].index == 50
+        assert decoded[2].index == 60
+
+    def test_space_words_positive(self):
+        table = NeighborhoodHashTable(num_vertices=10, capacity=2, seed=1)
+        assert table.space_words() > 0

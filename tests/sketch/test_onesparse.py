@@ -1,0 +1,164 @@
+"""Tests for the 1-sparse detector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.onesparse import DecodeStatus, OneSparseDetector
+
+
+def make(seed=1, domain=1000):
+    return OneSparseDetector(domain, seed)
+
+
+class TestDecodeStatuses:
+    def test_fresh_detector_is_zero(self):
+        assert make().decode().status is DecodeStatus.ZERO
+
+    def test_single_coordinate_recovered(self):
+        detector = make()
+        detector.update(17, 5)
+        result = detector.decode()
+        assert result.status is DecodeStatus.ONE_SPARSE
+        assert result.index == 17
+        assert result.value == 5
+
+    def test_negative_value_recovered(self):
+        detector = make()
+        detector.update(3, -4)
+        result = detector.decode()
+        assert result.status is DecodeStatus.ONE_SPARSE
+        assert result.index == 3
+        assert result.value == -4
+
+    def test_insert_then_delete_returns_to_zero(self):
+        detector = make()
+        detector.update(42, 7)
+        detector.update(42, -7)
+        assert detector.decode().status is DecodeStatus.ZERO
+
+    def test_two_coordinates_rejected(self):
+        detector = make()
+        detector.update(1, 1)
+        detector.update(2, 1)
+        assert detector.decode().status is DecodeStatus.NOT_ONE_SPARSE
+
+    def test_cancellation_across_indices_rejected(self):
+        # total == 0 but the vector is (1, -1): must not look zero.
+        detector = make()
+        detector.update(5, 1)
+        detector.update(9, -1)
+        assert detector.decode().status is DecodeStatus.NOT_ONE_SPARSE
+
+    def test_index_zero_value_recovered(self):
+        detector = make()
+        detector.update(0, 3)
+        result = detector.decode()
+        assert result.status is DecodeStatus.ONE_SPARSE
+        assert result.index == 0
+        assert result.value == 3
+
+    def test_many_coordinates_rejected(self):
+        detector = make()
+        for index in range(50):
+            detector.update(index, index + 1)
+        assert detector.decode().status is DecodeStatus.NOT_ONE_SPARSE
+
+
+class TestLinearity:
+    def test_combine_adds(self):
+        left = make(seed=2)
+        right = make(seed=2)
+        left.update(10, 4)
+        right.update(10, 6)
+        left.combine(right)
+        result = left.decode()
+        assert result.status is DecodeStatus.ONE_SPARSE
+        assert result.value == 10
+
+    def test_combine_subtracts_to_isolate(self):
+        full = make(seed=3)
+        noise = make(seed=3)
+        full.update(1, 2)
+        full.update(7, 9)
+        noise.update(1, 2)
+        full.combine(noise, sign=-1)
+        result = full.decode()
+        assert result.status is DecodeStatus.ONE_SPARSE
+        assert result.index == 7
+        assert result.value == 9
+
+    def test_combine_requires_same_seed(self):
+        left = make(seed=4)
+        right = make(seed=5)
+        with pytest.raises(ValueError):
+            left.combine(right)
+
+    def test_combine_requires_valid_sign(self):
+        left = make(seed=6)
+        right = make(seed=6)
+        with pytest.raises(ValueError):
+            left.combine(right, sign=2)
+
+
+class TestStateRoundTrip:
+    def test_state_vector_round_trip(self):
+        detector = make(seed=7)
+        detector.update(33, 12)
+        clone = make(seed=7)
+        clone.load_state_vector(detector.state_vector())
+        result = clone.decode()
+        assert result.status is DecodeStatus.ONE_SPARSE
+        assert result.index == 33
+        assert result.value == 12
+
+    def test_copy_is_independent(self):
+        detector = make(seed=8)
+        detector.update(2, 1)
+        clone = detector.copy()
+        clone.update(3, 1)
+        assert detector.decode().status is DecodeStatus.ONE_SPARSE
+        assert clone.decode().status is DecodeStatus.NOT_ONE_SPARSE
+
+
+class TestValidation:
+    def test_out_of_range_index_rejected(self):
+        detector = make(domain=10)
+        with pytest.raises(IndexError):
+            detector.update(10, 1)
+
+    def test_nonpositive_domain_rejected(self):
+        with pytest.raises(ValueError):
+            OneSparseDetector(0, seed=1)
+
+    def test_zero_delta_is_noop(self):
+        detector = make()
+        detector.update(5, 0)
+        assert detector.decode().status is DecodeStatus.ZERO
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=199), st.integers(min_value=-50, max_value=50)),
+        max_size=30,
+    )
+)
+def test_detector_matches_reference_vector(updates):
+    """Property: the decode status always matches the true net vector."""
+    detector = OneSparseDetector(200, seed=99)
+    reference: dict[int, int] = {}
+    for index, delta in updates:
+        detector.update(index, delta)
+        reference[index] = reference.get(index, 0) + delta
+    support = {i for i, v in reference.items() if v != 0}
+    result = detector.decode()
+    if len(support) == 0:
+        assert result.status is DecodeStatus.ZERO
+    elif len(support) == 1:
+        index = next(iter(support))
+        assert result.status is DecodeStatus.ONE_SPARSE
+        assert result.index == index
+        assert result.value == reference[index]
+    else:
+        assert result.status is DecodeStatus.NOT_ONE_SPARSE

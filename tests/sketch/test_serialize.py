@@ -1,0 +1,99 @@
+"""Tests for sketch-state serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agm import AgmSketch
+from repro.sketch import (
+    CountSketch,
+    DistinctElementsSketch,
+    L0Sampler,
+    OneSparseDetector,
+    SparseRecoverySketch,
+    pack_ints,
+    serialized_size_bytes,
+    unpack_ints,
+)
+
+
+class TestVarintCodec:
+    def test_round_trip_basic(self):
+        values = [0, 1, -1, 127, 128, -128, 10**6, -(10**6)]
+        assert unpack_ints(pack_ints(values)) == values
+
+    def test_round_trip_huge_values(self):
+        values = [2**61 - 1, -(2**61), 2**200, -(2**200) + 1]
+        assert unpack_ints(pack_ints(values)) == values
+
+    def test_empty(self):
+        assert pack_ints([]) == b""
+        assert unpack_ints(b"") == []
+
+    def test_zero_is_one_byte(self):
+        assert len(pack_ints([0])) == 1
+
+    def test_zeros_compress(self):
+        mostly_zero = [0] * 1000 + [12345]
+        packed = pack_ints(mostly_zero)
+        assert len(packed) < 1010
+
+    def test_truncated_stream_rejected(self):
+        packed = pack_ints([10**9])
+        with pytest.raises(ValueError):
+            unpack_ints(packed[:-1] + bytes([packed[-1] | 0x80]))
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=st.lists(st.integers(min_value=-(2**80), max_value=2**80)))
+    def test_round_trip_property(self, values):
+        assert unpack_ints(pack_ints(values)) == values
+
+
+class TestStateInts:
+    def test_one_sparse_detector(self):
+        detector = OneSparseDetector(100, seed=1)
+        detector.update(5, 3)
+        state = detector.state_ints()
+        assert len(state) == 3
+        clone = OneSparseDetector(100, seed=1)
+        clone.load_state_vector(tuple(state))
+        assert clone.decode().index == 5
+
+    def test_sparse_recovery_state_reflects_updates(self):
+        sketch = SparseRecoverySketch(1000, 4, seed=2)
+        empty_state = sketch.state_ints()
+        assert all(v == 0 for v in empty_state)
+        sketch.update(10, 1)
+        assert any(v != 0 for v in sketch.state_ints())
+
+    def test_serialized_size_grows_with_content(self):
+        sketch = SparseRecoverySketch(1000, 8, seed=3)
+        empty_size = serialized_size_bytes(sketch)
+        for i in range(8):
+            sketch.update(i * 101, 1)
+        assert serialized_size_bytes(sketch) > empty_size
+
+    def test_all_sketch_types_serializable(self):
+        sketches = [
+            SparseRecoverySketch(100, 4, seed=4),
+            L0Sampler(100, seed=5),
+            DistinctElementsSketch(100, seed=6),
+            CountSketch(100, 4, seed=7),
+            AgmSketch(10, seed=8),
+        ]
+        for sketch in sketches:
+            size = serialized_size_bytes(sketch)
+            assert size > 0
+            assert unpack_ints(pack_ints(sketch.state_ints())) == sketch.state_ints()
+
+    def test_additive_builder_message(self):
+        from repro.core import AdditiveSpannerBuilder
+        from repro.stream.updates import EdgeUpdate
+
+        builder = AdditiveSpannerBuilder(16, 2, seed=9)
+        empty_message = serialized_size_bytes(builder)
+        builder.begin_pass(0)
+        for u in range(15):
+            builder.process(EdgeUpdate(u, u + 1, +1), 0)
+        loaded_message = serialized_size_bytes(builder)
+        assert loaded_message > empty_message

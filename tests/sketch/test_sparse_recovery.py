@@ -1,0 +1,214 @@
+"""Tests for SKETCH_B / DECODE (exact sparse recovery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.sparse_recovery import SparseRecoverySketch
+
+
+def make(domain=10_000, budget=8, seed=1, **kwargs):
+    return SparseRecoverySketch(domain, budget, seed, **kwargs)
+
+
+class TestExactRecovery:
+    def test_empty_decodes_to_empty(self):
+        assert make().decode() == {}
+
+    def test_single_entry(self):
+        sketch = make()
+        sketch.update(123, 7)
+        assert sketch.decode() == {123: 7}
+
+    def test_full_budget_recovered(self):
+        sketch = make(budget=8)
+        expected = {i * 37: i + 1 for i in range(8)}
+        for index, value in expected.items():
+            sketch.update(index, value)
+        assert sketch.decode() == expected
+
+    def test_deletions_cancel(self):
+        sketch = make()
+        sketch.update(5, 3)
+        sketch.update(9, 2)
+        sketch.update(5, -3)
+        assert sketch.decode() == {9: 2}
+
+    def test_multigraph_multiplicities(self):
+        sketch = make()
+        for _ in range(5):
+            sketch.update(77, 1)
+        assert sketch.decode() == {77: 5}
+
+    def test_negative_values_recovered(self):
+        sketch = make()
+        sketch.update(1, -9)
+        sketch.update(2, 4)
+        assert sketch.decode() == {1: -9, 2: 4}
+
+    def test_large_values_recovered(self):
+        # Payload serialization pushes ~2^61-sized values through sketches.
+        sketch = make()
+        big = (1 << 61) - 3
+        sketch.update(10, big)
+        sketch.update(20, -big)
+        assert sketch.decode() == {10: big, 20: -big}
+
+    def test_overfull_reported_as_failure(self):
+        sketch = make(budget=4)
+        for index in range(200):
+            sketch.update(index, 1)
+        assert sketch.decode() is None
+
+    def test_overfull_then_deletions_recovers(self):
+        sketch = make(budget=4)
+        for index in range(100):
+            sketch.update(index, 1)
+        for index in range(98):
+            sketch.update(index, -1)
+        assert sketch.decode() == {98: 1, 99: 1}
+
+    def test_decode_support(self):
+        sketch = make()
+        sketch.update(30, 2)
+        sketch.update(10, 1)
+        assert sketch.decode_support() == [10, 30]
+
+    def test_is_zero(self):
+        sketch = make()
+        assert sketch.is_zero()
+        sketch.update(1, 1)
+        assert not sketch.is_zero()
+        sketch.update(1, -1)
+        assert sketch.is_zero()
+
+
+class TestLinearity:
+    def test_sum_of_sketches_decodes_sum_of_vectors(self):
+        left = make(seed=11)
+        right = make(seed=11)
+        left.update(1, 2)
+        left.update(3, 4)
+        right.update(3, 1)
+        right.update(8, 5)
+        left.combine(right)
+        assert left.decode() == {1: 2, 3: 5, 8: 5}
+
+    def test_subtraction_reveals_difference(self):
+        full = make(seed=12)
+        partial = make(seed=12)
+        for index in range(6):
+            full.update(index, 1)
+        for index in range(4):
+            partial.update(index, 1)
+        full.combine(partial, sign=-1)
+        assert full.decode() == {4: 1, 5: 1}
+
+    def test_combine_rejects_different_seeds(self):
+        with pytest.raises(ValueError):
+            make(seed=1).combine(make(seed=2))
+
+    def test_copy_is_independent(self):
+        sketch = make()
+        sketch.update(4, 4)
+        clone = sketch.copy()
+        clone.update(5, 5)
+        assert sketch.decode() == {4: 4}
+        assert clone.decode() == {4: 4, 5: 5}
+
+
+class TestValidation:
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ValueError):
+            SparseRecoverySketch(0, 4, seed=1)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            SparseRecoverySketch(10, 0, seed=1)
+
+    def test_rejects_single_row(self):
+        with pytest.raises(ValueError):
+            SparseRecoverySketch(10, 4, seed=1, rows=1)
+
+    def test_rejects_out_of_domain_update(self):
+        sketch = make(domain=10)
+        with pytest.raises(IndexError):
+            sketch.update(10, 1)
+
+    def test_space_words_positive_and_scales(self):
+        small = make(budget=4)
+        large = make(budget=64)
+        assert 0 < small.space_words() < large.space_words()
+
+
+class TestReliability:
+    def test_decode_reliability_at_budget(self):
+        """Decode must succeed on >=99% of random exactly-at-budget vectors."""
+        failures = 0
+        trials = 100
+        for trial in range(trials):
+            sketch = SparseRecoverySketch(5000, 8, seed=1000 + trial)
+            indices = [(trial * 131 + i * 977) % 5000 for i in range(8)]
+            for index in set(indices):
+                sketch.update(index, 1)
+            if sketch.decode() is None:
+                failures += 1
+        assert failures <= 1
+
+    def test_no_false_decodes_when_overfull(self):
+        """An overfull sketch must never silently return a wrong vector."""
+        for trial in range(50):
+            sketch = SparseRecoverySketch(5000, 4, seed=2000 + trial)
+            expected = {}
+            for i in range(40):
+                index = (trial * 389 + i * 613) % 5000
+                sketch.update(index, 1)
+                expected[index] = expected.get(index, 0) + 1
+            decoded = sketch.decode()
+            if decoded is not None:
+                assert decoded == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    entries=st.dictionaries(
+        keys=st.integers(min_value=0, max_value=999),
+        values=st.integers(min_value=-100, max_value=100).filter(lambda v: v != 0),
+        max_size=6,
+    )
+)
+def test_recovery_property(entries):
+    """Property: any <=6-sparse vector round-trips through a budget-6 sketch."""
+    sketch = SparseRecoverySketch(1000, 6, seed=555)
+    for index, value in entries.items():
+        sketch.update(index, value)
+    assert sketch.decode() == entries
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    left_entries=st.dictionaries(
+        keys=st.integers(min_value=0, max_value=499),
+        values=st.integers(min_value=-10, max_value=10).filter(lambda v: v != 0),
+        max_size=3,
+    ),
+    right_entries=st.dictionaries(
+        keys=st.integers(min_value=0, max_value=499),
+        values=st.integers(min_value=-10, max_value=10).filter(lambda v: v != 0),
+        max_size=3,
+    ),
+)
+def test_linearity_property(left_entries, right_entries):
+    """Property: sketch(x) + sketch(y) decodes to x + y."""
+    left = SparseRecoverySketch(500, 6, seed=777)
+    right = SparseRecoverySketch(500, 6, seed=777)
+    for index, value in left_entries.items():
+        left.update(index, value)
+    for index, value in right_entries.items():
+        right.update(index, value)
+    left.combine(right)
+    expected = dict(left_entries)
+    for index, value in right_entries.items():
+        expected[index] = expected.get(index, 0) + value
+    expected = {i: v for i, v in expected.items() if v != 0}
+    assert left.decode() == expected

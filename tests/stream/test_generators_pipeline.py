@@ -1,0 +1,119 @@
+"""Tests for stream generators, pass control and space reports."""
+
+import pytest
+
+from repro.graph.random_graphs import connected_gnp, random_gnp
+from repro.stream.generators import adversarial_churn_stream, stream_from_graph
+from repro.stream.pipeline import StreamingAlgorithm, run_passes
+from repro.stream.space import SpaceReport
+from repro.stream.stream import DynamicStream
+
+
+class TestStreamFromGraph:
+    def test_final_graph_matches(self):
+        graph = random_gnp(30, 0.2, seed=1)
+        stream = stream_from_graph(graph, seed=2)
+        assert stream.final_graph() == graph
+
+    def test_churn_preserves_final_graph(self):
+        graph = random_gnp(30, 0.2, seed=3)
+        stream = stream_from_graph(graph, seed=4, churn=1.0)
+        assert stream.final_graph() == graph
+        assert stream.num_deletions() > 0
+
+    def test_churn_token_count(self):
+        graph = random_gnp(30, 0.3, seed=5)
+        stream = stream_from_graph(graph, seed=6, churn=0.5)
+        m = graph.num_edges()
+        expected_transient = int(0.5 * m)
+        assert len(stream) == m + 2 * expected_transient
+
+    def test_weighted_graph_round_trip(self):
+        from repro.graph.random_graphs import with_random_weights
+
+        graph = with_random_weights(random_gnp(20, 0.3, seed=7), seed=7)
+        stream = stream_from_graph(graph, seed=8, churn=0.5)
+        assert stream.final_graph() == graph
+
+    def test_negative_churn_rejected(self):
+        with pytest.raises(ValueError):
+            stream_from_graph(random_gnp(5, 0.5, seed=1), seed=1, churn=-0.1)
+
+    def test_deterministic(self):
+        graph = random_gnp(20, 0.3, seed=9)
+        first = stream_from_graph(graph, seed=10, churn=0.7)
+        second = stream_from_graph(graph, seed=10, churn=0.7)
+        assert list(first) == list(second)
+
+
+class TestAdversarialChurn:
+    def test_final_graph_preserved(self):
+        graph = connected_gnp(25, 0.15, seed=11)
+        stream = adversarial_churn_stream(graph, seed=12, rounds=2)
+        assert stream.final_graph() == graph
+
+    def test_deletions_dominate_insertions_of_decoys(self):
+        graph = connected_gnp(25, 0.15, seed=13)
+        stream = adversarial_churn_stream(graph, seed=14, rounds=3)
+        assert stream.num_deletions() > graph.num_edges()
+
+
+class CountingAlgorithm(StreamingAlgorithm):
+    """Trivial two-pass algorithm used to verify the runner's contract."""
+
+    def __init__(self):
+        self.begun = []
+        self.ended = []
+        self.tokens_per_pass = {0: 0, 1: 0}
+
+    @property
+    def passes_required(self) -> int:
+        return 2
+
+    def begin_pass(self, pass_index):
+        self.begun.append(pass_index)
+
+    def process(self, update, pass_index):
+        self.tokens_per_pass[pass_index] += 1
+
+    def end_pass(self, pass_index):
+        self.ended.append(pass_index)
+
+    def finalize(self):
+        return self.tokens_per_pass
+
+
+class TestRunPasses:
+    def test_pass_lifecycle(self):
+        stream = DynamicStream(3)
+        stream.insert(0, 1)
+        stream.insert(1, 2)
+        algorithm = CountingAlgorithm()
+        result = run_passes(stream, algorithm)
+        assert algorithm.begun == [0, 1]
+        assert algorithm.ended == [0, 1]
+        assert result == {0: 2, 1: 2}
+
+
+class TestSpaceReport:
+    def test_accumulates(self):
+        report = SpaceReport()
+        report.add("sketches", 100)
+        report.add("sketches", 50)
+        report.add("tables", 10)
+        assert report.total_words() == 160
+        assert report.total_bits() == 160 * 64
+
+    def test_merge(self):
+        left = SpaceReport({"a": 1})
+        right = SpaceReport({"a": 2, "b": 3})
+        merged = left.merged(right)
+        assert merged.components == {"a": 3, "b": 3}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SpaceReport().add("x", -1)
+
+    def test_format_table_contains_total(self):
+        report = SpaceReport({"x": 5})
+        assert "TOTAL" in report.format_table()

@@ -1,0 +1,95 @@
+"""Tests for stream updates, the DynamicStream container and model rules."""
+
+import pytest
+
+from repro.stream.stream import DynamicStream
+from repro.stream.updates import EdgeUpdate
+
+
+class TestEdgeUpdate:
+    def test_canonicalizes_order(self):
+        update = EdgeUpdate(5, 2, +1)
+        assert update.pair == (2, 5)
+        assert update.u == 2
+        assert update.v == 5
+
+    def test_inverted(self):
+        update = EdgeUpdate(1, 2, +1, weight=3.0)
+        inverse = update.inverted()
+        assert inverse.sign == -1
+        assert inverse.pair == (1, 2)
+        assert inverse.weight == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeUpdate(1, 1, +1)
+        with pytest.raises(ValueError):
+            EdgeUpdate(0, 1, 0)
+        with pytest.raises(ValueError):
+            EdgeUpdate(0, 1, +1, weight=0.0)
+
+
+class TestDynamicStream:
+    def test_insert_builds_graph(self):
+        stream = DynamicStream(4)
+        stream.insert(0, 1)
+        stream.insert(1, 2, weight=2.0)
+        graph = stream.final_graph()
+        assert graph.edge_set() == {(0, 1), (1, 2)}
+        assert graph.weight(1, 2) == 2.0
+
+    def test_delete_removes(self):
+        stream = DynamicStream(4)
+        stream.insert(0, 1)
+        stream.insert(2, 3)
+        stream.delete(0, 1)
+        assert stream.final_graph().edge_set() == {(2, 3)}
+
+    def test_multiplicity_tracking(self):
+        stream = DynamicStream(3)
+        stream.insert(0, 1)
+        stream.insert(0, 1)
+        stream.insert(0, 1)
+        stream.delete(0, 1)
+        assert stream.final_multiplicities() == {(0, 1): 2}
+
+    def test_negative_multiplicity_rejected(self):
+        stream = DynamicStream(3)
+        with pytest.raises(ValueError):
+            stream.delete(0, 1)
+
+    def test_turnstile_weight_change_rejected(self):
+        stream = DynamicStream(3)
+        stream.insert(0, 1, weight=2.0)
+        with pytest.raises(ValueError):
+            stream.insert(0, 1, weight=3.0)
+
+    def test_weight_change_after_removal_allowed(self):
+        stream = DynamicStream(3)
+        stream.insert(0, 1, weight=2.0)
+        stream.delete(0, 1, weight=2.0)
+        stream.insert(0, 1, weight=5.0)
+        assert stream.final_graph().weight(0, 1) == 5.0
+
+    def test_out_of_range_vertex_rejected(self):
+        stream = DynamicStream(3)
+        with pytest.raises(ValueError):
+            stream.insert(0, 3)
+
+    def test_multiple_passes_identical(self):
+        stream = DynamicStream(3)
+        stream.insert(0, 1)
+        stream.delete(0, 1)
+        stream.insert(1, 2)
+        first = list(stream)
+        second = list(stream)
+        assert first == second
+        assert len(first) == 3
+
+    def test_counts(self):
+        stream = DynamicStream(3)
+        stream.insert(0, 1)
+        stream.insert(1, 2)
+        stream.delete(0, 1)
+        assert stream.num_insertions() == 2
+        assert stream.num_deletions() == 1

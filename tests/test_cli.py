@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_spanner_defaults(self):
+        args = build_parser().parse_args(["spanner"])
+        assert args.n == 64
+        assert args.k == 2
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "PODC 2014" in out
+        assert "Thm 1" in out
+
+    def test_spanner_ok(self, capsys):
+        code = main(["spanner", "--n", "40", "--k", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "guarantee: OK" in out
+        assert "2 passes" in out
+
+    def test_additive_ok(self, capsys):
+        code = main(["additive", "--n", "40", "--d", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "guarantee: OK" in out
+        assert "1 pass" in out
+
+    def test_connectivity_ok(self, capsys):
+        code = main(["connectivity", "--n", "32", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified  : OK" in out
+
+    def test_sparsify_offline(self, capsys):
+        code = main([
+            "sparsify", "--n", "24", "--p", "0.35",
+            "--rounds-factor", "0.05", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spectral" in out
+        assert "offline-oracle" in out
+
+    def test_game(self, capsys):
+        code = main([
+            "game", "--blocks", "3", "--block-size", "8",
+            "--budget", "8", "--trials", "4", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "INDEX length" in out
+        assert "bytes" in out

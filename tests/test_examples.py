@@ -1,0 +1,42 @@
+"""Smoke tests: the runnable examples must stay green.
+
+Only the fast examples run here (the full set is exercised manually /
+in docs); each is imported as a module and its ``main()`` invoked.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+def test_streaming_graph_monitor_example():
+    run_example("streaming_graph_monitor.py")
+
+
+def test_sparsify_and_solve_example():
+    run_example("sparsify_and_solve.py")
+
+
+def test_distributed_servers_example():
+    run_example("distributed_servers.py")
+
+
+def test_all_examples_have_main_and_docstring():
+    examples = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(examples) >= 5, "at least five runnable examples are promised"
+    for path in examples:
+        source = path.read_text()
+        assert '"""' in source.lstrip()[:3], f"{path.name} lacks a docstring"
+        assert "def main()" in source, f"{path.name} lacks a main()"
+        assert '__name__ == "__main__"' in source, f"{path.name} lacks an entry guard"
