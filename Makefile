@@ -1,0 +1,32 @@
+# Developer entry points.  Everything runs from the repo root with no
+# installation: src/ goes on PYTHONPATH.  See README.md.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-engine docs-check check
+
+# Tier-1 verification: the full unit/integration suite, fail-fast.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Paper-claim experiments E1-E8 plus the batch-engine gate; tables are
+# printed and written to benchmarks/results/.
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+# Just the batched-vs-scalar sketch engine gate (>=5x, bit-identical).
+bench-engine:
+	$(PYTHON) -m pytest benchmarks/bench_batch_engine.py -q
+
+# Documentation gates: public-API docstring coverage, and the docs the
+# README promises must exist.
+docs-check:
+	$(PYTHON) tools/check_docstrings.py
+	@for f in README.md docs/paper_map.md docs/performance.md; do \
+		test -f $$f || { echo "missing $$f"; exit 1; }; \
+	done
+	@echo "docs OK: README.md, docs/paper_map.md, docs/performance.md present"
+
+# Everything a PR should pass.
+check: docs-check test

@@ -1,0 +1,134 @@
+"""Batch engine — scalar vs. vectorized sketch update throughput.
+
+The batched sketch engine (``update_batch`` across the sketch layer,
+``process_batch`` across the algorithm layer) exists to strip the
+per-update Python interpreter cost off the hot path of every
+experiment.  This bench measures exactly that claim on a ``10^5``-update
+dynamic (insert/delete) stream over the edge-pair domain:
+
+* per-primitive updates/sec, scalar loop vs. one ``update_batch`` call
+  per chunk, with the resulting sketch states asserted bit-identical;
+* a perf smoke gate: the engine-level speedup (total scalar time over
+  total batched time across the primitives) must be >= 5x, with a
+  per-primitive floor of 3x.
+
+``docs/performance.md`` quotes this table and explains when the batched
+path wins (long streams, many updates per sketch) and when it cannot
+(tiny sub-batches fall back to the scalar loop by design).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sketch import (
+    CountSketch,
+    DistinctElementsSketch,
+    L0Sampler,
+    OneSparseDetector,
+    SparseRecoverySketch,
+)
+from repro.util.rng import rng_from_seed
+
+#: Stream length for the headline measurement (the issue's 10^5).
+STREAM_UPDATES = 100_000
+
+#: Chunk length fed to each ``update_batch`` call.
+BATCH_SIZE = 8_192
+
+#: Engine-level speedup gate (scalar total time / batched total time).
+ENGINE_SPEEDUP_FLOOR = 5.0
+
+#: Per-primitive floor; L0 sampling pays an extra routing pass, so its
+#: margin over scalar is structurally the smallest.
+PRIMITIVE_SPEEDUP_FLOOR = 3.0
+
+
+def _dynamic_stream(domain: int, length: int, seed: int) -> tuple[list[int], list[int]]:
+    """A turnstile update sequence: inserts with interleaved deletions."""
+    rng = rng_from_seed(seed, "bench-batch-engine")
+    indices: list[int] = []
+    deltas: list[int] = []
+    live: list[int] = []
+    for _ in range(length):
+        if live and rng.random() < 0.35:
+            position = rng.randrange(len(live))
+            live[position], live[-1] = live[-1], live[position]
+            indices.append(live.pop())
+            deltas.append(-1)
+        else:
+            index = rng.randrange(domain)
+            live.append(index)
+            indices.append(index)
+            deltas.append(+1)
+    return indices, deltas
+
+
+def _measure(factory, indices, deltas) -> tuple[float, float]:
+    """(scalar seconds, batched seconds), states asserted bit-identical."""
+    scalar = factory()
+    start = time.perf_counter()
+    for index, delta in zip(indices, deltas):
+        scalar.update(index, delta)
+    scalar_seconds = time.perf_counter() - start
+
+    batched = factory()
+    start = time.perf_counter()
+    for chunk in range(0, len(indices), BATCH_SIZE):
+        batched.update_batch(
+            indices[chunk : chunk + BATCH_SIZE], deltas[chunk : chunk + BATCH_SIZE]
+        )
+    batched_seconds = time.perf_counter() - start
+
+    assert scalar.state_ints() == batched.state_ints(), (
+        "batched sketch state diverged from the scalar state"
+    )
+    return scalar_seconds, batched_seconds
+
+
+def test_batch_engine_throughput(results):
+    domain = 100_000
+    indices, deltas = _dynamic_stream(domain, STREAM_UPDATES, seed=17)
+
+    primitives = [
+        ("CountSketch(B=8)", lambda: CountSketch(domain, 8, seed="bench")),
+        ("SparseRecovery(B=8)", lambda: SparseRecoverySketch(domain, 8, seed="bench")),
+        ("L0Sampler", lambda: L0Sampler(domain, seed="bench")),
+        ("OneSparseDetector", lambda: OneSparseDetector(domain, seed="bench")),
+        ("DistinctElements", lambda: DistinctElementsSketch(domain, seed="bench")),
+    ]
+
+    rows = [
+        f"batch engine on a {STREAM_UPDATES:,}-update dynamic stream "
+        f"(batch size {BATCH_SIZE:,}, states bit-identical):",
+        f"  {'primitive':<22}{'scalar up/s':>14}{'batched up/s':>14}{'speedup':>9}",
+    ]
+    scalar_total = 0.0
+    batched_total = 0.0
+    speedups: dict[str, float] = {}
+    for name, factory in primitives:
+        scalar_seconds, batched_seconds = _measure(factory, indices, deltas)
+        scalar_total += scalar_seconds
+        batched_total += batched_seconds
+        speedup = scalar_seconds / batched_seconds
+        speedups[name] = speedup
+        rows.append(
+            f"  {name:<22}"
+            f"{STREAM_UPDATES / scalar_seconds:>14,.0f}"
+            f"{STREAM_UPDATES / batched_seconds:>14,.0f}"
+            f"{speedup:>8.1f}x"
+        )
+
+    engine_speedup = scalar_total / batched_total
+    rows.append(f"  {'engine total':<22}{'':>14}{'':>14}{engine_speedup:>8.1f}x")
+    results("bench_batch_engine", "\n".join(rows))
+
+    assert engine_speedup >= ENGINE_SPEEDUP_FLOOR, (
+        f"batch engine speedup {engine_speedup:.2f}x below the "
+        f"{ENGINE_SPEEDUP_FLOOR}x gate"
+    )
+    for name, speedup in speedups.items():
+        assert speedup >= PRIMITIVE_SPEEDUP_FLOOR, (
+            f"{name} batched speedup {speedup:.2f}x below the "
+            f"{PRIMITIVE_SPEEDUP_FLOOR}x floor"
+        )

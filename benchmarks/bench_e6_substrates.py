@@ -1,8 +1,8 @@
 """E6 — substrate honesty: primitive throughput and reliability.
 
 The paper's guarantees are "with high probability" statements about the
-sketching primitives; this experiment calibrates the constants DESIGN.md
-§5 promises: decode success at budget, L0-sampler success, AGM forest
+sketching primitives; this experiment calibrates the constants the
+parameter defaults promise: decode success at budget, L0-sampler success, AGM forest
 completeness, and the spanner's pass-2 coverage diagnostics — plus raw
 update/decode throughput via pytest-benchmark.
 """

@@ -1,6 +1,7 @@
 """E7 — ablations of the implementation's design choices.
 
-DESIGN.md §4-§5 makes three calibration claims; this experiment measures
+The substrate makes three calibration claims (table stacks, repair
+sketches, budget constants); this experiment measures
 each knob's effect so the defaults are justified by data:
 
 * pass-2 Y-stack count vs coverage (the 1-sparse-payload substitution);

@@ -3,7 +3,7 @@
 Every experiment registers its result table here; the tables are printed
 in pytest's terminal summary (visible even with output capture on, so
 ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
-them) and written to ``benchmarks/results/`` for EXPERIMENTS.md.
+them) and written to ``benchmarks/results/`` for the docs.
 """
 
 from __future__ import annotations

@@ -24,7 +24,7 @@ def main() -> None:
     graph = complete_graph(n)
     print(f"input: K_{n} with {graph.num_edges()} edges")
 
-    # Offline-oracle mode of the identical pipeline (see DESIGN.md §2.6);
+    # Offline-oracle mode of the identical pipeline (identical filters/estimator/assembly);
     # sampling_rounds_factor scales the theory's Z down to laptop size.
     params = SparsifierParams(sampling_rounds_factor=0.15)
     pipeline = SpectralSparsifier(n, seed=31, k=2, params=params)

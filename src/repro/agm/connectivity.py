@@ -18,6 +18,8 @@ one-pass :class:`~repro.stream.pipeline.StreamingAlgorithm`s:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.agm.spanning_forest import AgmSketch
 from repro.graph.graph import Graph
 from repro.stream.pipeline import StreamingAlgorithm, run_passes
@@ -42,6 +44,13 @@ class ConnectivityChecker(StreamingAlgorithm):
     def process(self, update: EdgeUpdate, pass_index: int) -> None:
         self._sketch.update(update.u, update.v, update.sign)
 
+    def process_batch(self, updates: Sequence[EdgeUpdate], pass_index: int) -> None:
+        self._sketch.update_batch(
+            [update.u for update in updates],
+            [update.v for update in updates],
+            [update.sign for update in updates],
+        )
+
     def finalize(self) -> list[set[int]]:
         """The connected components (whp)."""
         return self._sketch.connected_components()
@@ -51,9 +60,11 @@ class ConnectivityChecker(StreamingAlgorithm):
         read-only; callable after the pass)."""
         return len(self.finalize()) == 1
 
-    def run(self, stream: DynamicStream) -> list[set[int]]:
+    def run(
+        self, stream: DynamicStream, batch_size: int | None = None
+    ) -> list[set[int]]:
         """Convenience: run the single pass over ``stream``."""
-        return run_passes(stream, self)
+        return run_passes(stream, self, batch_size=batch_size)
 
     def space_words(self) -> int:
         return self._sketch.space_words()
@@ -85,15 +96,25 @@ class BipartitenessChecker(StreamingAlgorithm):
         self._cover.update(u, v + n, sign)
         self._cover.update(u + n, v, sign)
 
+    def process_batch(self, updates: Sequence[EdgeUpdate], pass_index: int) -> None:
+        us = [update.u for update in updates]
+        vs = [update.v for update in updates]
+        signs = [update.sign for update in updates]
+        self._base.update_batch(us, vs, signs)
+        n = self.num_vertices
+        self._cover.update_batch(
+            us + [u + n for u in us], [v + n for v in vs] + vs, signs + signs
+        )
+
     def finalize(self) -> bool:
         """``True`` iff the final graph is bipartite (whp)."""
         base_components = len(self._base.connected_components())
         cover_components = len(self._cover.connected_components())
         return cover_components == 2 * base_components
 
-    def run(self, stream: DynamicStream) -> bool:
+    def run(self, stream: DynamicStream, batch_size: int | None = None) -> bool:
         """Convenience: run the single pass over ``stream``."""
-        return run_passes(stream, self)
+        return run_passes(stream, self, batch_size=batch_size)
 
     def space_words(self) -> int:
         return self._base.space_words() + self._cover.space_words()
@@ -126,6 +147,13 @@ class KConnectivityCertificate(StreamingAlgorithm):
         for stack in self._stacks:
             stack.update(update.u, update.v, update.sign)
 
+    def process_batch(self, updates: Sequence[EdgeUpdate], pass_index: int) -> None:
+        us = [update.u for update in updates]
+        vs = [update.v for update in updates]
+        signs = [update.sign for update in updates]
+        for stack in self._stacks:
+            stack.update_batch(us, vs, signs)
+
     def finalize(self) -> Graph:
         """The certificate subgraph (unit weights)."""
         # Each stack is consulted once, with *every* previously recovered
@@ -143,9 +171,9 @@ class KConnectivityCertificate(StreamingAlgorithm):
                     certificate.add_edge(*pair)
         return certificate
 
-    def run(self, stream: DynamicStream) -> Graph:
+    def run(self, stream: DynamicStream, batch_size: int | None = None) -> Graph:
         """Convenience: run the single pass over ``stream``."""
-        return run_passes(stream, self)
+        return run_passes(stream, self, batch_size=batch_size)
 
     def space_words(self) -> int:
         return sum(stack.space_words() for stack in self._stacks)

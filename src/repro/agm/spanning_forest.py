@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.agm.incidence import decode_edge, incidence_updates
 from repro.sketch.l0sampler import L0Sampler
 from repro.util.rng import derive_seed
@@ -110,11 +112,59 @@ class AgmSketch:
             for r in range(self.rounds):
                 self._samplers[vertex][r].update(coordinate, signed)
 
+    def update_batch(self, us, vs, deltas) -> None:
+        """Apply a whole batch of edge updates ``x_{u_t v_t} += delta_t``.
+
+        The signed-incidence encoding is computed vectorized, the
+        resulting coordinate updates are grouped per endpoint with one
+        stable sort, and each vertex's samplers consume their slice
+        through the vectorized
+        :meth:`~repro.sketch.l0sampler.L0Sampler.update_batch` — the
+        state is bit-identical to the scalar :meth:`update` sequence.
+        """
+        us = np.ascontiguousarray(us, dtype=np.int64)
+        vs = np.ascontiguousarray(vs, dtype=np.int64)
+        values = np.ascontiguousarray(deltas, dtype=np.int64)
+        if not (us.shape == vs.shape == values.shape) or us.ndim != 1:
+            raise ValueError("us, vs, deltas must be 1-D of equal length")
+        if us.size == 0:
+            return
+        if int(min(us.min(), vs.min())) < 0 or int(max(us.max(), vs.max())) >= self.num_vertices:
+            raise ValueError(f"vertex batch leaves [0, {self.num_vertices})")
+        if np.any(us == vs):
+            raise ValueError("self-loops are not allowed")
+        low = np.minimum(us, vs)
+        high = np.maximum(us, vs)
+        coordinates = low * np.int64(self.num_vertices) + high
+        # Each edge touches both endpoints: +delta at the low endpoint,
+        # -delta at the high endpoint (the AGM sign convention).
+        endpoints = np.concatenate([low, high])
+        coordinate_pairs = np.concatenate([coordinates, coordinates])
+        signed = np.concatenate([values, -values])
+        order = np.argsort(endpoints, kind="stable")
+        endpoints = endpoints[order]
+        coordinate_pairs = coordinate_pairs[order]
+        signed = signed[order]
+        boundaries = np.flatnonzero(np.diff(endpoints)) + 1
+        starts = np.concatenate([[0], boundaries])
+        stops = np.concatenate([boundaries, [endpoints.size]])
+        for start, stop in zip(starts, stops):
+            vertex = int(endpoints[start])
+            slice_coords = coordinate_pairs[start:stop]
+            slice_deltas = signed[start:stop]
+            for r in range(self.rounds):
+                self._samplers[vertex][r].update_batch(slice_coords, slice_deltas)
+
     def subtract_edges(self, edges: dict[tuple[int, int], int]) -> None:
         """Remove known edges (pair -> multiplicity) by linearity."""
-        for (u, v), multiplicity in edges.items():
-            if multiplicity != 0:
-                self.update(u, v, -multiplicity)
+        live = [(u, v, m) for (u, v), m in edges.items() if m != 0]
+        if not live:
+            return
+        self.update_batch(
+            [u for u, _, _ in live],
+            [v for _, v, _ in live],
+            [-m for _, _, m in live],
+        )
 
     def combine(self, other: "AgmSketch", sign: int = 1) -> None:
         """In-place ``self += sign * other``; seeds must match."""

@@ -22,28 +22,86 @@ import sys
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for knobs that must be >= 1 (e.g. --batch-size)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (each subcommand carries a usage
+    epilog — ``python -m repro <command> --help``)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Spanners and sparsifiers in dynamic streams (Kapralov-Woodruff PODC'14)",
+        epilog=(
+            "Each subcommand generates a seeded workload, runs the streaming "
+            "algorithm, and verifies the paper's guarantee; exit code 0 means "
+            "the guarantee held.  See README.md and docs/paper_map.md."
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    fmt = argparse.RawDescriptionHelpFormatter
 
-    spanner = subparsers.add_parser("spanner", help="two-pass 2^k-spanner (Theorem 1)")
+    spanner = subparsers.add_parser(
+        "spanner",
+        help="two-pass 2^k-spanner (Theorem 1)",
+        formatter_class=fmt,
+        epilog=(
+            "Builds a G(n,p) graph, streams it with churn (transient edges\n"
+            "inserted then deleted), runs Algorithm 1+2 in exactly two passes\n"
+            "and checks max stretch <= 2^k.  Space is ~O(n^{1+1/k}) words and\n"
+            "is printed from measured sketch sizes.  --batch-size routes the\n"
+            "stream through the vectorized sketch engine (identical output;\n"
+            "see docs/performance.md).\n\n"
+            "example: python -m repro spanner --n 96 --k 2 --p 0.12 --churn 0.5"
+        ),
+    )
     spanner.add_argument("--n", type=int, default=64, help="number of vertices")
     spanner.add_argument("--k", type=int, default=2, help="stretch parameter (stretch 2^k)")
     spanner.add_argument("--p", type=float, default=0.15, help="G(n,p) density")
     spanner.add_argument("--churn", type=float, default=0.3, help="transient-edge ratio")
     spanner.add_argument("--seed", type=int, default=7)
+    spanner.add_argument(
+        "--batch-size", type=_positive_int, default=None,
+        help="chunk the stream through the batched sketch engine",
+    )
 
-    additive = subparsers.add_parser("additive", help="one-pass additive spanner (Theorem 3)")
+    additive = subparsers.add_parser(
+        "additive",
+        help="one-pass additive spanner (Theorem 3)",
+        formatter_class=fmt,
+        epilog=(
+            "One pass of Algorithm 3: low-degree vertices contribute their\n"
+            "whole sketched neighborhood, high-degree vertices attach to\n"
+            "sampled centers; checks additive error <= 6n/d against the\n"
+            "offline distances.  Space grows with d (the theory's ~O(nd)).\n\n"
+            "example: python -m repro additive --n 64 --d 4 --density 0.35"
+        ),
+    )
     additive.add_argument("--n", type=int, default=64)
     additive.add_argument("--d", type=int, default=4, help="space knob (error O(n/d))")
     additive.add_argument("--density", type=float, default=0.35, help="G(n,p) density")
     additive.add_argument("--churn", type=float, default=0.3)
     additive.add_argument("--seed", type=int, default=7)
 
-    sparsify = subparsers.add_parser("sparsify", help="two-pass spectral sparsifier (Corollary 2)")
+    sparsify = subparsers.add_parser(
+        "sparsify",
+        help="two-pass spectral sparsifier (Corollary 2)",
+        formatter_class=fmt,
+        epilog=(
+            "Algorithm 6: robust connectivities from subsampled spanner\n"
+            "oracles, Z sampling rounds of augmented spanners, averaged into\n"
+            "a weighted sparsifier; reports the spectral approximation ratio\n"
+            "and sampled cut discrepancies.  Default mode builds sub-spanners\n"
+            "offline with identical semantics; --streaming runs the full\n"
+            "sketch pipeline in exactly two passes (slow; keep n small, and\n"
+            "use --batch-size to ride the batched sketch engine).\n\n"
+            "example: python -m repro sparsify --n 36 --rounds-factor 0.15"
+        ),
+    )
     sparsify.add_argument("--n", type=int, default=36)
     sparsify.add_argument("--p", type=float, default=0.3)
     sparsify.add_argument("--k", type=int, default=2, help="oracle depth (stretch 2^k)")
@@ -56,16 +114,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the full sketch-based pipeline (slow; keep n small)",
     )
     sparsify.add_argument("--seed", type=int, default=7)
+    sparsify.add_argument(
+        "--batch-size", type=_positive_int, default=None,
+        help="with --streaming: chunk size for the batched sketch engine",
+    )
 
     connectivity = subparsers.add_parser(
-        "connectivity", help="one-pass connectivity / bipartiteness (AGM sketches)"
+        "connectivity",
+        help="one-pass connectivity / bipartiteness (AGM sketches)",
+        formatter_class=fmt,
+        epilog=(
+            "AGM spanning-forest sketches (Theorem 10): one pass, then\n"
+            "Boruvka over summed per-vertex L0-samplers yields components;\n"
+            "bipartiteness via the double-cover reduction.  Components are\n"
+            "verified against the offline ground truth.  --batch-size feeds\n"
+            "the sketches through their vectorized update paths.\n\n"
+            "example: python -m repro connectivity --n 48 --p 0.1 --churn 0.5"
+        ),
     )
     connectivity.add_argument("--n", type=int, default=48)
     connectivity.add_argument("--p", type=float, default=0.1)
     connectivity.add_argument("--churn", type=float, default=0.5)
     connectivity.add_argument("--seed", type=int, default=7)
+    connectivity.add_argument(
+        "--batch-size", type=_positive_int, default=None,
+        help="chunk the stream through the batched sketch engine",
+    )
 
-    game = subparsers.add_parser("game", help="Theorem 4's INDEX communication game")
+    game = subparsers.add_parser(
+        "game",
+        help="Theorem 4's INDEX communication game",
+        formatter_class=fmt,
+        epilog=(
+            "Runs the one-way protocol behind the Omega(nd) lower bound:\n"
+            "Alice streams her blocks of G(d, 1/2) through the additive\n"
+            "spanner, her serialized state is the message, Bob resumes on\n"
+            "his path edges and answers the INDEX query.  Budgets matched to\n"
+            "the instance clear the 2/3 bar; starved budgets approach a coin\n"
+            "flip — the space/distortion tradeoff made visible.\n\n"
+            "example: python -m repro game --blocks 4 --block-size 16 --budget 8"
+        ),
+    )
     game.add_argument("--blocks", type=int, default=4)
     game.add_argument("--block-size", type=int, default=16)
     game.add_argument("--budget", type=int, default=8, help="the algorithm's d' space knob")
@@ -84,7 +173,7 @@ def _cmd_spanner(args) -> int:
     graph = connected_gnp(args.n, args.p, seed=args.seed)
     stream = stream_from_graph(graph, seed=args.seed, churn=args.churn)
     builder = TwoPassSpannerBuilder(args.n, args.k, seed=args.seed + 1)
-    output = builder.run(stream)
+    output = builder.run(stream, batch_size=args.batch_size)
     report = evaluate_multiplicative_stretch(graph, output.spanner)
     print(f"input    : G({args.n}, {args.p}) m={graph.num_edges()}, "
           f"{len(stream)} tokens ({stream.num_deletions()} deletions)")
@@ -127,7 +216,10 @@ def _cmd_sparsify(args) -> int:
     params = SparsifierParams(sampling_rounds_factor=args.rounds_factor)
     if args.streaming:
         stream = stream_from_graph(graph, seed=args.seed, churn=0.3)
-        sparsifier = sparsify_stream(stream, seed=args.seed + 1, k=args.k, params=params)
+        sparsifier = sparsify_stream(
+            stream, seed=args.seed + 1, k=args.k, params=params,
+            batch_size=args.batch_size,
+        )
         mode = "full streaming (2 passes)"
     else:
         pipeline = SpectralSparsifier(args.n, seed=args.seed + 1, k=args.k, params=params)
@@ -150,8 +242,12 @@ def _cmd_connectivity(args) -> int:
 
     graph = connected_gnp(args.n, args.p, seed=args.seed)
     stream = stream_from_graph(graph, seed=args.seed, churn=args.churn)
-    components = ConnectivityChecker(args.n, seed=args.seed + 1).run(stream)
-    bipartite = BipartitenessChecker(args.n, seed=args.seed + 2).run(stream)
+    components = ConnectivityChecker(args.n, seed=args.seed + 1).run(
+        stream, batch_size=args.batch_size
+    )
+    bipartite = BipartitenessChecker(args.n, seed=args.seed + 2).run(
+        stream, batch_size=args.batch_size
+    )
     print(f"input     : G({args.n}, {args.p}) m={graph.num_edges()}, "
           f"{len(stream)} tokens")
     print(f"components: {len(components)} (single pass)")
@@ -189,8 +285,8 @@ def _cmd_info(_args) -> int:
     print(f"repro {__version__} — Kapralov & Woodruff, PODC 2014 reproduction")
     print("results: Thm 1 (2-pass 2^k-spanner), Cor 2 (2-pass sparsifier),")
     print("         Thm 3 (1-pass additive spanner), Thm 4 (Omega(nd) bound)")
-    print("experiments: pytest benchmarks/ --benchmark-only  (E1-E8)")
-    print("docs: README.md, DESIGN.md, EXPERIMENTS.md, docs/PAPER_MAP.md")
+    print("experiments: pytest benchmarks/ --benchmark-only  (E1-E8 + batch engine)")
+    print("docs: README.md, docs/paper_map.md, docs/performance.md")
     return 0
 
 

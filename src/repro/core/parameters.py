@@ -34,7 +34,8 @@ class SpannerParams:
     table_stacks:
         Independent ``Y_j``-stack repetitions.  The paper stores an
         ``O(log n)``-budget sketch per key; we store a 1-sparse detector
-        per key per level (DESIGN.md §4), and independent stacks restore
+        per key per level (see
+        :mod:`repro.sketch.linear_hash_table`), and stacks restore
         the per-key success probability (a key with exactly two in-tree
         neighbors defeats one stack with probability 1/3 — the nested
         levels drop both neighbors at once when their geometric levels

@@ -32,6 +32,7 @@ by weight class (Section 6's rounding), via :func:`sparsify_weighted_graph`.
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 from repro.core.estimate import RobustConnectivityEstimator
 from repro.core.offline_spanner import offline_two_phase_spanner
@@ -219,6 +220,12 @@ class StreamingSparsifier(StreamingAlgorithm):
         for builder in self._all_builders():
             builder.process(update, pass_index)
 
+    def process_batch(self, updates: Sequence[EdgeUpdate], pass_index: int) -> None:
+        # Every sub-spanner applies its own hash filter to the chunk and
+        # rides its batched sketch paths.
+        for builder in self._all_builders():
+            builder.process_batch(updates, pass_index)
+
     def end_pass(self, pass_index: int) -> None:
         for builder in self._all_builders():
             builder.end_pass(pass_index)
@@ -307,6 +314,13 @@ class StreamingWeightedSparsifier(StreamingAlgorithm):
     def process(self, update: EdgeUpdate, pass_index: int) -> None:
         self._pipelines[self.weight_class(update.weight)].process(update, pass_index)
 
+    def process_batch(self, updates: Sequence[EdgeUpdate], pass_index: int) -> None:
+        by_class: dict[int, list[EdgeUpdate]] = {}
+        for update in updates:
+            by_class.setdefault(self.weight_class(update.weight), []).append(update)
+        for weight_class, chunk in by_class.items():
+            self._pipelines[weight_class].process_batch(chunk, pass_index)
+
     def end_pass(self, pass_index: int) -> None:
         for pipeline in self._pipelines:
             pipeline.end_pass(pass_index)
@@ -333,10 +347,15 @@ def sparsify_stream(
     seed: int | str,
     k: int = 2,
     params: SparsifierParams | None = None,
+    batch_size: int | None = None,
 ) -> Graph:
-    """Two-pass streaming sparsification of ``stream`` (Corollary 2)."""
+    """Two-pass streaming sparsification of ``stream`` (Corollary 2).
+
+    ``batch_size`` chunks each pass through the batched sketch engine
+    (identical output; see ``docs/performance.md``).
+    """
     algorithm = StreamingSparsifier(stream.num_vertices, seed, k=k, params=params)
-    return run_passes(stream, algorithm)
+    return run_passes(stream, algorithm, batch_size=batch_size)
 
 
 def sparsify_weighted_graph(

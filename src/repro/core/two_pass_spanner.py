@@ -11,7 +11,8 @@ Pass 1 (Algorithm 1 — CONSTRUCTCLUSTERS)
 
 Pass 2 (Algorithm 2 — CONSTRUCTSPANNER)
     Every terminal root keeps, per vertex-sample level ``Y_j`` (and per
-    independent repetition — see DESIGN.md §4), a linear hash table
+    independent repetition — see :mod:`repro.sketch.linear_hash_table`
+    and ``SpannerParams.table_stacks``), a linear hash table
     ``H^u_j`` keyed by outside vertices ``v`` whose payload sketches
     ``N(v) ∩ T_u ∩ Y_j``.  Decoding the tables yields one edge from each
     outside neighbor into the cluster, completing the spanner.
@@ -29,7 +30,10 @@ spectral sparsifier's sampler consumes.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections import defaultdict
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.core.cluster_forest import ClusterForest, Copy
 from repro.core.levels import LevelSamples
@@ -140,6 +144,20 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         else:
             self._process_second_pass(update)
 
+    def process_batch(self, updates: Sequence[EdgeUpdate], pass_index: int) -> None:
+        """Consume a chunk of stream tokens through the batched sketch
+        paths; final state is bit-identical to the scalar loop."""
+        if self.edge_filter is not None:
+            updates = [
+                update for update in updates if self.edge_filter(update.u, update.v)
+            ]
+        if not updates:
+            return
+        if pass_index == 0:
+            self._process_first_pass_batch(updates)
+        else:
+            self._process_second_pass_batch(updates)
+
     def end_pass(self, pass_index: int) -> None:
         if pass_index == 0:
             self._build_forest()
@@ -148,9 +166,14 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
     def finalize(self) -> SpannerOutput:
         return self._recover_spanner()
 
-    def run(self, stream: DynamicStream) -> SpannerOutput:
-        """Convenience: run both passes over ``stream``."""
-        return run_passes(stream, self)
+    def run(self, stream: DynamicStream, batch_size: int | None = None) -> SpannerOutput:
+        """Convenience: run both passes over ``stream``.
+
+        Pass a ``batch_size`` to ride the vectorized sketch engine
+        (identical output, much faster on long streams — see
+        ``docs/performance.md``).
+        """
+        return run_passes(stream, self, batch_size=batch_size)
 
     # ------------------------------------------------------------------
     # Distributed merging (linearity across stream shards)
@@ -222,6 +245,45 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
                     continue  # Q sums only target levels r = i+1 >= 1
                 for j in range(deepest_j + 1):
                     self._cluster_sketch(endpoint, r, j).update(pair, update.sign)
+
+    def _process_first_pass_batch(self, updates: Sequence[EdgeUpdate]) -> None:
+        """Batched Algorithm 1 updates.
+
+        The edge-pair coordinates and their nested sample levels ``E_j``
+        are computed in two vectorized passes; the per-update routing
+        (which ``(endpoint, r)`` sketch stacks an edge feeds) is grouped
+        in plain dicts, and every group then rides
+        :meth:`~repro.sketch.sparse_recovery.SparseRecoverySketch.update_batch`.
+        """
+        us = np.array([update.u for update in updates], dtype=np.int64)
+        vs = np.array([update.v for update in updates], dtype=np.int64)
+        signs = np.array([update.sign for update in updates], dtype=np.int64)
+        pairs = us * np.int64(self.num_vertices) + vs  # canonical u < v
+        deepest = np.minimum(
+            self._edge_sampler.level_array(pairs), self._edge_levels
+        )
+        # Route update positions to their (endpoint, r) sketch stacks;
+        # levels_of is hash-derived, so memoize it per distinct vertex.
+        levels_cache: dict[int, list[int]] = {}
+        groups: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for position, update in enumerate(updates):
+            for endpoint, other in ((update.u, update.v), (update.v, update.u)):
+                levels = levels_cache.get(other)
+                if levels is None:
+                    levels = [r for r in self.levels.levels_of(other) if r != 0]
+                    levels_cache[other] = levels
+                for r in levels:
+                    groups[(endpoint, r)].append(position)
+        for (endpoint, r), positions in groups.items():
+            selector = np.array(positions, dtype=np.intp)
+            group_pairs = pairs[selector]
+            group_signs = signs[selector]
+            group_deepest = deepest[selector]
+            for j in range(int(group_deepest.max()) + 1):
+                surviving = group_deepest >= j
+                self._cluster_sketch(endpoint, r, j).update_batch(
+                    group_pairs[surviving], group_signs[surviving]
+                )
 
     def _build_forest(self) -> None:
         """Between-pass forest construction (lines 8-20 of Algorithm 1)."""
@@ -331,6 +393,54 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
                         self._tables[(root, stack, j)].add_neighbor(
                             key=outside, neighbor=inside, delta=update.sign
                         )
+
+    def _process_second_pass_batch(self, updates: Sequence[EdgeUpdate]) -> None:
+        """Batched Algorithm 2 updates.
+
+        Routing (which terminal trees an update crosses into) is grouped
+        per root in plain dicts; the cut sketches and the per-stack hash
+        tables then absorb each group through their vectorized batch
+        paths.  The ``Y_j`` level of each inside endpoint is memoized
+        per stack, mirroring the scalar path's hash evaluations.
+        """
+        if self.forest is None:
+            raise RuntimeError("second pass before the forest was built")
+        cut_groups: dict[Copy, list[tuple[int, int]]] = defaultdict(list)
+        # (root, stack) -> (keys, neighbors, deltas, deepest levels)
+        table_groups: dict[tuple[Copy, int], list[tuple[int, int, int, int]]] = (
+            defaultdict(list)
+        )
+        y_levels: list[dict[int, int]] = [{} for _ in self._y_samplers]
+        for update in updates:
+            pair = edge_index(update.u, update.v, self.num_vertices)
+            for inside, outside in ((update.u, update.v), (update.v, update.u)):
+                for root in self._trees_of_vertex[inside]:
+                    if outside in self._terminal_trees[root]:
+                        continue
+                    if root in self._cut_sketches:
+                        cut_groups[root].append((pair, update.sign))
+                    for stack, sampler in enumerate(self._y_samplers):
+                        deepest = y_levels[stack].get(inside)
+                        if deepest is None:
+                            deepest = min(sampler.level(inside), self._vertex_levels)
+                            y_levels[stack][inside] = deepest
+                        table_groups[(root, stack)].append(
+                            (outside, inside, update.sign, deepest)
+                        )
+        for root, entries in cut_groups.items():
+            self._cut_sketches[root].update_batch(
+                [pair for pair, _ in entries], [sign for _, sign in entries]
+            )
+        for (root, stack), entries in table_groups.items():
+            deepest = np.array([entry[3] for entry in entries], dtype=np.int64)
+            keys = np.array([entry[0] for entry in entries], dtype=np.int64)
+            neighbors = np.array([entry[1] for entry in entries], dtype=np.int64)
+            deltas = np.array([entry[2] for entry in entries], dtype=np.int64)
+            for j in range(int(deepest.max()) + 1):
+                surviving = deepest >= j
+                self._tables[(root, stack, j)].add_neighbors_batch(
+                    keys[surviving], neighbors[surviving], deltas[surviving]
+                )
 
     def _recover_spanner(self) -> SpannerOutput:
         """Post-pass-2 recovery (lines 20-33 of Algorithm 2)."""

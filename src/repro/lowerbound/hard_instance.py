@@ -39,6 +39,7 @@ class HardInstance:
 
     @property
     def num_vertices(self) -> int:
+        """Total vertices ``n = s * d`` across all blocks."""
         return self.num_blocks * self.block_size
 
     def vertex(self, block: int, local: int) -> int:

@@ -45,6 +45,7 @@ class GameReport:
 
     @property
     def success_rate(self) -> float:
+        """Bob's empirical success fraction (Theorem 4's 2/3 bar)."""
         return self.successes / self.trials
 
     def message_bits(self, bits_per_word: int = 64) -> float:

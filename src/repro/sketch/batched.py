@@ -1,0 +1,287 @@
+"""Exact vectorized arithmetic over ``F_p`` (``p = 2^61 - 1``) in numpy.
+
+The scalar sketches do three expensive things per stream update, all in
+pure Python: evaluate ``k``-wise polynomial hashes (Horner over 61-bit
+field elements), raise the fingerprint base to the coordinate's power
+(``pow(z, i, p)``), and scatter the resulting contributions into counter
+cells.  This module provides the numpy counterparts that the
+``update_batch`` fast paths are built from.
+
+Everything here is **exact**: products of 61-bit field elements are
+evaluated via 32-bit limb splitting so no intermediate ever exceeds 64
+bits, and Mersenne reduction (``2^61 ≡ 1 mod p``) folds the limbs back.
+A batched sketch update therefore lands in *bit-identical* state to the
+equivalent sequence of scalar updates — the property
+``tests/sketch/test_batched.py`` asserts and the graph algorithms rely
+on (same-seeded sketches must stay summable across code paths).
+
+Key entry points
+----------------
+:func:`mulmod61`, :func:`addmod61`, :func:`powmod61`
+    element-wise field arithmetic on ``uint64`` arrays;
+:func:`polyhash61`
+    vectorized Horner evaluation of a coefficient list (the batched
+    form of :meth:`repro.sketch.hashing.KWiseHash.__call__`);
+:func:`scatter_sum_mod61`
+    scatter-add of field elements into cells, overflow-free via limb
+    splitting (the batched form of ``cells[h(i)] += delta * z^i mod p``);
+:func:`fits_int64_products`
+    the guard the sketches use to decide whether a batch can ride the
+    ``int64`` scatter fast path or must fall back to exact Python loops
+    (arbitrary-precision payloads, e.g. serialized inner sketches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.hashing import MERSENNE_61
+
+__all__ = [
+    "MASK32",
+    "SMALL_BATCH",
+    "addmod61",
+    "as_index_array",
+    "as_delta_array",
+    "fits_int64_products",
+    "max_abs_int64",
+    "mulmod61",
+    "polyhash61",
+    "powmod61",
+    "prepare_batch",
+    "scatter_sum_mod61",
+    "sum_mod61",
+]
+
+#: Low 32-bit limb mask used by the exact 61-bit multiplication.
+MASK32 = np.uint64((1 << 32) - 1)
+
+#: Below this batch length the numpy fast path's fixed per-call cost
+#: exceeds the scalar loop's; sketches route such batches to their
+#: scalar ``update`` (identical state either way).  192 is the measured
+#: crossover for the sparse-recovery shapes used across the repo;
+#: sketches with a different scalar/vector cost balance override it
+#: (CountSketch 128, L0Sampler 384 — see ``docs/performance.md``).
+SMALL_BATCH = 192
+
+_M61 = np.uint64(MERSENNE_61)
+_ZERO = np.uint64(0)
+
+
+def as_index_array(indices) -> np.ndarray:
+    """Coerce a coordinate batch to a contiguous ``int64`` array."""
+    array = np.ascontiguousarray(indices, dtype=np.int64)
+    if array.ndim != 1:
+        raise ValueError(f"index batch must be 1-D, got shape {array.shape}")
+    return array
+
+
+def as_delta_array(deltas, length: int):
+    """Coerce a delta batch to ``int64`` if every value fits, else a list.
+
+    Returns ``(array_or_list, fits_int64)``.  Arbitrary-precision deltas
+    (the linear hash tables push ~``2^61``-sized serialized payloads
+    through their sketches) keep exact Python integers and route the
+    caller onto the mixed fallback path.
+    """
+    try:
+        array = np.ascontiguousarray(deltas, dtype=np.int64)
+    except OverflowError:
+        values = [int(d) for d in deltas]
+        if len(values) != length:
+            raise ValueError("indices and deltas must have equal length")
+        return values, False
+    if array.ndim != 1 or array.shape[0] != length:
+        raise ValueError("indices and deltas must be 1-D of equal length")
+    return array, True
+
+
+def prepare_batch(
+    indices,
+    deltas,
+    *,
+    domain_size: int | None = None,
+    small_batch: int = 0,
+    scalar_bigints: bool = False,
+):
+    """The shared ``update_batch`` prologue of every sketch.
+
+    Coerces and validates a batch, decides its route, and strips zero
+    deltas from the vectorized routes.  Returns ``(route, idx, values,
+    fits)`` where ``route`` is one of
+
+    * ``"empty"``  — nothing to do (``idx``/``values`` are ``None``);
+    * ``"scalar"`` — the caller should loop its scalar ``update`` over
+      ``zip(idx, values)`` (batch under ``small_batch``, or
+      arbitrary-precision deltas with ``scalar_bigints=True`` for
+      sketches without a vectorized bigint path);
+    * ``"vector"`` — ``idx`` (``int64`` array) and ``values`` (``int64``
+      array when ``fits``, else a list of exact Python ints) are
+      zero-filtered and ready for the numpy path.
+
+    ``domain_size=None`` skips domain validation (for sketches whose
+    scalar ``update`` delegates validation to an inner sketch).
+    """
+    idx = as_index_array(indices)
+    if idx.size == 0:
+        return "empty", None, None, True
+    if domain_size is not None and (
+        int(idx.min()) < 0 or int(idx.max()) >= domain_size
+    ):
+        raise IndexError(f"index batch leaves domain [0, {domain_size})")
+    values, fits = as_delta_array(deltas, idx.size)
+    if (fits and idx.size <= small_batch) or (not fits and scalar_bigints):
+        return "scalar", idx, values, fits
+    if fits:
+        nonzero = values != 0
+        if not nonzero.all():
+            idx, values = idx[nonzero], values[nonzero]
+            if idx.size == 0:
+                return "empty", None, None, True
+    else:
+        keep = [t for t, delta in enumerate(values) if delta != 0]
+        if not keep:
+            return "empty", None, None, False
+        idx = idx[keep]
+        values = [values[t] for t in keep]
+    return "vector", idx, values, fits
+
+
+def max_abs_int64(values: np.ndarray) -> int:
+    """Exact ``max(|values|)`` of a nonempty ``int64`` array.
+
+    Computed from the extrema in Python integers: ``np.abs`` wraps on
+    ``-2^63`` (its magnitude is not representable in ``int64``), which
+    would let that delta slip past :func:`fits_int64_products`.
+    """
+    return max(abs(int(values.min())), abs(int(values.max())))
+
+
+def fits_int64_products(length: int, max_abs_delta: int, max_index: int) -> bool:
+    """Whether ``sum_t |delta_t * index_t|`` stays safely below ``2^62``.
+
+    The int64 scatter fast path accumulates ``delta`` and
+    ``delta * index`` per cell with ``np.add.at``; this bound guarantees
+    no intermediate (even if every update hits the same cell) can
+    overflow a signed 64-bit accumulator.
+    """
+    if length == 0:
+        return True
+    return length * max_abs_delta * max(max_index, 1) < (1 << 62)
+
+
+def _fold61(values: np.ndarray) -> np.ndarray:
+    """Reduce ``uint64`` values below ``2^63`` into ``[0, p)``."""
+    values = (values >> np.uint64(61)) + (values & _M61)
+    return np.where(values >= _M61, values - _M61, values)
+
+
+def addmod61(a: np.ndarray, b) -> np.ndarray:
+    """Element-wise ``(a + b) mod p`` for operands already in ``[0, p)``."""
+    return _fold61(a + b)
+
+
+def mulmod61(a, b) -> np.ndarray:
+    """Element-wise ``(a * b) mod p`` for operands in ``[0, p)``, exactly.
+
+    Splits both operands into 32-bit limbs so every partial product fits
+    ``uint64``, then folds with ``2^61 ≡ 1``, ``2^64 ≡ 8 (mod p)``.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    a_hi, a_lo = a >> np.uint64(32), a & MASK32
+    b_hi, b_lo = b >> np.uint64(32), b & MASK32
+    # a*b = hi*2^64 + mid*2^32 + lo with hi < 2^58, mid < 2^62, lo < 2^64.
+    hi = a_hi * b_hi
+    mid = a_hi * b_lo + a_lo * b_hi
+    lo = a_lo * b_lo
+    # mid*2^32 = (mid >> 29)*2^61 + (mid & (2^29-1))*2^32  ≡  fold both.
+    mid_hi, mid_lo = mid >> np.uint64(29), mid & np.uint64((1 << 29) - 1)
+    total = (
+        hi * np.uint64(8)  # 2^64 ≡ 8
+        + mid_hi  # 2^61 ≡ 1
+        + (mid_lo << np.uint64(32))
+        + (lo >> np.uint64(61))
+        + (lo & _M61)
+    )  # < 2^63, no wraparound
+    return _fold61(_fold61(total))
+
+
+def polyhash61(coefficients, xs: np.ndarray) -> np.ndarray:
+    """Vectorized Horner: ``(((c0*x + c1)*x + c2)...) mod p``.
+
+    Bit-identical to :meth:`repro.sketch.hashing.KWiseHash.__call__`
+    evaluated element-wise (inputs are reduced mod ``p`` first, which is
+    a no-op for in-range sketch coordinates).
+    """
+    xs = np.asarray(xs)
+    if xs.dtype != np.uint64:
+        xs = np.remainder(xs, MERSENNE_61).astype(np.uint64)
+    else:
+        xs = np.where(xs >= _M61, xs - _M61, xs)
+    # Horner with acc starting at the leading coefficient (the first
+    # round of the naive loop is mulmod(0, x) — pure waste).
+    acc = np.full(xs.shape, np.uint64(coefficients[0] % MERSENNE_61))
+    for coefficient in coefficients[1:]:
+        acc = addmod61(mulmod61(acc, xs), np.uint64(coefficient % MERSENNE_61))
+    return acc
+
+
+def powmod61(base: int, exponents: np.ndarray) -> np.ndarray:
+    """Vectorized ``pow(base, e, p)`` by square-and-multiply.
+
+    ``base`` is a scalar field element (the fingerprint base ``z``);
+    ``exponents`` are non-negative integers (sketch coordinates).  Runs
+    ``bit_length(max exponent)`` vectorized rounds.
+    """
+    exponents = np.asarray(exponents)
+    if np.any(exponents < 0):
+        raise ValueError("exponents must be non-negative")
+    exp = exponents.astype(np.uint64)
+    result = np.ones(exp.shape, dtype=np.uint64)
+    square = base % MERSENNE_61
+    while True:
+        top = int(exp.max()) if exp.size else 0
+        if top == 0:
+            break
+        odd = (exp & np.uint64(1)).astype(bool)
+        if odd.any():
+            result[odd] = mulmod61(result[odd], np.uint64(square))
+        exp = exp >> np.uint64(1)
+        if int(exp.max()) == 0:
+            break
+        square = square * square % MERSENNE_61
+    return result
+
+
+def sum_mod61(terms: np.ndarray) -> int:
+    """Exact ``sum(terms) mod p`` for field elements, any batch length.
+
+    Accumulates the 32-bit limbs separately (each limb sum stays far
+    below ``2^64`` for any realistic batch), then recombines exactly in
+    Python integers.
+    """
+    if terms.size == 0:
+        return 0
+    lo = int(np.sum(terms & MASK32, dtype=np.uint64))
+    hi = int(np.sum(terms >> np.uint64(32), dtype=np.uint64))
+    return (lo + (hi << 32)) % MERSENNE_61
+
+
+def scatter_sum_mod61(cells: int, positions: np.ndarray, terms: np.ndarray) -> np.ndarray:
+    """Per-cell ``sum of terms mod p``: the fingerprint scatter-add.
+
+    ``positions`` maps each term to a cell in ``[0, cells)``; the return
+    value is a ``uint64`` array of length ``cells`` holding each cell's
+    exact sum mod ``p``.  Limb-split so ``np.add.at`` cannot overflow
+    even if every term lands in one cell (safe to ``2^31`` terms).
+    """
+    lo = np.zeros(cells, dtype=np.uint64)
+    hi = np.zeros(cells, dtype=np.uint64)
+    np.add.at(lo, positions, terms & MASK32)
+    np.add.at(hi, positions, terms >> np.uint64(32))
+    # lo < n*2^32, hi < n*2^29: reduce each limb mod p, then recombine as
+    # lo + hi*2^32 mod p — all operands back in field range.
+    lo_red = _fold61(_fold61(lo))
+    hi_red = _fold61(_fold61(hi))
+    return addmod61(lo_red, mulmod61(hi_red, np.uint64((1 << 32) % MERSENNE_61)))

@@ -22,6 +22,9 @@ from repro.util.rng import derive_seed, rng_from_seed
 
 __all__ = ["MERSENNE_61", "KWiseHash", "NestedSampler"]
 
+# numpy is the batch engine's substrate; the scalar paths never touch it.
+import numpy as _np
+
 #: The Mersenne prime 2^61 - 1; field arithmetic mod this prime is exact in
 #: Python integers and collision probabilities are ~2^-61 per comparison.
 MERSENNE_61 = (1 << 61) - 1
@@ -84,6 +87,25 @@ class KWiseHash:
         """Return whether ``x`` belongs to a sample taken at ``probability``."""
         return self.unit(x) < probability
 
+    # -- batched evaluation (the numpy fast path) ----------------------
+
+    def values_array(self, xs: "_np.ndarray") -> "_np.ndarray":
+        """Vectorized :meth:`__call__`: field values for a batch of keys.
+
+        Bit-identical to evaluating the scalar hash element-wise (the
+        batched sketches depend on this — see
+        :mod:`repro.sketch.batched`).
+        """
+        from repro.sketch.batched import polyhash61
+
+        return polyhash61(self._coeffs, xs)
+
+    def bucket_array(self, xs: "_np.ndarray", m: int) -> "_np.ndarray":
+        """Vectorized :meth:`bucket`: bucket choices for a batch of keys."""
+        if m <= 0:
+            raise ValueError(f"bucket count must be positive, got {m}")
+        return (self.values_array(xs) % _np.uint64(m)).astype(_np.int64)
+
     def space_words(self) -> int:
         """Persistent state, in machine words (one per coefficient)."""
         return self.k
@@ -92,11 +114,15 @@ class KWiseHash:
 class NestedSampler:
     """Nested geometric samples ``S_0 ⊇ S_1 ⊇ ...`` with ``Pr[x in S_j] = 2^-j``.
 
-    A single hash value determines membership at *every* level: ``x`` is in
-    ``S_j`` iff the hashed unit value is below ``2^-j``.  :meth:`level`
+    A single hash value determines membership at *every* level: ``x`` is
+    in ``S_j`` iff its hashed field value is below ``2^{61-j}``, i.e. iff
+    the top ``j`` bits of the 61-bit hash are zero — the integer-exact
+    form of "hashed unit value below ``2^-j``".  (Integer comparisons
+    keep the scalar and batched evaluation paths bit-identical; a float
+    surrogate would round differently between the two.)  :meth:`level`
     returns the deepest level containing ``x`` so callers can enumerate
-    ``j = 0..level(x)`` in one evaluation — the access pattern used by the
-    per-level sketches ``S^r_j(u)`` of Algorithm 1.
+    ``j = 0..level(x)`` in one evaluation — the access pattern used by
+    the per-level sketches ``S^r_j(u)`` of Algorithm 1.
     """
 
     __slots__ = ("max_level", "_hash")
@@ -109,19 +135,39 @@ class NestedSampler:
 
     def level(self, x: int) -> int:
         """Deepest ``j`` (capped at ``max_level``) with ``x`` in ``S_j``."""
-        unit = self._hash.unit(x)
-        level = 0
-        threshold = 0.5
-        while level < self.max_level and unit < threshold:
-            level += 1
-            threshold /= 2.0
-        return level
+        value = self._hash(x)
+        if value == 0:
+            return self.max_level
+        return min(self.max_level, max(0, 61 - value.bit_length()))
 
     def contains(self, x: int, j: int) -> bool:
         """Whether ``x`` belongs to the level-``j`` sample ``S_j``."""
         if j == 0:
             return True
-        return self._hash.unit(x) < 2.0 ** (-j)
+        value = self._hash(x)
+        if j > 61:
+            return value == 0
+        return value < (1 << (61 - j))
+
+    def level_array(self, xs: "_np.ndarray") -> "_np.ndarray":
+        """Vectorized :meth:`level`: deepest levels for a batch of keys.
+
+        Bit-identical to the scalar method element-wise; this is what
+        lets ``update_batch`` route each coordinate to exactly the same
+        per-level sketches the scalar path would touch.
+        """
+        values = self._hash.values_array(xs)
+        # x in S_j  <=>  value < 2^(61-j); thresholds ascending in j's
+        # reverse order so searchsorted counts the failed levels.
+        depth = min(self.max_level, 61)
+        thresholds = _np.array(
+            [1 << (61 - j) for j in range(depth, 0, -1)], dtype=_np.uint64
+        )
+        failed = _np.searchsorted(thresholds, values, side="right")
+        levels = (depth - failed).astype(_np.int64)
+        if self.max_level > 61:
+            levels[values == 0] = self.max_level
+        return levels
 
     def space_words(self) -> int:
         """Persistent state, in machine words."""

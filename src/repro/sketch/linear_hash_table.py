@@ -21,12 +21,16 @@ We implement exactly that idea as a reusable substrate:
   per key; since the ``Y_j`` levels already reduce each surviving
   neighborhood to near-singletons, a 1-sparse detector per level carries
   the same guarantee — the standard L0-sampler argument — at a third of
-  the payload width.  DESIGN.md §4 records this constant-factor
-  substitution.)
+  the payload width — a deliberate constant-factor substitution;
+  ``SpannerParams.table_stacks`` restores the per-key success
+  probability.)
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.sketch.batched import as_index_array, powmod61
 from repro.sketch.hashing import MERSENNE_61
 from repro.sketch.onesparse import DecodeStatus, OneSparseDetector, OneSparseResult
 from repro.sketch.sparse_recovery import SparseRecoverySketch
@@ -94,6 +98,26 @@ class LinearHashTable:
         for component, value in enumerate(payload):
             if value != 0:
                 self.add_to_payload(key, component, sign * value)
+
+    def add_to_payload_batch(self, keys, component: int, deltas) -> None:
+        """Batched :meth:`add_to_payload` for one payload component.
+
+        ``payload[keys[t]][component] += deltas[t]`` for the whole
+        batch, via the underlying sketch's vectorized
+        :meth:`~repro.sketch.sparse_recovery.SparseRecoverySketch.update_batch`.
+        Bit-identical to the scalar call sequence; ``deltas`` may hold
+        arbitrary-precision integers (serialized inner-sketch state).
+        """
+        if not 0 <= component < self.payload_len:
+            raise IndexError(f"component {component} out of [0, {self.payload_len})")
+        keys = as_index_array(keys)
+        if keys.size == 0:
+            return
+        if int(keys.min()) < 0 or int(keys.max()) >= self.key_domain:
+            raise IndexError(f"key batch leaves domain [0, {self.key_domain})")
+        self._sketch.update_batch(
+            keys * np.int64(self.payload_len) + np.int64(component), deltas
+        )
 
     def decode(self) -> dict[int, list[int]] | None:
         """Recover ``{key: payload vector}`` or ``None`` if undecodable."""
@@ -164,6 +188,31 @@ class NeighborhoodHashTable:
             raise IndexError(f"neighbor {neighbor} out of [0, {self.num_vertices})")
         power = pow(self._payload_template.fingerprint_base, neighbor, MERSENNE_61)
         self._table.add_payload(key, [delta, delta * neighbor, delta * power])
+
+    def add_neighbors_batch(self, keys, neighbors, deltas) -> None:
+        """Batched :meth:`add_neighbor`: record a whole batch of edge
+        changes ``(neighbors[t], keys[t]) += deltas[t]`` at once.
+
+        The per-neighbor fingerprint powers are computed by one
+        vectorized exponentiation and each payload component is pushed
+        through the table's batched update; state is bit-identical to
+        the equivalent scalar call sequence.
+        """
+        keys = as_index_array(keys)
+        neighbors = as_index_array(neighbors)
+        if keys.size != neighbors.size:
+            raise ValueError("keys and neighbors must have equal length")
+        if keys.size == 0:
+            return
+        if int(neighbors.min()) < 0 or int(neighbors.max()) >= self.num_vertices:
+            raise IndexError(f"neighbor batch leaves [0, {self.num_vertices})")
+        values = np.ascontiguousarray(deltas, dtype=np.int64)
+        powers = powmod61(self._payload_template.fingerprint_base, neighbors)
+        self._table.add_to_payload_batch(keys, 0, values)
+        self._table.add_to_payload_batch(keys, 1, values * neighbors)
+        self._table.add_to_payload_batch(
+            keys, 2, [int(d) * int(p) for d, p in zip(values, powers)]
+        )
 
     def decode_neighbors(self) -> dict[int, OneSparseResult] | None:
         """For every recovered key, decode its neighbor detector.

@@ -28,6 +28,17 @@ from __future__ import annotations
 import math
 from collections import deque
 
+import numpy as np
+
+from repro.sketch.batched import (
+    SMALL_BATCH,
+    fits_int64_products,
+    max_abs_int64,
+    mulmod61,
+    powmod61,
+    prepare_batch,
+    scatter_sum_mod61,
+)
 from repro.sketch.hashing import MERSENNE_61, KWiseHash
 from repro.util.rng import derive_seed
 
@@ -104,7 +115,8 @@ class SparseRecoverySketch:
     # ------------------------------------------------------------------
 
     def update(self, index: int, delta: int) -> None:
-        """Apply ``x[index] += delta``."""
+        """Apply ``x[index] += delta`` (the batch-of-one case of
+        :meth:`update_batch`; both paths land in identical state)."""
         if not 0 <= index < self.domain_size:
             raise IndexError(f"index {index} out of domain [0, {self.domain_size})")
         if delta == 0:
@@ -117,6 +129,70 @@ class SparseRecoverySketch:
             self._totals[cell] += delta
             self._index_sums[cell] += index_delta
             self._fingerprints[cell] = (self._fingerprints[cell] + fingerprint_delta) % MERSENNE_61
+
+    def update_batch(self, indices, deltas) -> None:
+        """Apply ``x[indices[t]] += deltas[t]`` for a whole batch at once.
+
+        Bit-identical to the equivalent sequence of scalar
+        :meth:`update` calls (additions into every cell commute), but
+        the expensive per-update work — bucket hashing per row, the
+        fingerprint power ``z^index mod p``, and the scatter into cells
+        — runs vectorized over the whole batch.
+
+        Counter exactness is preserved in all regimes:
+
+        * small deltas (the graph algorithms' ``±1`` signs) ride the
+          pure ``int64`` scatter fast path, guarded so no accumulator
+          can overflow;
+        * arbitrary-precision deltas (serialized payloads of the linear
+          hash tables are ~``2^61``-sized) keep exact Python-integer
+          counter sums while the hashing and field arithmetic stay
+          vectorized.
+        """
+        route, idx, values, fits = prepare_batch(
+            indices, deltas, domain_size=self.domain_size, small_batch=SMALL_BATCH
+        )
+        if route == "empty":
+            return
+        if route == "scalar":
+            for index, delta in zip(idx, values):
+                self.update(int(index), int(delta))
+            return
+        if fits:
+            residues = np.remainder(values, MERSENNE_61).astype(np.uint64)
+            fast = fits_int64_products(idx.size, max_abs_int64(values), int(idx.max()))
+        else:
+            residues = np.array(
+                [delta % MERSENNE_61 for delta in values], dtype=np.uint64
+            )
+            fast = False
+        terms = mulmod61(residues, powmod61(self._z, idx))
+        if fast:
+            products = idx * values
+        for row, row_hash in enumerate(self._row_hashes):
+            positions = row_hash.bucket_array(idx, self.buckets)
+            base = row * self.buckets
+            fingerprint_agg = scatter_sum_mod61(self.buckets, positions, terms)
+            for bucket in np.flatnonzero(fingerprint_agg):
+                cell = base + bucket
+                self._fingerprints[cell] = (
+                    self._fingerprints[cell] + int(fingerprint_agg[bucket])
+                ) % MERSENNE_61
+            if fast:
+                total_agg = np.zeros(self.buckets, dtype=np.int64)
+                index_agg = np.zeros(self.buckets, dtype=np.int64)
+                np.add.at(total_agg, positions, values)
+                np.add.at(index_agg, positions, products)
+                for bucket in np.flatnonzero(total_agg | index_agg):
+                    cell = base + bucket
+                    self._totals[cell] += int(total_agg[bucket])
+                    self._index_sums[cell] += int(index_agg[bucket])
+            else:
+                for t, bucket in enumerate(positions):
+                    cell = base + bucket
+                    delta = int(values[t])
+                    self._totals[cell] += delta
+                    self._index_sums[cell] += delta * int(idx[t])
 
     # ------------------------------------------------------------------
     # Decoding

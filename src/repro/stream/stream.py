@@ -70,6 +70,19 @@ class DynamicStream:
         """One pass over the stream."""
         return iter(self._updates)
 
+    def iter_batches(self, batch_size: int) -> Iterator[list[EdgeUpdate]]:
+        """One pass over the stream in contiguous chunks.
+
+        The concatenation of the yielded chunks is exactly the stream,
+        so a pass over :meth:`iter_batches` sees every token once — this
+        is what :func:`repro.stream.pipeline.run_passes` consumes when a
+        ``batch_size`` is configured.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        for start in range(0, len(self._updates), batch_size):
+            yield self._updates[start : start + batch_size]
+
     def __len__(self) -> int:
         return len(self._updates)
 

@@ -1,7 +1,7 @@
 """Failure-injection tests: starve the sketches and verify that failures
 are *detected and counted*, never silent corruption.
 
-The self-verifying decode property (DESIGN.md §2.1) is what the paper's
+The self-verifying decode property (see repro.sketch.sparse_recovery) is what the paper's
 "we always know if a SKETCH_B(x) can be decoded" assumption buys; these
 tests drive every primitive past its budget and check the failure paths.
 """

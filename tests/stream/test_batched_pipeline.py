@@ -1,0 +1,74 @@
+"""Batched pass execution: chunked runs must equal one-token runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agm import ConnectivityChecker
+from repro.core import TwoPassSpannerBuilder
+from repro.graph import connected_gnp
+from repro.stream import DynamicStream, StreamingAlgorithm, run_passes, stream_from_graph
+
+
+def _stream(n=32, p=0.2, seed=5, churn=0.6):
+    return stream_from_graph(connected_gnp(n, p, seed=seed), seed=seed, churn=churn)
+
+
+class TestIterBatches:
+    def test_chunks_concatenate_to_stream(self):
+        stream = _stream()
+        for batch_size in (1, 3, 7, len(stream), len(stream) + 10):
+            chunks = list(stream.iter_batches(batch_size))
+            flattened = [update for chunk in chunks for update in chunk]
+            assert flattened == list(stream)
+            assert all(len(chunk) <= batch_size for chunk in chunks)
+
+    def test_rejects_nonpositive_batch(self):
+        stream = _stream()
+        with pytest.raises(ValueError):
+            list(stream.iter_batches(0))
+
+
+class _Recorder(StreamingAlgorithm):
+    """Plain algorithm without a process_batch override: the default
+    must loop process() so chunked runs see every token once."""
+
+    def __init__(self):
+        self.seen = []
+
+    @property
+    def passes_required(self):
+        return 1
+
+    def process(self, update, pass_index):
+        self.seen.append(update)
+
+    def finalize(self):
+        return self.seen
+
+
+class TestRunPassesBatched:
+    def test_default_process_batch_loops_process(self):
+        stream = _stream()
+        scalar = run_passes(stream, _Recorder())
+        chunked = run_passes(stream, _Recorder(), batch_size=13)
+        assert scalar == chunked == list(stream)
+
+    def test_rejects_nonpositive_batch_size(self):
+        stream = _stream()
+        with pytest.raises(ValueError):
+            run_passes(stream, _Recorder(), batch_size=0)
+
+    def test_connectivity_identical_under_batching(self):
+        stream = _stream(n=40, p=0.15, churn=1.0)
+        scalar = ConnectivityChecker(40, seed=2).run(stream)
+        batched = ConnectivityChecker(40, seed=2).run(stream, batch_size=64)
+        assert sorted(map(sorted, scalar)) == sorted(map(sorted, batched))
+
+    def test_two_pass_spanner_identical_under_batching(self):
+        stream = _stream(n=28, p=0.2, churn=0.5)
+        scalar = TwoPassSpannerBuilder(28, 2, seed=4).run(stream)
+        batched = TwoPassSpannerBuilder(28, 2, seed=4).run(stream, batch_size=50)
+        assert sorted(scalar.spanner.edges()) == sorted(batched.spanner.edges())
+        assert scalar.diagnostics == batched.diagnostics
+        assert scalar.observed_edges == batched.observed_edges

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public API.
+
+Walks every module under ``src/repro`` and requires a docstring on:
+
+* the module itself,
+* every public class and function (name not starting with ``_``),
+* every public method of a public class (dunders other than
+  ``__init__`` are exempt; ``__init__`` may document itself in the
+  class docstring instead, the numpy style used throughout this repo).
+
+A method that *overrides* a documented method of a repo base class
+(e.g. ``StreamingAlgorithm.process``) inherits its contract and is
+exempt — interface docs live on the interface, once.
+
+Exit code 1 lists the offenders — so new public APIs can't land
+undocumented (wired into ``make docs-check``).  Pure stdlib; no
+third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _collect_classes(trees: list[ast.Module]) -> dict[str, tuple[list[str], set[str]]]:
+    """class name -> (base names, documented public method names)."""
+    classes: dict[str, tuple[list[str], set[str]]] = {}
+    for tree in trees:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            documented = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and ast.get_docstring(item) is not None
+            }
+            classes[node.name] = (_base_names(node), documented)
+    return classes
+
+
+def _inherited_doc(
+    method: str, bases: list[str], classes: dict[str, tuple[list[str], set[str]]]
+) -> bool:
+    """Whether any (transitive, repo-local) base documents ``method``."""
+    queue = list(bases)
+    seen: set[str] = set()
+    while queue:
+        base = queue.pop()
+        if base in seen or base not in classes:
+            continue
+        seen.add(base)
+        base_bases, documented = classes[base]
+        if method in documented:
+            return True
+        queue.extend(base_bases)
+    return False
+
+
+def _missing_in_class(
+    node: ast.ClassDef, module: str, classes: dict[str, tuple[list[str], set[str]]]
+) -> list[str]:
+    missing = []
+    bases = _base_names(node)
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if item.name == "__init__" or not _public(item.name):
+                continue
+            if ast.get_docstring(item) is not None:
+                continue
+            if _inherited_doc(item.name, bases, classes):
+                continue
+            missing.append(f"{module}:{item.lineno} {node.name}.{item.name}")
+    return missing
+
+
+def check_module(
+    path: pathlib.Path, tree: ast.Module, classes: dict[str, tuple[list[str], set[str]]]
+) -> list[str]:
+    """Missing-docstring entries for one parsed module."""
+    module = str(path.relative_to(SRC.parent.parent))
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{module}:1 <module>")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _public(node.name) and ast.get_docstring(node) is None:
+                missing.append(f"{module}:{node.lineno} {node.name}")
+        elif isinstance(node, ast.ClassDef):
+            if _public(node.name):
+                if ast.get_docstring(node) is None:
+                    missing.append(f"{module}:{node.lineno} {node.name}")
+                missing.extend(_missing_in_class(node, module, classes))
+    return missing
+
+
+def main() -> int:
+    modules = sorted(SRC.rglob("*.py"))
+    if not modules:
+        print(f"no modules found under {SRC}", file=sys.stderr)
+        return 2
+    trees = [ast.parse(path.read_text(encoding="utf-8")) for path in modules]
+    classes = _collect_classes(trees)
+    missing: list[str] = []
+    for path, tree in zip(modules, trees):
+        missing.extend(check_module(path, tree, classes))
+    total = len(modules)
+    if missing:
+        print(f"{len(missing)} public definitions lack docstrings "
+              f"(checked {total} modules):")
+        for entry in missing:
+            print(f"  {entry}")
+        return 1
+    print(f"docstring coverage OK: {total} modules, all public APIs documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
