@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-engine docs-check check
+.PHONY: test bench bench-engine bench-distributed docs-check check
 
 # Tier-1 verification: the full unit/integration suite, fail-fast.
 test:
@@ -19,6 +19,12 @@ bench:
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/bench_batch_engine.py -q
 
+# The distributed engine gates: sharded output == single-stream output
+# on every backend/discipline, and >=2x multi-process speedup at 4
+# workers on a 10^6-update stream (speedup skips on <2-CPU hosts).
+bench-distributed:
+	$(PYTHON) -m pytest benchmarks/bench_distributed.py -q
+
 # Documentation gates: public-API docstring coverage, and the docs the
 # README promises must exist.
 docs-check:
@@ -28,5 +34,6 @@ docs-check:
 	done
 	@echo "docs OK: README.md, docs/paper_map.md, docs/performance.md present"
 
-# Everything a PR should pass.
-check: docs-check test
+# Everything a PR should pass: docs gates (docstring coverage), the
+# unit/integration suite, and the distributed-engine gates.
+check: docs-check test bench-distributed

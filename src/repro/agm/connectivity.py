@@ -66,6 +66,18 @@ class ConnectivityChecker(StreamingAlgorithm):
         """Convenience: run the single pass over ``stream``."""
         return run_passes(stream, self, batch_size=batch_size)
 
+    def shard_state_ints(self, pass_index: int) -> list[int]:
+        """Shardable entry point: the AGM sketch stack's flat state."""
+        return self._sketch.state_ints()
+
+    def load_shard_state_ints(self, pass_index: int, values: list[int]) -> None:
+        """Shardable entry point: inverse of :meth:`shard_state_ints`."""
+        self._sketch.from_state_ints(values)
+
+    def merge_shard(self, other: "ConnectivityChecker", pass_index: int) -> None:
+        """Shardable entry point: sum a shard's sketches into ours."""
+        self._sketch.combine(other._sketch)
+
     def space_words(self) -> int:
         return self._sketch.space_words()
 
@@ -115,6 +127,21 @@ class BipartitenessChecker(StreamingAlgorithm):
     def run(self, stream: DynamicStream, batch_size: int | None = None) -> bool:
         """Convenience: run the single pass over ``stream``."""
         return run_passes(stream, self, batch_size=batch_size)
+
+    def shard_state_ints(self, pass_index: int) -> list[int]:
+        """Shardable entry point: base-sketch state then cover-sketch state."""
+        return self._base.state_ints() + self._cover.state_ints()
+
+    def load_shard_state_ints(self, pass_index: int, values: list[int]) -> None:
+        """Shardable entry point: inverse of :meth:`shard_state_ints`."""
+        split = self._base.state_len()
+        self._base.from_state_ints(values[:split])
+        self._cover.from_state_ints(values[split:])
+
+    def merge_shard(self, other: "BipartitenessChecker", pass_index: int) -> None:
+        """Shardable entry point: sum a shard's sketches into ours."""
+        self._base.combine(other._base)
+        self._cover.combine(other._cover)
 
     def space_words(self) -> int:
         return self._base.space_words() + self._cover.space_words()
@@ -174,6 +201,28 @@ class KConnectivityCertificate(StreamingAlgorithm):
     def run(self, stream: DynamicStream, batch_size: int | None = None) -> Graph:
         """Convenience: run the single pass over ``stream``."""
         return run_passes(stream, self, batch_size=batch_size)
+
+    def shard_state_ints(self, pass_index: int) -> list[int]:
+        """Shardable entry point: concatenated per-stack sketch states."""
+        flat: list[int] = []
+        for stack in self._stacks:
+            flat.extend(stack.state_ints())
+        return flat
+
+    def load_shard_state_ints(self, pass_index: int, values: list[int]) -> None:
+        """Shardable entry point: inverse of :meth:`shard_state_ints`."""
+        cursor = 0
+        for stack in self._stacks:
+            need = stack.state_len()
+            stack.from_state_ints(values[cursor : cursor + need])
+            cursor += need
+        if cursor != len(values):
+            raise ValueError(f"expected {cursor} state ints, got {len(values)}")
+
+    def merge_shard(self, other: "KConnectivityCertificate", pass_index: int) -> None:
+        """Shardable entry point: sum a shard's sketch stacks into ours."""
+        for mine, theirs in zip(self._stacks, other._stacks):
+            mine.combine(theirs)
 
     def space_words(self) -> int:
         return sum(stack.space_words() for stack in self._stacks)

@@ -261,6 +261,30 @@ class AgmSketch:
                 flat.extend(sampler.state_ints())
         return flat
 
+    def state_len(self) -> int:
+        """Length of :meth:`state_ints`, without materializing it."""
+        # Every sampler has the same shape, so probe one for its length.
+        return self.num_vertices * self.rounds * self._samplers[0][0].state_len()
+
+    def from_state_ints(self, values: list[int]) -> "AgmSketch":
+        """Overwrite the dynamic state from a :meth:`state_ints` sequence.
+
+        Exact inverse of :meth:`state_ints` on a same-seed/same-shape
+        sketch; returns ``self``.  This is what lets a coordinator
+        rebuild a server's shipped sketch before summing (the
+        distributed setting of :mod:`repro.stream.distributed`).
+        """
+        per_sampler = self._samplers[0][0].state_len()
+        expected = self.num_vertices * self.rounds * per_sampler
+        if len(values) != expected:
+            raise ValueError(f"expected {expected} state ints, got {len(values)}")
+        cursor = 0
+        for per_vertex in self._samplers:
+            for sampler in per_vertex:
+                sampler.from_state_ints(values[cursor : cursor + per_sampler])
+                cursor += per_sampler
+        return self
+
     def space_words(self) -> int:
         """Persistent state, in machine words."""
         return sum(

@@ -30,6 +30,40 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_distributed_flags(subparser) -> None:
+    """Attach the sharded-execution knobs (--servers/--backend/--discipline)."""
+    subparser.add_argument(
+        "--servers", type=_positive_int, default=1,
+        help="shard the stream across this many sketching servers (1 = single machine)",
+    )
+    subparser.add_argument(
+        "--backend", choices=["serial", "mp"], default="serial",
+        help="with --servers > 1: in-process workers or real OS processes",
+    )
+    subparser.add_argument(
+        "--discipline", choices=["round-robin", "by-edge"], default="round-robin",
+        help="with --servers > 1: how stream tokens are routed to servers",
+    )
+
+
+def _run_distributed(args, stream, factory):
+    """Sharded run + communication printout; returns the coordinator output."""
+    from repro.stream import ShardedRunner
+
+    runner = ShardedRunner(
+        args.servers,
+        backend=args.backend,
+        discipline=args.discipline,
+        batch_size=args.batch_size,
+    )
+    result = runner.run(stream, factory)
+    print(f"sharded  : {args.servers} servers, {args.backend} backend, "
+          f"{args.discipline} discipline")
+    for line in result.communication.summary().splitlines():
+        print(f"comm     : {line}")
+    return result.output
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (each subcommand carries a usage
     epilog — ``python -m repro <command> --help``)."""
@@ -55,8 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
             "and checks max stretch <= 2^k.  Space is ~O(n^{1+1/k}) words and\n"
             "is printed from measured sketch sizes.  --batch-size routes the\n"
             "stream through the vectorized sketch engine (identical output;\n"
-            "see docs/performance.md).\n\n"
-            "example: python -m repro spanner --n 96 --k 2 --p 0.12 --churn 0.5"
+            "see docs/performance.md).  --servers N shards the stream across\n"
+            "N sketching servers (--backend mp forks real processes), prints\n"
+            "the per-round coordinator communication in bytes, and verifies\n"
+            "the merged output equals the single-stream run.\n\n"
+            "example: python -m repro spanner --n 96 --k 2 --p 0.12 --churn 0.5\n"
+            "         python -m repro spanner --n 64 --servers 4 --backend mp"
         ),
     )
     spanner.add_argument("--n", type=int, default=64, help="number of vertices")
@@ -68,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=_positive_int, default=None,
         help="chunk the stream through the batched sketch engine",
     )
+    _add_distributed_flags(spanner)
 
     additive = subparsers.add_parser(
         "additive",
@@ -98,8 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
             "and sampled cut discrepancies.  Default mode builds sub-spanners\n"
             "offline with identical semantics; --streaming runs the full\n"
             "sketch pipeline in exactly two passes (slow; keep n small, and\n"
-            "use --batch-size to ride the batched sketch engine).\n\n"
-            "example: python -m repro sparsify --n 36 --rounds-factor 0.15"
+            "use --batch-size to ride the batched sketch engine).\n"
+            "--servers N runs the streaming pipeline sharded (implies\n"
+            "--streaming), prints coordinator communication in bytes and\n"
+            "verifies the merged output equals the single-stream run.\n\n"
+            "example: python -m repro sparsify --n 36 --rounds-factor 0.15\n"
+            "         python -m repro sparsify --n 16 --servers 2 --backend mp"
         ),
     )
     sparsify.add_argument("--n", type=int, default=36)
@@ -118,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=_positive_int, default=None,
         help="with --streaming: chunk size for the batched sketch engine",
     )
+    _add_distributed_flags(sparsify)
 
     connectivity = subparsers.add_parser(
         "connectivity",
@@ -128,8 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
             "Boruvka over summed per-vertex L0-samplers yields components;\n"
             "bipartiteness via the double-cover reduction.  Components are\n"
             "verified against the offline ground truth.  --batch-size feeds\n"
-            "the sketches through their vectorized update paths.\n\n"
-            "example: python -m repro connectivity --n 48 --p 0.1 --churn 0.5"
+            "the sketches through their vectorized update paths.  --servers N\n"
+            "shards the stream across N sketching servers, prints coordinator\n"
+            "communication in bytes and verifies the merged components equal\n"
+            "the single-stream run.\n\n"
+            "example: python -m repro connectivity --n 48 --p 0.1 --churn 0.5\n"
+            "         python -m repro connectivity --n 48 --servers 4 --backend mp"
         ),
     )
     connectivity.add_argument("--n", type=int, default=48)
@@ -140,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=_positive_int, default=None,
         help="chunk the stream through the batched sketch engine",
     )
+    _add_distributed_flags(connectivity)
 
     game = subparsers.add_parser(
         "game",
@@ -166,6 +215,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_spanner(args) -> int:
+    from functools import partial
+
     from repro.core import TwoPassSpannerBuilder
     from repro.graph import connected_gnp, evaluate_multiplicative_stretch
     from repro.stream import stream_from_graph
@@ -174,13 +225,22 @@ def _cmd_spanner(args) -> int:
     stream = stream_from_graph(graph, seed=args.seed, churn=args.churn)
     builder = TwoPassSpannerBuilder(args.n, args.k, seed=args.seed + 1)
     output = builder.run(stream, batch_size=args.batch_size)
-    report = evaluate_multiplicative_stretch(graph, output.spanner)
     print(f"input    : G({args.n}, {args.p}) m={graph.num_edges()}, "
           f"{len(stream)} tokens ({stream.num_deletions()} deletions)")
+    identical = True
+    if args.servers > 1:
+        distributed = _run_distributed(
+            args, stream, partial(TwoPassSpannerBuilder, args.n, args.k, args.seed + 1)
+        )
+        identical = distributed.spanner.edge_set() == output.spanner.edge_set()
+        print(f"identical: {'OK' if identical else 'MISMATCH'} "
+              f"(sharded output vs single-stream run)")
+        output = distributed
+    report = evaluate_multiplicative_stretch(graph, output.spanner)
     print(f"spanner  : {output.spanner.num_edges()} edges in {builder.passes_required} passes")
     print(f"stretch  : max {report.max_stretch:.2f} / guarantee {2 ** args.k}")
     print(f"space    : {builder.space_words()} words")
-    ok = report.within(2 ** args.k)
+    ok = report.within(2 ** args.k) and identical
     print(f"guarantee: {'OK' if ok else 'VIOLATED'}")
     return 0 if ok else 1
 
@@ -214,13 +274,31 @@ def _cmd_sparsify(args) -> int:
 
     graph = connected_gnp(args.n, args.p, seed=args.seed)
     params = SparsifierParams(sampling_rounds_factor=args.rounds_factor)
-    if args.streaming:
+    identical = True
+    if args.streaming or args.servers > 1:
+        from functools import partial
+
+        from repro.core import StreamingSparsifier
+
         stream = stream_from_graph(graph, seed=args.seed, churn=0.3)
         sparsifier = sparsify_stream(
             stream, seed=args.seed + 1, k=args.k, params=params,
             batch_size=args.batch_size,
         )
         mode = "full streaming (2 passes)"
+        if args.servers > 1:
+            distributed = _run_distributed(
+                args, stream,
+                partial(StreamingSparsifier, args.n, args.seed + 1, args.k, params),
+            )
+            identical = (
+                {(u, v, w) for u, v, w in distributed.edges()}
+                == {(u, v, w) for u, v, w in sparsifier.edges()}
+            )
+            print(f"identical: {'OK' if identical else 'MISMATCH'} "
+                  f"(sharded output vs single-stream run)")
+            sparsifier = distributed
+            mode = f"distributed streaming ({args.servers} servers)"
     else:
         pipeline = SpectralSparsifier(args.n, seed=args.seed + 1, k=args.k, params=params)
         sparsifier = pipeline.sparsify_graph(graph)
@@ -232,10 +310,12 @@ def _cmd_sparsify(args) -> int:
     print(f"output   : {sparsifier.num_edges()} weighted edges")
     print(f"spectral : {bounds.low:.2f} <= ratio <= {bounds.high:.2f} (eps {bounds.epsilon():.2f})")
     print(f"cuts     : max sampled discrepancy {cut:.2f}")
-    return 0
+    return 0 if identical else 1
 
 
 def _cmd_connectivity(args) -> int:
+    from functools import partial
+
     from repro.agm import BipartitenessChecker, ConnectivityChecker
     from repro.graph import connected_gnp
     from repro.stream import stream_from_graph
@@ -250,12 +330,21 @@ def _cmd_connectivity(args) -> int:
     )
     print(f"input     : G({args.n}, {args.p}) m={graph.num_edges()}, "
           f"{len(stream)} tokens")
+    identical = True
+    if args.servers > 1:
+        distributed = _run_distributed(
+            args, stream, partial(ConnectivityChecker, args.n, args.seed + 1)
+        )
+        identical = sorted(map(sorted, distributed)) == sorted(map(sorted, components))
+        print(f"identical : {'OK' if identical else 'MISMATCH'} "
+              f"(sharded components vs single-stream run)")
     print(f"components: {len(components)} (single pass)")
     print(f"bipartite : {bipartite}")
     truth = sorted(map(sorted, graph.connected_components()))
     mine = sorted(map(sorted, components))
-    print(f"verified  : {'OK' if mine == truth else 'MISMATCH'}")
-    return 0 if mine == truth else 1
+    ok = mine == truth and identical
+    print(f"verified  : {'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
 
 
 def _cmd_game(args) -> int:

@@ -244,6 +244,52 @@ class StreamingSparsifier(StreamingAlgorithm):
         yield from self._oracle_builders.values()
         yield from self._sample_builders.values()
 
+    # -- sharded execution protocol (see repro.stream.distributed) -----
+    #
+    # The pipeline is a fixed, seed-determined array of sub-spanners
+    # (oracle slots, then sampler slots — dict insertion order), so the
+    # sharded protocol is the spanner protocol applied slot-wise.
+    # Pass-0 blocks are variable-length (each shard allocates different
+    # cluster-sketch keys), so every block travels length-prefixed.
+
+    def shard_state_ints(self, pass_index: int) -> list[int]:
+        """Length-prefixed concatenation of every sub-spanner's state."""
+        flat: list[int] = []
+        for builder in self._all_builders():
+            block = builder.shard_state_ints(pass_index)
+            flat.append(len(block))
+            flat.extend(block)
+        return flat
+
+    def load_shard_state_ints(self, pass_index: int, values: list[int]) -> None:
+        """Inverse of :meth:`shard_state_ints`, slot by slot."""
+        cursor = 0
+        for builder in self._all_builders():
+            length = int(values[cursor])
+            cursor += 1
+            builder.load_shard_state_ints(
+                pass_index, values[cursor : cursor + length]
+            )
+            cursor += length
+        if cursor != len(values):
+            raise ValueError(f"expected {cursor} state ints, got {len(values)}")
+
+    def merge_shard(self, other: "StreamingSparsifier", pass_index: int) -> None:
+        """Sum a shard pipeline's state into ours, slot by slot."""
+        for mine, theirs in zip(self._all_builders(), other._all_builders()):
+            mine.merge_shard(theirs, pass_index)
+
+    def broadcast_state(self, pass_index: int) -> object:
+        """Per-slot list of the sub-spanners' forest broadcasts."""
+        if pass_index != 1:
+            return None
+        return [builder.broadcast_state(pass_index) for builder in self._all_builders()]
+
+    def adopt_broadcast(self, state: object, pass_index: int) -> None:
+        """Install the coordinator's per-slot forest broadcasts."""
+        for builder, piece in zip(self._all_builders(), state):
+            builder.adopt_broadcast(piece, pass_index)
+
     def space_report(self) -> SpaceReport:
         """Aggregated words over every sub-spanner's sketches."""
         report = SpaceReport()

@@ -202,11 +202,9 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         coordinator builder, so pass-2 routing agrees across servers."""
         if other.forest is None:
             raise ValueError("the coordinator has not built its forest yet")
-        self.forest = other.forest
-        self._terminal_trees = other._terminal_trees
-        self._trees_of_vertex = other._trees_of_vertex
-        if not self._tables:
-            self._allocate_tables()
+        self.adopt_broadcast(
+            (other.forest, other._terminal_trees, other._trees_of_vertex), 1
+        )
 
     def merge_second_pass(self, other: "TwoPassSpannerBuilder") -> None:
         """Add another same-seeded builder's pass-2 tables into ours."""
@@ -216,6 +214,91 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             self._tables[key].combine(table)
         for root, sketch in other._cut_sketches.items():
             self._cut_sketches[root].combine(sketch)
+
+    # -- sharded execution protocol (see repro.stream.distributed) -----
+
+    def shard_state_ints(self, pass_index: int) -> list[int]:
+        """Serialize one pass's sketch state as a flat int sequence.
+
+        Pass 0 ships the lazily allocated cluster sketches as
+        ``[count, (vertex, r, j, cells...) ...]`` — different shards
+        allocate different key sets, so keys travel with the states.
+        Pass 1 ships the hash tables and repair sketches in sorted key
+        order; their layout is determined by the (broadcast) forest, so
+        only the cell values travel.
+        """
+        if pass_index == 0:
+            flat: list[int] = [len(self._cluster_sketches)]
+            for key in sorted(self._cluster_sketches):
+                vertex, r, j = key
+                flat.extend((vertex, r, j))
+                flat.extend(self._cluster_sketches[key].state_ints())
+            return flat
+        flat = []
+        for key in sorted(self._tables):
+            flat.extend(self._tables[key].state_ints())
+        for root in sorted(self._cut_sketches):
+            flat.extend(self._cut_sketches[root].state_ints())
+        return flat
+
+    def load_shard_state_ints(self, pass_index: int, values: list[int]) -> None:
+        """Inverse of :meth:`shard_state_ints` on a fresh same-seed
+        builder (pass 1 additionally requires the adopted forest, which
+        fixes the table layout)."""
+        if pass_index == 0:
+            count = values[0]
+            cursor = 1
+            for _ in range(count):
+                vertex, r, j = values[cursor : cursor + 3]
+                cursor += 3
+                sketch = self._cluster_sketch(int(vertex), int(r), int(j))
+                need = sketch.state_len()
+                sketch.from_state_ints(values[cursor : cursor + need])
+                cursor += need
+            if cursor != len(values):
+                raise ValueError(f"expected {cursor} state ints, got {len(values)}")
+            return
+        if not self._tables and self.forest is None:
+            raise RuntimeError("adopt the coordinator forest before loading pass-2 state")
+        cursor = 0
+        for key in sorted(self._tables):
+            table = self._tables[key]
+            need = table.state_len()
+            table.from_state_ints(values[cursor : cursor + need])
+            cursor += need
+        for root in sorted(self._cut_sketches):
+            sketch = self._cut_sketches[root]
+            need = sketch.state_len()
+            sketch.from_state_ints(values[cursor : cursor + need])
+            cursor += need
+        if cursor != len(values):
+            raise ValueError(f"expected {cursor} state ints, got {len(values)}")
+
+    def merge_shard(self, other: "TwoPassSpannerBuilder", pass_index: int) -> None:
+        """Sum a shard builder's pass state into ours (linearity)."""
+        if pass_index == 0:
+            self.merge_first_pass(other)
+        else:
+            self.merge_second_pass(other)
+
+    def broadcast_state(self, pass_index: int) -> object:
+        """Coordinator state workers need before ``pass_index``: the
+        cluster forest and its derived routing maps (pass 1 only)."""
+        if pass_index != 1:
+            return None
+        if self.forest is None:
+            raise RuntimeError("no forest to broadcast; run pass 0 first")
+        return (self.forest, self._terminal_trees, self._trees_of_vertex)
+
+    def adopt_broadcast(self, state: object, pass_index: int) -> None:
+        """Install a coordinator's between-pass broadcast: the forest
+        plus routing maps, and the table layout they determine."""
+        forest, terminal_trees, trees_of_vertex = state
+        self.forest = forest
+        self._terminal_trees = terminal_trees
+        self._trees_of_vertex = trees_of_vertex
+        if not self._tables:
+            self._allocate_tables()
 
     # ------------------------------------------------------------------
     # Pass 1: cluster sketches

@@ -51,7 +51,13 @@ from repro.sketch.hashing import MERSENNE_61, KWiseHash, NestedSampler
 from repro.sketch.l0sampler import L0Sampler
 from repro.sketch.linear_hash_table import LinearHashTable, NeighborhoodHashTable
 from repro.sketch.onesparse import DecodeStatus, OneSparseDetector, OneSparseResult
-from repro.sketch.serialize import pack_ints, serialized_size_bytes, unpack_ints
+from repro.sketch.serialize import (
+    deserialize_sketch,
+    pack_ints,
+    serialize_sketch,
+    serialized_size_bytes,
+    unpack_ints,
+)
 from repro.sketch.sparse_recovery import SparseRecoverySketch
 
 __all__ = [
@@ -70,4 +76,6 @@ __all__ = [
     "pack_ints",
     "unpack_ints",
     "serialized_size_bytes",
+    "serialize_sketch",
+    "deserialize_sketch",
 ]

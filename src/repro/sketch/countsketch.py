@@ -196,6 +196,26 @@ class CountSketch:
             flat.extend(row)
         return flat
 
+    def state_len(self) -> int:
+        """Length of :meth:`state_ints`, without materializing it."""
+        return self.depth * self.width
+
+    def from_state_ints(self, values: list[int]) -> "CountSketch":
+        """Overwrite the dynamic state from a :meth:`state_ints` sequence.
+
+        Exact inverse of :meth:`state_ints` on a same-seed/same-shape
+        sketch; returns ``self``.
+        """
+        if len(values) != self.depth * self.width:
+            raise ValueError(
+                f"expected {self.depth * self.width} state ints, got {len(values)}"
+            )
+        self._cells = [
+            [int(v) for v in values[row * self.width : (row + 1) * self.width]]
+            for row in range(self.depth)
+        ]
+        return self
+
     def space_words(self) -> int:
         """Persistent state, in machine words."""
         hash_words = sum(h.space_words() for h in self._bucket_hashes)

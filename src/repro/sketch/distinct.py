@@ -164,6 +164,26 @@ class DistinctElementsSketch:
             flat.extend(row)
         return flat
 
+    def state_len(self) -> int:
+        """Length of :meth:`state_ints`, without materializing it."""
+        return self.reps * self.levels
+
+    def from_state_ints(self, values: list[int]) -> "DistinctElementsSketch":
+        """Overwrite the dynamic state from a :meth:`state_ints` sequence.
+
+        Exact inverse of :meth:`state_ints` on a same-seed/same-shape
+        sketch; returns ``self``.
+        """
+        if len(values) != self.reps * self.levels:
+            raise ValueError(
+                f"expected {self.reps * self.levels} state ints, got {len(values)}"
+            )
+        self._fingerprints = [
+            [int(v) % MERSENNE_61 for v in values[rep * self.levels : (rep + 1) * self.levels]]
+            for rep in range(self.reps)
+        ]
+        return self
+
     def space_words(self) -> int:
         """Persistent state, in machine words."""
         sampler_words = sum(s.space_words() for s in self._samplers)

@@ -152,6 +152,26 @@ class L0Sampler:
             flat.extend(sketch.state_ints())
         return flat
 
+    def state_len(self) -> int:
+        """Length of :meth:`state_ints`, without materializing it."""
+        return sum(sketch.state_len() for sketch in self._level_sketches)
+
+    def from_state_ints(self, values: list[int]) -> "L0Sampler":
+        """Overwrite the dynamic state from a :meth:`state_ints` sequence.
+
+        Exact inverse of :meth:`state_ints` on a same-seed sampler: the
+        flat sequence is split back into the per-level sketch states;
+        returns ``self``.
+        """
+        cursor = 0
+        for sketch in self._level_sketches:
+            need = sketch.state_len()
+            sketch.from_state_ints(values[cursor : cursor + need])
+            cursor += need
+        if cursor != len(values):
+            raise ValueError(f"expected {cursor} state ints, got {len(values)}")
+        return self
+
     def space_words(self) -> int:
         """Persistent state, in machine words."""
         return (

@@ -138,6 +138,29 @@ class LinearHashTable:
         """In-place ``self += sign * other``; seeds/shapes must match."""
         self._sketch.combine(other._sketch, sign)
 
+    def state_ints(self) -> list[int]:
+        """Dynamic state as a flat int sequence (for serialization).
+
+        The table is a thin addressing layer over one sparse-recovery
+        sketch, so its shippable state is exactly that sketch's state —
+        including the ``~2^61``-sized payload cells, which the varint
+        codec of :mod:`repro.sketch.serialize` encodes exactly.
+        """
+        return self._sketch.state_ints()
+
+    def state_len(self) -> int:
+        """Length of :meth:`state_ints`, without materializing it."""
+        return self._sketch.state_len()
+
+    def from_state_ints(self, values: list[int]) -> "LinearHashTable":
+        """Overwrite the dynamic state from a :meth:`state_ints` sequence.
+
+        Exact inverse of :meth:`state_ints` on a same-seed/same-shape
+        table; returns ``self``.
+        """
+        self._sketch.from_state_ints(values)
+        return self
+
     def space_words(self) -> int:
         """Persistent state, in machine words."""
         return self._sketch.space_words()
@@ -238,6 +261,28 @@ class NeighborhoodHashTable:
     def combine(self, other: "NeighborhoodHashTable", sign: int = 1) -> None:
         """In-place ``self += sign * other``; seeds must match."""
         self._table.combine(other._table, sign)
+
+    def state_ints(self) -> list[int]:
+        """Dynamic state as a flat int sequence (for serialization).
+
+        The payload-template detector carries no dynamic state (it is a
+        seed-derived fingerprint base, shared knowledge), so the
+        shippable state is exactly the outer table's.
+        """
+        return self._table.state_ints()
+
+    def state_len(self) -> int:
+        """Length of :meth:`state_ints`, without materializing it."""
+        return self._table.state_len()
+
+    def from_state_ints(self, values: list[int]) -> "NeighborhoodHashTable":
+        """Overwrite the dynamic state from a :meth:`state_ints` sequence.
+
+        Exact inverse of :meth:`state_ints` on a same-seed table;
+        returns ``self``.
+        """
+        self._table.from_state_ints(values)
+        return self
 
     def space_words(self) -> int:
         """Persistent state, in machine words."""

@@ -195,6 +195,24 @@ class OneSparseDetector:
         """Dynamic state as a flat int sequence (for serialization)."""
         return [self.total, self.index_sum, self.fingerprint]
 
+    def state_len(self) -> int:
+        """Length of :meth:`state_ints`, without materializing it."""
+        return 3
+
+    def from_state_ints(self, values: list[int]) -> "OneSparseDetector":
+        """Overwrite the dynamic state from a :meth:`state_ints` sequence.
+
+        Exact inverse of :meth:`state_ints` on a same-seed detector;
+        returns ``self``.  The fingerprint is reduced mod p so unreduced
+        linear accumulations (see :meth:`load_state_vector`) also load.
+        """
+        if len(values) != 3:
+            raise ValueError(f"expected 3 state ints, got {len(values)}")
+        self.total = values[0]
+        self.index_sum = values[1]
+        self.fingerprint = values[2] % MERSENNE_61
+        return self
+
     def space_words(self) -> int:
         """Persistent state, in machine words (three counters + base)."""
         return 4

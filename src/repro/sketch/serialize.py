@@ -1,25 +1,46 @@
-"""Compact serialization of sketch state.
+"""Compact serialization of sketch state — the wire protocol.
 
 Two places genuinely need bytes rather than word counts:
 
 * the Theorem 4 communication game — Alice's *message* is the
   algorithm's state, and its length in bits is the quantity the lower
   bound speaks about;
-* the distributed setting — servers ship sketch states to a coordinator.
+* the distributed setting — servers ship sketch states to a coordinator
+  (:mod:`repro.stream.distributed`), and the per-round message lengths
+  are exactly what the paper's simultaneous-communication framing
+  (``S x = S x^1 + ... + S x^s``) charges for.
 
-Every sketch in the repository exposes ``state_ints()``, a flat integer
-sequence that fully determines its dynamic state (hash seeds are
-excluded: they are shared knowledge derived from the public seed, just
-as the paper's protocols assume shared randomness).  This module packs
-such sequences with ZigZag + varint encoding — small magnitudes
-(the common case: empty cells are 0) cost one byte.
+Every sketch in the repository — including the linear hash tables of
+Algorithm 2 — exposes the same two-sided protocol:
+
+* ``state_ints()`` returns a flat integer sequence that fully determines
+  the sketch's *dynamic* state (hash seeds are excluded: they are shared
+  knowledge derived from the public seed, just as the paper's protocols
+  assume shared randomness);
+* ``from_state_ints(values)`` is its exact inverse — called on a
+  freshly built same-seed/same-shape instance it overwrites the dynamic
+  state in place, so ``fresh.from_state_ints(old.state_ints())``
+  round-trips bit-for-bit, arbitrary-precision cells included.
+
+This module packs such sequences with ZigZag + varint encoding — small
+magnitudes (the common case: empty cells are 0) cost one byte, and
+arbitrarily large magnitudes (the ``~2^61``-sized payload cells of the
+linear hash tables) are encoded exactly.  :func:`serialize_sketch` /
+:func:`deserialize_sketch` bundle the two halves into the byte-level
+round trip the distributed runner ships over process boundaries.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
-__all__ = ["pack_ints", "unpack_ints", "serialized_size_bytes"]
+__all__ = [
+    "pack_ints",
+    "unpack_ints",
+    "serialized_size_bytes",
+    "serialize_sketch",
+    "deserialize_sketch",
+]
 
 
 def _wide_zigzag(value: int) -> int:
@@ -72,4 +93,26 @@ def serialized_size_bytes(sketch) -> int:
 
     ``sketch`` must expose ``state_ints()``.
     """
-    return len(pack_ints(sketch.state_ints()))
+    return len(serialize_sketch(sketch))
+
+
+def serialize_sketch(sketch) -> bytes:
+    """The sketch's dynamic state as a wire message.
+
+    ``sketch`` must expose ``state_ints()``.  This is what a server in
+    the distributed setting sends the coordinator — the message length
+    is the communication the model charges for.
+    """
+    return pack_ints(sketch.state_ints())
+
+
+def deserialize_sketch(sketch, data: bytes):
+    """Load a :func:`serialize_sketch` message into ``sketch``.
+
+    ``sketch`` must be a freshly built instance with the same seed and
+    shape as the serialized one and must expose ``from_state_ints()``.
+    Returns ``sketch`` (with its dynamic state overwritten) so the call
+    composes: ``deserialize_sketch(factory(), blob).decode()``.
+    """
+    sketch.from_state_ints(unpack_ints(data))
+    return sketch

@@ -317,6 +317,24 @@ class SparseRecoverySketch:
         """
         return list(self._totals) + list(self._index_sums) + list(self._fingerprints)
 
+    def state_len(self) -> int:
+        """Length of :meth:`state_ints`, without materializing it."""
+        return 3 * self.rows * self.buckets
+
+    def from_state_ints(self, values: list[int]) -> "SparseRecoverySketch":
+        """Overwrite the dynamic state from a :meth:`state_ints` sequence.
+
+        Exact inverse of :meth:`state_ints` on a same-seed/same-shape
+        sketch (arbitrary-precision cells included); returns ``self``.
+        """
+        cells = self.rows * self.buckets
+        if len(values) != 3 * cells:
+            raise ValueError(f"expected {3 * cells} state ints, got {len(values)}")
+        self._totals = [int(v) for v in values[:cells]]
+        self._index_sums = [int(v) for v in values[cells : 2 * cells]]
+        self._fingerprints = [int(v) % MERSENNE_61 for v in values[2 * cells :]]
+        return self
+
     def space_words(self) -> int:
         """Persistent state, in machine words."""
         cells = self.rows * self.buckets

@@ -1,5 +1,11 @@
 """The dynamic streaming model: updates, streams, passes, space, workloads."""
 
+from repro.stream.distributed import (
+    CommunicationReport,
+    DistributedResult,
+    RoundTrace,
+    ShardedRunner,
+)
 from repro.stream.generators import adversarial_churn_stream, stream_from_graph
 from repro.stream.pipeline import StreamingAlgorithm, run_passes
 from repro.stream.sharding import shard_by_edge, shard_round_robin
@@ -17,4 +23,8 @@ __all__ = [
     "adversarial_churn_stream",
     "shard_round_robin",
     "shard_by_edge",
+    "ShardedRunner",
+    "DistributedResult",
+    "CommunicationReport",
+    "RoundTrace",
 ]

@@ -1,0 +1,395 @@
+"""Distributed sharded execution: servers sketch, the coordinator sums.
+
+The paper's introduction motivates linear sketching as a *distributed*
+primitive: the update stream is split across ``s`` servers, each server
+sketches only its own shard, and ``S x = S x^1 + ... + S x^s`` — the
+coordinator needs nothing but the sketches.  This module turns that
+one-line identity into an executable subsystem:
+
+* :class:`ShardedRunner` shards a :class:`~repro.stream.stream.DynamicStream`
+  with the existing disciplines (:func:`~repro.stream.sharding.shard_round_robin`
+  or :func:`~repro.stream.sharding.shard_by_edge`), runs one
+  sketch-holding worker per shard — in-process (``backend="serial"``) or
+  in real OS processes (``backend="mp"``) — and reassembles the workers'
+  serialized states at a coordinator;
+* every worker→coordinator message is the worker's
+  ``shard_state_ints()`` packed by :func:`repro.sketch.serialize.pack_ints`
+  — the *same* encoding the Theorem 4 communication game charges for —
+  and every coordinator→worker broadcast (the spanner's between-pass
+  cluster forest) is measured too, so each run carries a per-round
+  :class:`CommunicationReport` in bytes;
+* because every sketch update commutes and the coordinator sums exact
+  integer (and mod-``p``) cells, the merged state is **bit-identical**
+  to the single-machine state, and so is everything decoded from it —
+  the property ``tests/integration/test_distributed.py`` pins down.
+
+Algorithms opt in through the sharded-execution protocol on
+:class:`~repro.stream.pipeline.StreamingAlgorithm` (``shard_state_ints``
+/ ``load_shard_state_ints`` / ``merge_shard`` plus the broadcast pair
+for multi-pass algorithms).  The AGM checkers, the two-pass spanner and
+the streaming sparsifier pipeline all implement it, so the full paper
+pipeline runs distributed end-to-end::
+
+    from functools import partial
+    from repro.agm import ConnectivityChecker
+    from repro.stream import ShardedRunner
+
+    runner = ShardedRunner(num_servers=4, backend="mp")
+    result = runner.run(stream, partial(ConnectivityChecker, n, 7))
+    components = result.output
+    print(result.communication.summary())
+
+``python -m repro spanner --servers 4 --backend mp`` drives the same
+machinery from the command line and verifies the distributed output
+against the single-stream run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_module
+import sys
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.sketch.serialize import pack_ints, unpack_ints
+from repro.stream.pipeline import StreamingAlgorithm
+from repro.stream.sharding import shard_by_edge, shard_round_robin
+from repro.stream.stream import DynamicStream
+from repro.stream.updates import EdgeUpdate
+
+__all__ = [
+    "BACKENDS",
+    "DISCIPLINES",
+    "RoundTrace",
+    "CommunicationReport",
+    "DistributedResult",
+    "ShardedRunner",
+]
+
+#: Supported execution backends.
+BACKENDS = ("serial", "mp")
+
+#: Supported sharding disciplines (see :mod:`repro.stream.sharding`).
+DISCIPLINES = ("round-robin", "by-edge")
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """Communication of one round (= one streaming pass).
+
+    ``message_bytes[i]`` is the length of server ``i``'s serialized
+    state message (varint-packed ``shard_state_ints``).
+    ``broadcast_bytes`` is the serialized size of the coordinator's
+    between-pass broadcast *per server* (0 when the pass needs none).
+    """
+
+    pass_index: int
+    message_bytes: tuple[int, ...]
+    #: Uplink messages are varint-coded sketch cells; the broadcast is
+    #: structured routing state (the cluster forest), so its size is the
+    #: pickle transport encoding actually shipped to worker processes —
+    #: an upper bound on, not a varint measure of, its information
+    #: content.
+    broadcast_bytes: int = 0
+
+    def uplink_bytes(self) -> int:
+        """Total server→coordinator bytes this round."""
+        return sum(self.message_bytes)
+
+    def downlink_bytes(self) -> int:
+        """Total coordinator→server bytes this round."""
+        return self.broadcast_bytes * len(self.message_bytes)
+
+    def total_bytes(self) -> int:
+        """All bytes on the wire this round."""
+        return self.uplink_bytes() + self.downlink_bytes()
+
+
+@dataclass(frozen=True)
+class CommunicationReport:
+    """Per-round communication accounting for one distributed run."""
+
+    num_servers: int
+    rounds: tuple[RoundTrace, ...]
+
+    def uplink_bytes(self) -> int:
+        """Total server→coordinator bytes across all rounds."""
+        return sum(trace.uplink_bytes() for trace in self.rounds)
+
+    def downlink_bytes(self) -> int:
+        """Total coordinator→server bytes across all rounds."""
+        return sum(trace.downlink_bytes() for trace in self.rounds)
+
+    def total_bytes(self) -> int:
+        """All bytes on the wire across all rounds."""
+        return self.uplink_bytes() + self.downlink_bytes()
+
+    def summary(self) -> str:
+        """One line per round plus a total, human-readable."""
+        lines = []
+        for trace in self.rounds:
+            lines.append(
+                f"round {trace.pass_index}: "
+                f"{trace.uplink_bytes():,} B up "
+                f"({min(trace.message_bytes):,}-{max(trace.message_bytes):,} B/server), "
+                f"{trace.downlink_bytes():,} B down"
+            )
+        lines.append(
+            f"total over {self.num_servers} servers: {self.total_bytes():,} B"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    """Outcome of a :meth:`ShardedRunner.run`: the algorithm's output
+    (identical to the single-stream output) plus the measured
+    communication and the run configuration."""
+
+    output: Any
+    communication: CommunicationReport
+    num_servers: int
+    backend: str
+    discipline: str
+
+
+def _feed_tokens(
+    algorithm: StreamingAlgorithm,
+    tokens: Sequence[EdgeUpdate],
+    pass_index: int,
+    batch_size: int | None,
+) -> None:
+    """One worker pass over its shard (workers never run ``end_pass`` —
+    decoding and between-pass computation are coordinator business)."""
+    algorithm.begin_pass(pass_index)
+    if batch_size is None:
+        for update in tokens:
+            algorithm.process(update, pass_index)
+    else:
+        for start in range(0, len(tokens), batch_size):
+            algorithm.process_batch(tokens[start : start + batch_size], pass_index)
+
+
+def _worker_round(
+    factory: Callable[[], StreamingAlgorithm],
+    tokens: Sequence[EdgeUpdate],
+    pass_index: int,
+    broadcast: Any,
+    batch_size: int | None,
+) -> bytes:
+    """Run one worker for one round and return its state message.
+
+    Workers are built fresh every round in *both* backends — a pass-1
+    worker carries nothing from pass 0 except the coordinator
+    broadcast, so serial and mp execution are behaviorally identical
+    by construction.
+    """
+    algorithm = factory()
+    if broadcast is not None:
+        algorithm.adopt_broadcast(broadcast, pass_index)
+    _feed_tokens(algorithm, tokens, pass_index, batch_size)
+    return pack_ints(algorithm.shard_state_ints(pass_index))
+
+
+def _mp_worker_main(queue, worker_id, factory, tokens, pass_index, broadcast, batch_size):
+    # Child-process entry point; ships (id, message, error) back.
+    try:
+        message = _worker_round(factory, tokens, pass_index, broadcast, batch_size)
+        queue.put((worker_id, message, None))
+    except BaseException:
+        queue.put((worker_id, None, traceback.format_exc()))
+
+
+class ShardedRunner:
+    """Execute a shardable streaming algorithm across ``num_servers``.
+
+    Parameters
+    ----------
+    num_servers:
+        Number of shards/workers.
+    backend:
+        ``"serial"`` runs the workers in-process (deterministic,
+        dependency-free); ``"mp"`` forks one OS process per worker and
+        ships the ``pack_ints``-serialized states back over a queue.
+        Both backends follow the identical message protocol, so their
+        results are bit-identical.
+    discipline:
+        ``"round-robin"`` (tokens dealt across servers — a single
+        edge's insert and delete may land on different servers, which
+        only a linear sketch survives) or ``"by-edge"``
+        (hash-partitioned ingestion).
+    shard_seed:
+        Seed for the ``by-edge`` router hash.
+    batch_size:
+        Per-worker chunk size for the batched sketch engine (``None``
+        feeds tokens one at a time).
+    start_method:
+        Multiprocessing start method; default prefers ``fork`` (cheap
+        shard hand-off via copy-on-write) and falls back to the
+        platform default.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        backend: str = "serial",
+        discipline: str = "round-robin",
+        shard_seed: int | str = 0,
+        batch_size: int | None = None,
+        start_method: str | None = None,
+    ):
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        normalized_backend = backend.strip().lower()
+        if normalized_backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        normalized_discipline = discipline.strip().lower().replace("_", "-")
+        if normalized_discipline not in DISCIPLINES:
+            raise ValueError(
+                f"discipline must be one of {DISCIPLINES}, got {discipline!r}"
+            )
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.num_servers = num_servers
+        self.backend = normalized_backend
+        self.discipline = normalized_discipline
+        self.shard_seed = shard_seed
+        self.batch_size = batch_size
+        if (
+            start_method is None
+            and sys.platform.startswith("linux")
+            and "fork" in multiprocessing.get_all_start_methods()
+        ):
+            # Linux only: macOS lists fork as available but forking a
+            # threaded/framework-touched parent is unsafe there (CPython
+            # defaults it to spawn for a reason).
+            start_method = "fork"
+        self._mp_context = multiprocessing.get_context(start_method)
+
+    def shard(self, stream: DynamicStream) -> list[list[EdgeUpdate]]:
+        """Split ``stream`` into per-server token lists."""
+        if self.discipline == "round-robin":
+            return shard_round_robin(stream, self.num_servers)
+        return shard_by_edge(stream, self.num_servers, seed=self.shard_seed)
+
+    def run(
+        self,
+        stream: DynamicStream,
+        factory: Callable[[], StreamingAlgorithm],
+    ) -> DistributedResult:
+        """Run ``factory()``-built workers over the sharded ``stream``.
+
+        ``factory`` must build a fresh, same-seeded instance on every
+        call (all the repo's algorithms derive their randomness from
+        their seed argument, so ``functools.partial(Cls, n, seed)`` is
+        the canonical factory) and must be picklable for the ``mp``
+        backend.  Returns the coordinator's finalized output along with
+        the per-round communication accounting.
+        """
+        shards = self.shard(stream)
+        coordinator = factory()
+        passes = coordinator.passes_required
+        rounds: list[RoundTrace] = []
+        for pass_index in range(passes):
+            broadcast = (
+                coordinator.broadcast_state(pass_index) if pass_index > 0 else None
+            )
+            broadcast_bytes = len(pickle.dumps(broadcast)) if broadcast is not None else 0
+            if self.backend == "serial":
+                messages = [
+                    _worker_round(factory, shard, pass_index, broadcast, self.batch_size)
+                    for shard in shards
+                ]
+            else:
+                messages = self._run_mp_round(factory, shards, pass_index, broadcast)
+            coordinator.begin_pass(pass_index)
+            for message in messages:
+                peer = factory()
+                if broadcast is not None:
+                    peer.adopt_broadcast(broadcast, pass_index)
+                peer.load_shard_state_ints(pass_index, unpack_ints(message))
+                coordinator.merge_shard(peer, pass_index)
+            coordinator.end_pass(pass_index)
+            rounds.append(
+                RoundTrace(
+                    pass_index=pass_index,
+                    message_bytes=tuple(len(message) for message in messages),
+                    broadcast_bytes=broadcast_bytes,
+                )
+            )
+        output = coordinator.finalize()
+        return DistributedResult(
+            output=output,
+            communication=CommunicationReport(
+                num_servers=self.num_servers, rounds=tuple(rounds)
+            ),
+            num_servers=self.num_servers,
+            backend=self.backend,
+            discipline=self.discipline,
+        )
+
+    def _run_mp_round(
+        self,
+        factory: Callable[[], StreamingAlgorithm],
+        shards: list[list[EdgeUpdate]],
+        pass_index: int,
+        broadcast: Any,
+    ) -> list[bytes]:
+        """One round with real worker processes; preserves shard order."""
+        ctx = self._mp_context
+        queue = ctx.Queue()
+        processes = [
+            ctx.Process(
+                target=_mp_worker_main,
+                args=(queue, worker_id, factory, shard, pass_index, broadcast, self.batch_size),
+                daemon=True,
+            )
+            for worker_id, shard in enumerate(shards)
+        ]
+        for process in processes:
+            process.start()
+        messages: dict[int, bytes] = {}
+        pending = set(range(len(shards)))
+        try:
+            # Drain results before joining: a child blocks on the queue
+            # pipe until its (possibly large) message is consumed.  The
+            # timeout lets us notice a worker that died without ever
+            # reporting (OOM kill, segfault) instead of hanging forever;
+            # a clean exit (code 0) means its message is already in
+            # flight, so only abnormal exits abort the round.
+            while pending:
+                try:
+                    worker_id, message, error = queue.get(timeout=1.0)
+                except queue_module.Empty:
+                    for worker_id, process in enumerate(processes):
+                        if (
+                            worker_id in pending
+                            and not process.is_alive()
+                            and process.exitcode != 0
+                        ):
+                            raise RuntimeError(
+                                f"distributed worker {worker_id} died with "
+                                f"exit code {process.exitcode} before "
+                                "reporting a result"
+                            )
+                    continue
+                if error is not None:
+                    raise RuntimeError(
+                        f"distributed worker {worker_id} failed:\n{error}"
+                    )
+                messages[worker_id] = message
+                pending.discard(worker_id)
+        except BaseException:
+            # Undrained siblings may be blocked writing their messages;
+            # joining them would deadlock, so tear the round down.
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.join()
+            raise
+        for process in processes:
+            process.join()
+        return [messages[worker_id] for worker_id in range(len(shards))]

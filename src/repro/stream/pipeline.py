@@ -99,6 +99,59 @@ class StreamingAlgorithm(abc.ABC):
         """Persistent sketch state in machine words (0 if not tracked)."""
         return 0
 
+    # -- sharded execution protocol (the distributed setting) ----------
+    #
+    # A *shardable* algorithm can run one instance per stream shard and
+    # be reassembled by a coordinator: after each pass every worker
+    # ships ``shard_state_ints(pass_index)`` (varint-packed by
+    # :mod:`repro.sketch.serialize`), the coordinator rebuilds each
+    # message via ``load_shard_state_ints`` on a fresh same-seed
+    # instance and sums it in with ``merge_shard`` — linearity makes
+    # the sum bit-identical to single-machine state.  Multi-pass
+    # algorithms publish between-pass coordinator state through
+    # ``broadcast_state`` / ``adopt_broadcast``.  The default
+    # implementations mark the algorithm as not shardable; see
+    # :mod:`repro.stream.distributed` for the runner.
+
+    def shard_state_ints(self, pass_index: int) -> list[int]:
+        """Worker-side: pass-``pass_index`` dynamic state as flat ints.
+
+        This is the content of the worker's message to the coordinator.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sharded execution"
+        )
+
+    def load_shard_state_ints(self, pass_index: int, values: list[int]) -> None:
+        """Coordinator-side: inverse of :meth:`shard_state_ints`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sharded execution"
+        )
+
+    def merge_shard(self, other: "StreamingAlgorithm", pass_index: int) -> None:
+        """Coordinator-side: sum another instance's pass state into ours."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sharded execution"
+        )
+
+    def broadcast_state(self, pass_index: int) -> Any:
+        """Coordinator-side: state workers need *before* ``pass_index``.
+
+        ``None`` (the default) means the pass needs no broadcast.  The
+        returned object must be picklable — the multiprocessing backend
+        ships it into worker processes.
+        """
+        return None
+
+    def adopt_broadcast(self, state: Any, pass_index: int) -> None:
+        """Worker-side: receive a coordinator broadcast for ``pass_index``.
+
+        Only called when :meth:`broadcast_state` returned non-``None``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not consume coordinator broadcasts"
+        )
+
 
 def run_passes(
     stream: DynamicStream,

@@ -31,6 +31,8 @@ class DynamicStream:
         self._updates: list[EdgeUpdate] = []
         self._multiplicity: dict[tuple[int, int], int] = {}
         self._weight: dict[tuple[int, int], float] = {}
+        self._num_insertions = 0
+        self._num_deletions = 0
         for update in updates:
             self.append(update)
 
@@ -57,13 +59,27 @@ class DynamicStream:
             self._multiplicity[pair] = updated
             self._weight[pair] = update.weight
         self._updates.append(update)
+        if update.sign == 1:
+            self._num_insertions += 1
+        else:
+            self._num_deletions += 1
 
     def insert(self, u: int, v: int, weight: float = 1.0) -> None:
         """Convenience: append an insertion."""
         self.append(EdgeUpdate(u, v, +1, weight))
 
-    def delete(self, u: int, v: int, weight: float = 1.0) -> None:
-        """Convenience: append a deletion."""
+    def delete(self, u: int, v: int, weight: float | None = None) -> None:
+        """Convenience: append a deletion.
+
+        When ``weight`` is omitted and the edge is live, the stored
+        weight is used — the model removes an edge *at its weight*, so
+        the caller need not restate it (restating a different weight is
+        still rejected as a turnstile change).  For a non-live edge the
+        historical default of 1.0 applies (and the append will raise for
+        going negative, as before).
+        """
+        if weight is None:
+            weight = self._weight.get((min(u, v), max(u, v)), 1.0)
         self.append(EdgeUpdate(u, v, -1, weight))
 
     def __iter__(self) -> Iterator[EdgeUpdate]:
@@ -99,12 +115,12 @@ class DynamicStream:
         return graph
 
     def num_insertions(self) -> int:
-        """Total insert tokens."""
-        return sum(1 for update in self._updates if update.sign == 1)
+        """Total insert tokens (O(1): maintained by :meth:`append`)."""
+        return self._num_insertions
 
     def num_deletions(self) -> int:
-        """Total delete tokens."""
-        return sum(1 for update in self._updates if update.sign == -1)
+        """Total delete tokens (O(1): maintained by :meth:`append`)."""
+        return self._num_deletions
 
     def __repr__(self) -> str:
         return (

@@ -139,3 +139,192 @@ class TestDistributedSpanner:
         right = TwoPassSpannerBuilder(8, 2, seed=1)
         with pytest.raises(ValueError):
             left.adopt_forest_from(right)
+
+
+class TestShardedRunner:
+    """The distributed execution engine: sharded + merged state must be
+    bit-identical to the single-stream state, under both sharding
+    disciplines and both backends."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        graph = connected_gnp(28, 0.18, seed=31)
+        return graph, stream_from_graph(graph, seed=32, churn=0.5)
+
+    @pytest.mark.parametrize("backend", ["serial", "mp"])
+    @pytest.mark.parametrize("discipline", ["round-robin", "by-edge"])
+    def test_connectivity_state_bit_identical(self, workload, backend, discipline):
+        from functools import partial
+
+        from repro.agm import ConnectivityChecker
+        from repro.stream import ShardedRunner, run_passes
+
+        graph, stream = workload
+        single = ConnectivityChecker(28, seed=33)
+        run_passes(stream, single)
+
+        runner = ShardedRunner(3, backend=backend, discipline=discipline)
+        coordinator = ConnectivityChecker(28, seed=33)
+        for shard in runner.shard(stream):
+            worker = ConnectivityChecker(28, seed=33)
+            worker.begin_pass(0)
+            for update in shard:
+                worker.process(update, 0)
+            peer = ConnectivityChecker(28, seed=33)
+            peer.load_shard_state_ints(0, worker.shard_state_ints(0))
+            coordinator.merge_shard(peer, 0)
+        assert coordinator.shard_state_ints(0) == single.shard_state_ints(0)
+
+        result = runner.run(stream, partial(ConnectivityChecker, 28, 33))
+        assert sorted(map(sorted, result.output)) == sorted(
+            map(sorted, single.finalize())
+        )
+
+    @pytest.mark.parametrize("backend", ["serial", "mp"])
+    def test_spanner_output_identical(self, workload, backend):
+        from functools import partial
+
+        from repro.stream import ShardedRunner, run_passes
+
+        graph, stream = workload
+        single = run_passes(stream, TwoPassSpannerBuilder(28, 2, seed=34))
+        runner = ShardedRunner(3, backend=backend, batch_size=64)
+        result = runner.run(stream, partial(TwoPassSpannerBuilder, 28, 2, 34))
+        assert result.output.spanner.edge_set() == single.spanner.edge_set()
+        report = evaluate_multiplicative_stretch(graph, result.output.spanner)
+        assert report.within(4)
+
+    def test_spanner_pass_states_bit_identical(self, workload):
+        from functools import partial
+
+        from repro.stream import ShardedRunner, run_passes
+
+        _, stream = workload
+        single = TwoPassSpannerBuilder(28, 2, seed=35)
+        single_output = run_passes(stream, single)
+        runner = ShardedRunner(4, backend="serial", discipline="by-edge")
+        # Re-run distributed, then compare the coordinator's serialized
+        # pass states against the single-machine builder's.
+        coordinator = TwoPassSpannerBuilder(28, 2, seed=35)
+        shards = runner.shard(stream)
+        workers = [TwoPassSpannerBuilder(28, 2, seed=35) for _ in shards]
+        for pass_index in (0, 1):
+            broadcast = (
+                coordinator.broadcast_state(pass_index) if pass_index else None
+            )
+            for worker, shard in zip(workers, shards):
+                if broadcast is not None:
+                    worker.adopt_broadcast(broadcast, pass_index)
+                worker.begin_pass(pass_index)
+                for update in shard:
+                    worker.process(update, pass_index)
+                peer = TwoPassSpannerBuilder(28, 2, seed=35)
+                if broadcast is not None:
+                    peer.adopt_broadcast(broadcast, pass_index)
+                peer.load_shard_state_ints(
+                    pass_index, worker.shard_state_ints(pass_index)
+                )
+                coordinator.merge_shard(peer, pass_index)
+            coordinator.end_pass(pass_index)
+            assert (
+                coordinator.shard_state_ints(pass_index)
+                == single.shard_state_ints(pass_index)
+            ), f"pass-{pass_index} state diverged"
+        assert (
+            coordinator.finalize().spanner.edge_set()
+            == single_output.spanner.edge_set()
+        )
+
+    def test_communication_report_shape(self, workload):
+        from functools import partial
+
+        from repro.stream import ShardedRunner
+
+        _, stream = workload
+        runner = ShardedRunner(3, backend="serial", batch_size=128)
+        result = runner.run(stream, partial(TwoPassSpannerBuilder, 28, 2, 36))
+        report = result.communication
+        assert len(report.rounds) == 2
+        assert all(len(trace.message_bytes) == 3 for trace in report.rounds)
+        # Pass 1 ships no broadcast; pass 2 ships the forest to each server.
+        assert report.rounds[0].broadcast_bytes == 0
+        assert report.rounds[1].broadcast_bytes > 0
+        assert report.total_bytes() == (
+            report.uplink_bytes() + report.downlink_bytes()
+        )
+        assert all(size > 0 for trace in report.rounds for size in trace.message_bytes)
+
+    def test_mp_worker_failure_surfaces(self, workload):
+        from functools import partial
+
+        from repro.stream import ShardedRunner
+
+        _, stream = workload
+
+        runner = ShardedRunner(2, backend="mp")
+        with pytest.raises((RuntimeError, NotImplementedError)):
+            # GreedySpannerBaseline-style plain algorithms are not
+            # shardable; the protocol must say so loudly, not hang.
+            runner.run(stream, partial(_NotShardable,))
+
+    def test_runner_validates_configuration(self):
+        from repro.stream import ShardedRunner
+
+        with pytest.raises(ValueError):
+            ShardedRunner(0)
+        with pytest.raises(ValueError):
+            ShardedRunner(2, backend="carrier-pigeon")
+        with pytest.raises(ValueError):
+            ShardedRunner(2, discipline="alphabetical")
+        with pytest.raises(ValueError):
+            ShardedRunner(2, batch_size=0)
+
+
+class _NotShardable:
+    """A minimal StreamingAlgorithm without the sharded protocol."""
+
+    passes_required = 1
+
+    def begin_pass(self, pass_index):
+        pass
+
+    def process(self, update, pass_index):
+        pass
+
+    def process_batch(self, updates, pass_index):
+        pass
+
+    def end_pass(self, pass_index):
+        pass
+
+    def finalize(self):
+        return None
+
+    def broadcast_state(self, pass_index):
+        return None
+
+    def shard_state_ints(self, pass_index):
+        raise NotImplementedError("_NotShardable does not support sharding")
+
+
+class _DiesSilently(_NotShardable):
+    """Simulates a worker killed mid-round (exits without reporting)."""
+
+    def shard_state_ints(self, pass_index):
+        import os
+
+        os._exit(3)  # bypasses the worker's exception reporting entirely
+
+
+class TestWorkerDeath:
+    def test_dead_mp_worker_raises_instead_of_hanging(self):
+        from functools import partial
+
+        from repro.graph import connected_gnp
+        from repro.stream import ShardedRunner, stream_from_graph
+
+        graph = connected_gnp(8, 0.5, seed=40)
+        stream = stream_from_graph(graph, seed=41)
+        runner = ShardedRunner(2, backend="mp")
+        with pytest.raises(RuntimeError, match="died with exit code"):
+            runner.run(stream, partial(_DiesSilently,))

@@ -9,9 +9,13 @@ from repro.sketch import (
     CountSketch,
     DistinctElementsSketch,
     L0Sampler,
+    LinearHashTable,
+    NeighborhoodHashTable,
     OneSparseDetector,
     SparseRecoverySketch,
+    deserialize_sketch,
     pack_ints,
+    serialize_sketch,
     serialized_size_bytes,
     unpack_ints,
 )
@@ -80,11 +84,31 @@ class TestStateInts:
             DistinctElementsSketch(100, seed=6),
             CountSketch(100, 4, seed=7),
             AgmSketch(10, seed=8),
+            LinearHashTable(16, 3, 4, seed=9),
+            NeighborhoodHashTable(16, 4, seed=10),
         ]
         for sketch in sketches:
             size = serialized_size_bytes(sketch)
             assert size > 0
             assert unpack_ints(pack_ints(sketch.state_ints())) == sketch.state_ints()
+
+    def test_hash_tables_expose_state_ints(self):
+        # Regression: the tables advertised combine() but state_ints()
+        # raised AttributeError, breaking serialized_size_bytes on them.
+        table = LinearHashTable(key_domain=8, payload_len=2, capacity=2, seed=1)
+        table.add_payload(3, [2**61 - 1, -(2**61)])
+        assert serialized_size_bytes(table) > 0
+        neighborhood = NeighborhoodHashTable(8, 2, seed=2)
+        neighborhood.add_neighbor(key=3, neighbor=5, delta=1)
+        assert serialized_size_bytes(neighborhood) > 0
+
+    def test_from_state_ints_rejects_wrong_length(self):
+        detector = OneSparseDetector(100, seed=1)
+        with pytest.raises(ValueError):
+            detector.from_state_ints([1, 2])
+        sketch = SparseRecoverySketch(100, 4, seed=2)
+        with pytest.raises(ValueError):
+            sketch.from_state_ints([0])
 
     def test_additive_builder_message(self):
         from repro.core import AdditiveSpannerBuilder
@@ -97,3 +121,117 @@ class TestStateInts:
             builder.process(EdgeUpdate(u, u + 1, +1), 0)
         loaded_message = serialized_size_bytes(builder)
         assert loaded_message > empty_message
+
+
+# Deltas spanning the regimes the protocol must survive: zero-adjacent,
+# negative, int64-boundary, and well past 2^64.
+_EXTREME_DELTAS = [1, -1, 3, -(2**63), 2**64 + 7, -(2**70 + 11), 2**61 - 1]
+
+
+def _round_trip(sketch, fresh):
+    """serialize -> deserialize into a fresh instance -> compare state."""
+    blob = serialize_sketch(sketch)
+    clone = deserialize_sketch(fresh, blob)
+    assert clone.state_ints() == sketch.state_ints()
+    return clone
+
+
+class TestFromStateInts:
+    """from_state_ints is the exact inverse of state_ints for every
+    sketch class, bigint cells included."""
+
+    def test_one_sparse_detector(self):
+        detector = OneSparseDetector(1000, seed=1)
+        for i, delta in enumerate(_EXTREME_DELTAS):
+            detector.update(i * 99, delta)
+        clone = _round_trip(detector, OneSparseDetector(1000, seed=1))
+        assert clone.decode() == detector.decode()
+
+    def test_sparse_recovery_including_bigints(self):
+        sketch = SparseRecoverySketch(1000, 8, seed=2)
+        for i, delta in enumerate(_EXTREME_DELTAS):
+            sketch.update(i * 101, delta)
+        clone = _round_trip(sketch, SparseRecoverySketch(1000, 8, seed=2))
+        assert clone.decode() == sketch.decode()
+
+    def test_count_sketch(self):
+        sketch = CountSketch(1000, 4, seed=3)
+        for i, delta in enumerate(_EXTREME_DELTAS):
+            sketch.update(i * 37, delta)
+        clone = _round_trip(sketch, CountSketch(1000, 4, seed=3))
+        assert clone.estimate(0) == sketch.estimate(0)
+
+    def test_distinct_elements(self):
+        sketch = DistinctElementsSketch(1000, seed=4)
+        for i, delta in enumerate(_EXTREME_DELTAS):
+            sketch.update(i * 53, delta)
+        clone = _round_trip(sketch, DistinctElementsSketch(1000, seed=4))
+        assert clone.estimate() == sketch.estimate()
+
+    def test_l0_sampler(self):
+        sampler = L0Sampler(1000, seed=5)
+        for i, delta in enumerate(_EXTREME_DELTAS):
+            sampler.update(i * 71, delta)
+        clone = _round_trip(sampler, L0Sampler(1000, seed=5))
+        assert clone.sample() == sampler.sample()
+
+    def test_linear_hash_table(self):
+        table = LinearHashTable(key_domain=32, payload_len=3, capacity=4, seed=6)
+        table.add_payload(7, [2**61 - 1, -(2**64), 5])
+        table.add_payload(21, [1, 0, -(2**61)])
+        clone = _round_trip(table, LinearHashTable(32, 3, 4, seed=6))
+        assert clone.decode() == table.decode()
+
+    def test_neighborhood_hash_table(self):
+        table = NeighborhoodHashTable(32, 4, seed=7)
+        table.add_neighbor(key=3, neighbor=11, delta=1)
+        table.add_neighbor(key=9, neighbor=27, delta=1)
+        clone = _round_trip(table, NeighborhoodHashTable(32, 4, seed=7))
+        decoded, expected = clone.decode_neighbors(), table.decode_neighbors()
+        assert decoded is not None and expected is not None
+        assert decoded.keys() == expected.keys()
+
+    def test_agm_sketch(self):
+        sketch = AgmSketch(12, seed=8)
+        sketch.update(0, 5, 1)
+        sketch.update(5, 11, 1)
+        sketch.update(0, 5, -1)
+        clone = _round_trip(sketch, AgmSketch(12, seed=8))
+        assert clone.spanning_forest() == sketch.spanning_forest()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=499),
+                st.integers(min_value=-(2**70), max_value=2**70),
+            ),
+            max_size=30,
+        )
+    )
+    def test_round_trip_property_sparse_recovery(self, updates):
+        sketch = SparseRecoverySketch(500, 4, seed="prop")
+        for index, delta in updates:
+            sketch.update(index, delta)
+        state = sketch.state_ints()
+        assert unpack_ints(pack_ints(state)) == state
+        clone = SparseRecoverySketch(500, 4, seed="prop").from_state_ints(state)
+        assert clone.state_ints() == state
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=199),
+                st.integers(min_value=-(2**70), max_value=2**70),
+            ),
+            max_size=20,
+        )
+    )
+    def test_round_trip_property_l0_sampler(self, updates):
+        sampler = L0Sampler(200, seed="prop")
+        for index, delta in updates:
+            sampler.update(index, delta)
+        blob = serialize_sketch(sampler)
+        clone = deserialize_sketch(L0Sampler(200, seed="prop"), blob)
+        assert clone.state_ints() == sampler.state_ints()

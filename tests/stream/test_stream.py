@@ -93,3 +93,40 @@ class TestDynamicStream:
         stream.delete(0, 1)
         assert stream.num_insertions() == 2
         assert stream.num_deletions() == 1
+
+    def test_delete_defaults_to_stored_weight(self):
+        # Regression: delete() hard-coded weight 1.0, so deleting a live
+        # weighted edge without restating its weight raised a spurious
+        # "turnstile weight change" error.
+        stream = DynamicStream(3)
+        stream.insert(0, 1, weight=2.5)
+        stream.delete(0, 1)  # no weight restated
+        assert stream.final_graph().edge_set() == set()
+        assert stream.num_deletions() == 1
+
+    def test_delete_with_explicit_mismatched_weight_still_rejected(self):
+        stream = DynamicStream(3)
+        stream.insert(0, 1, weight=2.5)
+        with pytest.raises(ValueError):
+            stream.delete(0, 1, weight=7.0)
+
+    def test_delete_missing_edge_still_rejected(self):
+        stream = DynamicStream(3)
+        with pytest.raises(ValueError):
+            stream.delete(0, 1)
+        stream.insert(0, 1, weight=4.0)
+        stream.delete(1, 0)  # canonicalization: same edge, stored weight
+        assert stream.final_multiplicities() == {}
+
+    def test_counters_track_constructor_updates(self):
+        # Counters are maintained incrementally by append(), including
+        # for updates handed to the constructor.
+        updates = [
+            EdgeUpdate(0, 1, +1),
+            EdgeUpdate(1, 2, +1),
+            EdgeUpdate(0, 1, -1),
+            EdgeUpdate(0, 1, +1),
+        ]
+        stream = DynamicStream(3, updates)
+        assert stream.num_insertions() == 3
+        assert stream.num_deletions() == 1
