@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-engine bench-distributed docs-check check
+.PHONY: test bench bench-engine bench-distributed bench-service docs-check check
 
 # Tier-1 verification: the full unit/integration suite, fail-fast.
 test:
@@ -25,6 +25,13 @@ bench-engine:
 bench-distributed:
 	$(PYTHON) -m pytest benchmarks/bench_distributed.py -q
 
+# The live sketch-store gates: a 10^6-update session ingests above the
+# throughput floor, answers queries mid-stream, kill/restore from a
+# checkpoint is bit-identical, and the epoch cache is >=10x.  No
+# parallel-speedup gate (host may expose 1 CPU).
+bench-service:
+	$(PYTHON) -m pytest benchmarks/bench_service.py -q
+
 # Documentation gates: public-API docstring coverage, and the docs the
 # README promises must exist.
 docs-check:
@@ -35,5 +42,6 @@ docs-check:
 	@echo "docs OK: README.md, docs/paper_map.md, docs/performance.md present"
 
 # Everything a PR should pass: docs gates (docstring coverage), the
-# unit/integration suite, and the distributed-engine gates.
-check: docs-check test bench-distributed
+# unit/integration suite, the distributed-engine gates, and the live
+# service gates.
+check: docs-check test bench-distributed bench-service

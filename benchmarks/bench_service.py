@@ -1,0 +1,226 @@
+"""Service gates — the live sketch store at production stream lengths.
+
+The sketch-store subsystem (:mod:`repro.service`) claims a
+:class:`~repro.service.GraphSession` can (a) ingest a ``10^6``-update
+dynamic stream incrementally, (b) answer connectivity/spanner/cut
+queries mid-stream, (c) survive a kill/restore cycle through its
+checkpoint with **bit-identical** final answers, and (d) serve repeated
+queries between updates from the epoch cache at >= 10x below the first
+finalize.  This bench runs that lifecycle once and gates every claim:
+
+* **ingest throughput** — the full session (connectivity + spanner +
+  slim sparsifier pipeline, all ingesting every token) must sustain
+  ``INGEST_FLOOR`` updates/s.  The floor is deliberately conservative —
+  about a third of what the 1-CPU reference container sustains — so the
+  gate catches order-of-magnitude regressions, not scheduler noise.
+* **epoch cache** — a repeated ``spanner_distance`` between updates must
+  be >= ``CACHE_SPEEDUP_FLOOR`` cheaper than the cold snapshot.
+* **checkpoint round trip** — the session is checkpointed at the
+  midpoint, "killed", restored from disk, fed the remaining half; its
+  final components/forest/spanner/sparsifier answers and its raw
+  serialized sketch states must equal the uninterrupted session's.
+
+No parallel-speedup gate here: the host may expose a single CPU (the
+reference container does); see ``bench_distributed.py`` for the
+multi-core story.  ``docs/performance.md`` quotes the tables.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import SparsifierParams
+from repro.service import GraphSession, WorkloadDriver, load_session, scenario_ops
+from repro.stream import mixed_workload_stream
+
+#: The headline stream length (the issue's 10^6).
+STREAM_UPDATES = 1_000_000
+
+#: Vertex count: small enough that the slim sparsifier pipeline ingests
+#: a million updates in bench time, large enough to exercise routing.
+NUM_VERTICES = 16
+
+#: Ingest chunk fed to the batched sketch engine.
+BATCH_SIZE = 65_536
+
+#: Conservative floor (updates/s) for the full three-algorithm session.
+INGEST_FLOOR = 4_000.0
+
+#: Repeated queries between updates must beat the cold finalize by this.
+CACHE_SPEEDUP_FLOOR = 10.0
+
+#: Slim sparsifier constants (10 sub-spanner slots; E2 documents the
+#: fidelity/scale trade of slimming these).
+SLIM = SparsifierParams(estimate_levels=2, sampling_levels=2, sampling_rounds_factor=0.01)
+
+SEED = "bench-service"
+
+
+def _final_answers(session: GraphSession) -> dict:
+    answers = session.snapshot_answers()
+    # The bench additionally compares raw serialized sketch state — a
+    # strictly stronger probe than the decoded answers.
+    answers["states"] = [list(a.shard_state_ints(0)) for a in session._algorithms()]
+    return answers
+
+
+def _make_session() -> GraphSession:
+    return GraphSession(
+        NUM_VERTICES, SEED, k=2, sparsifier_k=1, sparsifier_params=SLIM
+    )
+
+
+@pytest.fixture(scope="module")
+def lifecycle(tmp_path_factory):
+    """One full service lifecycle; every gate reads its measurements."""
+    tokens = list(mixed_workload_stream(NUM_VERTICES, STREAM_UPDATES, SEED))
+    checkpoint_path = tmp_path_factory.mktemp("service") / "midpoint.bin"
+    midpoint_chunk = (len(tokens) // BATCH_SIZE) // 2
+    session = _make_session()
+
+    ingest_seconds = 0.0
+    midstream: dict = {}
+    for index, start in enumerate(range(0, len(tokens), BATCH_SIZE)):
+        chunk = tokens[start : start + BATCH_SIZE]
+        begin = time.perf_counter()
+        session.ingest_batch(chunk)
+        ingest_seconds += time.perf_counter() - begin
+
+        if index == midpoint_chunk:
+            # Mid-stream: checkpoint, then answer one query of each kind,
+            # timing the cold snapshot vs. its epoch-cached repeat.
+            begin = time.perf_counter()
+            session.checkpoint(checkpoint_path)
+            midstream["checkpoint_seconds"] = time.perf_counter() - begin
+            midstream["checkpoint_bytes"] = checkpoint_path.stat().st_size
+            midstream["checkpoint_updates"] = session.updates_ingested
+
+            begin = time.perf_counter()
+            midstream["connected"] = session.connected(0, 1)
+            midstream["connected_seconds"] = time.perf_counter() - begin
+
+            begin = time.perf_counter()
+            midstream["distance"] = session.spanner_distance(0, 1)
+            cold = time.perf_counter() - begin
+            begin = time.perf_counter()
+            repeat_distance = session.spanner_distance(0, 1)
+            warm = time.perf_counter() - begin
+            assert repeat_distance == midstream["distance"]
+            midstream["cold_seconds"] = cold
+            midstream["warm_seconds"] = warm
+
+            begin = time.perf_counter()
+            midstream["cut"] = session.cut_estimate(range(NUM_VERTICES // 2))
+            midstream["cut_seconds"] = time.perf_counter() - begin
+
+    reference = _final_answers(session)
+
+    # The kill: the session object is gone; only the checkpoint survives.
+    del session
+    restored = load_session(checkpoint_path)
+    restore_begin = time.perf_counter()
+    for start in range(restored.updates_ingested, len(tokens), BATCH_SIZE):
+        restored.ingest_batch(tokens[start : start + BATCH_SIZE])
+    restore_seconds = time.perf_counter() - restore_begin
+    recovered = _final_answers(restored)
+
+    return {
+        "tokens": len(tokens),
+        "ingest_seconds": ingest_seconds,
+        "midstream": midstream,
+        "reference": reference,
+        "recovered": recovered,
+        "restore_seconds": restore_seconds,
+    }
+
+
+def test_ingest_throughput_floor(lifecycle, results):
+    """10^6 updates through all three live algorithms, incrementally."""
+    rate = lifecycle["tokens"] / lifecycle["ingest_seconds"]
+    midstream = lifecycle["midstream"]
+    table = "\n".join([
+        f"live session ingest, {lifecycle['tokens']:,} updates "
+        f"(n={NUM_VERTICES}, batch {BATCH_SIZE:,}, "
+        "connectivity + 2-pass spanner pass 1 + sparsifier pass 1):",
+        f"  ingest wall-clock : {lifecycle['ingest_seconds']:>8.1f} s",
+        f"  throughput        : {rate:>8,.0f} updates/s (gate {INGEST_FLOOR:,.0f})",
+        f"  checkpoint        : {midstream['checkpoint_bytes']:,} B in "
+        f"{midstream['checkpoint_seconds'] * 1e3:.0f} ms at update "
+        f"{midstream['checkpoint_updates']:,}",
+    ])
+    results("bench_service_ingest", table)
+    assert rate >= INGEST_FLOOR, (
+        f"session ingest {rate:,.0f} updates/s under the {INGEST_FLOOR:,.0f} floor"
+    )
+
+
+def test_mid_stream_queries_answered(lifecycle, results):
+    """Connectivity, spanner and cut queries all answered mid-stream."""
+    midstream = lifecycle["midstream"]
+    assert isinstance(midstream["connected"], bool)
+    assert midstream["distance"] >= 1.0  # 0 and 1 are distinct vertices
+    assert midstream["cut"] >= 0.0
+    table = "\n".join([
+        f"mid-stream snapshot queries at update {midstream['checkpoint_updates']:,}:",
+        f"  connected(0,1)       = {midstream['connected']} "
+        f"({midstream['connected_seconds'] * 1e3:8.1f} ms)",
+        f"  spanner_distance(0,1)= {midstream['distance']} "
+        f"({midstream['cold_seconds'] * 1e3:8.1f} ms cold)",
+        f"  cut_estimate(V/2)    = {midstream['cut']:.1f} "
+        f"({midstream['cut_seconds'] * 1e3:8.1f} ms)",
+    ])
+    results("bench_service_queries", table)
+
+
+def test_epoch_cache_speedup(lifecycle, results):
+    """Repeated queries between updates are >= 10x below first finalize."""
+    midstream = lifecycle["midstream"]
+    speedup = midstream["cold_seconds"] / max(midstream["warm_seconds"], 1e-9)
+    table = "\n".join([
+        "epoch-cached repeat of spanner_distance(0, 1):",
+        f"  cold (clone + pass-2 replay + decode): "
+        f"{midstream['cold_seconds'] * 1e3:>10.2f} ms",
+        f"  warm (epoch cache hit)               : "
+        f"{midstream['warm_seconds'] * 1e3:>10.4f} ms",
+        f"  speedup                              : {speedup:>10,.0f}x "
+        f"(gate {CACHE_SPEEDUP_FLOOR:.0f}x)",
+    ])
+    results("bench_service_cache", table)
+    assert speedup >= CACHE_SPEEDUP_FLOOR, (
+        f"epoch cache speedup {speedup:.1f}x under {CACHE_SPEEDUP_FLOOR}x"
+    )
+
+
+def test_checkpoint_restore_equivalence(lifecycle, results):
+    """Kill/restore at the midpoint finishes bit-identical to no crash."""
+    reference = lifecycle["reference"]
+    recovered = lifecycle["recovered"]
+    for key in reference:
+        assert recovered[key] == reference[key], (
+            f"restored session diverged from the uninterrupted run in {key!r}"
+        )
+    table = "\n".join([
+        "kill/restore at the midpoint vs. uninterrupted session:",
+        f"  tail replay after restore : {lifecycle['restore_seconds']:>8.1f} s",
+        f"  components/forest/spanner/sparsifier answers: identical",
+        f"  raw serialized sketch states               : identical",
+    ])
+    results("bench_service_checkpoint", table)
+
+
+def test_scenario_latency_table(results, tmp_path):
+    """Short mixed scenario through the driver — the latency/cache table
+    docs/performance.md quotes (reporting, plus basic sanity gates)."""
+    session = _make_session()
+    ops = scenario_ops("query-heavy", NUM_VERTICES, 30_000, SEED)
+    report = WorkloadDriver(
+        session, checkpoint_every=10_000, checkpoint_dir=tmp_path
+    ).run(ops, scenario="query-heavy")
+    results("bench_service_scenario", report.table())
+    assert report.queries > 0
+    assert report.cache_hits > 0
+    assert report.checkpoints >= 2
+    truth = sorted(map(sorted, session.live_graph().connected_components()))
+    assert sorted(map(sorted, session.components())) == truth

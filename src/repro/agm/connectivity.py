@@ -55,6 +55,16 @@ class ConnectivityChecker(StreamingAlgorithm):
         """The connected components (whp)."""
         return self._sketch.connected_components()
 
+    def spanning_forest(self) -> list[tuple[int, int]]:
+        """A spanning forest of the current graph (whp), as edge pairs.
+
+        Read-only like :meth:`finalize`; one Borůvka extraction yields
+        both the forest and (via union-find over it) the components,
+        which is how the live service answers ``spanning_forest()`` and
+        ``connected(u, v)`` from a single decode.
+        """
+        return self._sketch.spanning_forest()
+
     def is_connected(self) -> bool:
         """Whether the final graph is connected (consumes the sketch state
         read-only; callable after the pass)."""
@@ -77,6 +87,13 @@ class ConnectivityChecker(StreamingAlgorithm):
     def merge_shard(self, other: "ConnectivityChecker", pass_index: int) -> None:
         """Shardable entry point: sum a shard's sketches into ours."""
         self._sketch.combine(other._sketch)
+
+    def clone(self) -> "ConnectivityChecker":
+        """Cheap structural copy: the AGM sketch stack is cloned."""
+        clone = object.__new__(ConnectivityChecker)
+        clone.num_vertices = self.num_vertices
+        clone._sketch = self._sketch.clone()
+        return clone
 
     def space_words(self) -> int:
         return self._sketch.space_words()
@@ -142,6 +159,14 @@ class BipartitenessChecker(StreamingAlgorithm):
         """Shardable entry point: sum a shard's sketches into ours."""
         self._base.combine(other._base)
         self._cover.combine(other._cover)
+
+    def clone(self) -> "BipartitenessChecker":
+        """Cheap structural copy: both sketch stacks are cloned."""
+        clone = object.__new__(BipartitenessChecker)
+        clone.num_vertices = self.num_vertices
+        clone._base = self._base.clone()
+        clone._cover = self._cover.clone()
+        return clone
 
     def space_words(self) -> int:
         return self._base.space_words() + self._cover.space_words()
@@ -223,6 +248,19 @@ class KConnectivityCertificate(StreamingAlgorithm):
         """Shardable entry point: sum a shard's sketch stacks into ours."""
         for mine, theirs in zip(self._stacks, other._stacks):
             mine.combine(theirs)
+
+    def clone(self) -> "KConnectivityCertificate":
+        """Cheap structural copy: every AGM stack is cloned.
+
+        Cloning matters doubly here: :meth:`finalize` *mutates* the
+        stacks (``subtract_edges`` peels recovered forests), so a
+        snapshot query must never finalize the live instance.
+        """
+        clone = object.__new__(KConnectivityCertificate)
+        clone.num_vertices = self.num_vertices
+        clone.k = self.k
+        clone._stacks = [stack.clone() for stack in self._stacks]
+        return clone
 
     def space_words(self) -> int:
         return sum(stack.space_words() for stack in self._stacks)

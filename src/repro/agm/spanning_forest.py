@@ -174,6 +174,22 @@ class AgmSketch:
             for r in range(self.rounds):
                 self._samplers[vertex][r].combine(other._samplers[vertex][r], sign)
 
+    def clone(self) -> "AgmSketch":
+        """Independent copy with the same state and seed.
+
+        Per-vertex samplers are copied cell-for-cell (their hash
+        families are shared, immutable), so forest extraction from the
+        clone is unaffected by further updates to the original.
+        """
+        clone = object.__new__(AgmSketch)
+        clone.num_vertices = self.num_vertices
+        clone.rounds = self.rounds
+        clone._seed_key = self._seed_key
+        clone._samplers = [
+            [sampler.copy() for sampler in per_vertex] for per_vertex in self._samplers
+        ]
+        return clone
+
     # ------------------------------------------------------------------
     # Forest extraction
     # ------------------------------------------------------------------

@@ -7,6 +7,8 @@ Usage examples::
     python -m repro sparsify --n 36 --rounds-factor 0.15
     python -m repro connectivity --n 48 --p 0.1
     python -m repro game --blocks 4 --block-size 16 --budget 8
+    python -m repro workload --scenario query-heavy --n 24 --updates 4000
+    python -m repro serve --n 24 --updates 8000 --checkpoint-every 2000
     python -m repro info
 
 Each subcommand generates a seeded workload, runs the corresponding
@@ -27,6 +29,14 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type for knobs where 0 means disabled (e.g. --checkpoint-every)."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -210,6 +220,72 @@ def build_parser() -> argparse.ArgumentParser:
     game.add_argument("--trials", type=int, default=12)
     game.add_argument("--seed", type=int, default=7)
 
+    workload = subparsers.add_parser(
+        "workload",
+        help="run a mixed ingest/query scenario against a live session",
+        formatter_class=fmt,
+        epilog=(
+            "Generates a seeded mixed insert/delete stream with interleaved\n"
+            "queries, drives it into a live GraphSession (the sketch-store\n"
+            "service of repro.service) and prints throughput plus per-kind\n"
+            "query latencies.  Scenarios: mixed (steady churn), query-heavy\n"
+            "(the epoch cache's regime), bursty-deletes (delete storms).\n"
+            "The session's components are verified against the exact ledger\n"
+            "graph at the end; exit code 0 means they matched.\n\n"
+            "example: python -m repro workload --scenario query-heavy --n 24\n"
+            "         python -m repro workload --scenario bursty-deletes --weighted"
+        ),
+    )
+    workload.add_argument(
+        "--scenario", choices=["mixed", "query-heavy", "bursty-deletes"],
+        default="mixed", help="workload shape (see repro.service.workload)",
+    )
+    workload.add_argument("--n", type=_positive_int, default=24, help="number of vertices")
+    workload.add_argument("--updates", type=_positive_int, default=4000,
+                          help="stream length to generate")
+    workload.add_argument("--k", type=_positive_int, default=2,
+                          help="spanner stretch parameter (stretch 2^k)")
+    workload.add_argument("--seed", type=int, default=7)
+    workload.add_argument("--weighted", action="store_true",
+                          help="weighted stream (weights in [1, 8))")
+    workload.add_argument("--no-sparsifier", action="store_true",
+                          help="disable the sparsifier slot (skips cut queries)")
+    workload.add_argument("--checkpoint-every", type=_non_negative_int, default=0,
+                          metavar="N",
+                          help="checkpoint the session every N ingested updates")
+    workload.add_argument("--state-dir", default=None,
+                          help="directory for checkpoints (default: a temp dir)")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="long-lived session loop: ingest, query, checkpoint, recover",
+        formatter_class=fmt,
+        epilog=(
+            "Runs the full serving lifecycle on one process: a GraphSession\n"
+            "ingests a generated unbounded-style stream chunk by chunk,\n"
+            "answers periodic queries, checkpoints every N updates, then a\n"
+            "crash is simulated — the session object is discarded, restored\n"
+            "from the latest checkpoint, and replays the tail of the stream.\n"
+            "Exit code 0 certifies the restored session's final answers are\n"
+            "bit-identical to the uninterrupted session's.\n\n"
+            "example: python -m repro serve --n 24 --updates 8000 --checkpoint-every 2000"
+        ),
+    )
+    serve.add_argument("--n", type=_positive_int, default=24, help="number of vertices")
+    serve.add_argument("--updates", type=_positive_int, default=8000,
+                       help="stream length to generate")
+    serve.add_argument("--k", type=_positive_int, default=2,
+                       help="spanner stretch parameter (stretch 2^k)")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--checkpoint-every", type=_positive_int, default=2000,
+                       metavar="N", help="checkpoint cadence in updates")
+    serve.add_argument("--query-every", type=_positive_int, default=1000, metavar="N",
+                       help="answer a query burst every N updates")
+    serve.add_argument("--no-sparsifier", action="store_true",
+                       help="disable the sparsifier slot (skips cut queries)")
+    serve.add_argument("--state-dir", default=None,
+                       help="directory for checkpoints (default: a temp dir)")
+
     subparsers.add_parser("info", help="package overview and experiment list")
     return parser
 
@@ -368,12 +444,117 @@ def _cmd_game(args) -> int:
     return 0
 
 
+def _service_session(args):
+    """A GraphSession sized for interactive CLI runs (slim sparsifier)."""
+    from repro.core import SparsifierParams
+    from repro.service import GraphSession
+
+    params = SparsifierParams(
+        estimate_levels=2, sampling_levels=2, sampling_rounds_factor=0.05
+    )
+    return GraphSession(
+        args.n,
+        args.seed,
+        k=args.k,
+        enable_sparsifier=not args.no_sparsifier,
+        sparsifier_k=1,
+        sparsifier_params=params,
+        weight_bounds=(1.0, 8.0) if getattr(args, "weighted", False) else None,
+    )
+
+
+def _cmd_workload(args) -> int:
+    import tempfile
+
+    from repro.service import WorkloadDriver, scenario_ops
+
+    session = _service_session(args)
+    ops = scenario_ops(
+        args.scenario,
+        args.n,
+        args.updates,
+        args.seed,
+        weights=(1.0, 8.0) if args.weighted else None,
+    )
+    with tempfile.TemporaryDirectory() as tempdir:
+        driver = WorkloadDriver(
+            session,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.state_dir or tempdir,
+        )
+        report = driver.run(ops, scenario=args.scenario)
+    print(report.table())
+    truth = sorted(map(sorted, session.live_graph().connected_components()))
+    mine = sorted(map(sorted, session.components()))
+    ok = mine == truth
+    print(f"verified  : components {'OK' if ok else 'MISMATCH'} vs exact ledger graph")
+    return 0 if ok else 1
+
+
+def _cmd_serve(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.service import GraphSession
+    from repro.stream import mixed_workload_stream
+
+    tokens = list(mixed_workload_stream(args.n, args.updates, args.seed))
+    session = _service_session(args)
+    with tempfile.TemporaryDirectory() as tempdir:
+        state_dir = Path(args.state_dir or tempdir)
+        chunk = max(1, min(args.query_every, args.checkpoint_every))
+        last_checkpoint = None
+        checkpointed_at = 0
+        since_query = 0
+        since_checkpoint = 0
+        queries = 0
+        for start in range(0, len(tokens), chunk):
+            batch = tokens[start : start + chunk]
+            session.ingest_batch(batch)
+            since_query += len(batch)
+            since_checkpoint += len(batch)
+            if since_query >= args.query_every:
+                since_query = 0
+                session.connected(0, 1 % args.n)
+                session.spanner_distance(0, 1 % args.n)
+                if not args.no_sparsifier:
+                    session.cut_estimate(range(args.n // 2 + 1))
+                queries += 3 if not args.no_sparsifier else 2
+            if since_checkpoint >= args.checkpoint_every and start + chunk < len(tokens):
+                # Strictly mid-stream: recovery below must replay a real
+                # tail, not restore an already-finished session.
+                since_checkpoint = 0
+                last_checkpoint = state_dir / f"ckpt-{session.epoch}.bin"
+                session.checkpoint(last_checkpoint)
+                checkpointed_at = session.updates_ingested
+        stats = session.stats()
+        print(f"served   : {stats.updates_ingested:,} updates in "
+              f"{stats.epoch} epochs, {queries} queries "
+              f"({stats.cache_hits} cache hits), "
+              f"{stats.live_edges} live edges, {stats.space_words:,} sketch words")
+        if last_checkpoint is None:
+            print("recovery : skipped (stream shorter than --checkpoint-every)")
+            return 0
+        reference = session.snapshot_answers()
+        print(f"crash    : discarding session; restoring {last_checkpoint.name} "
+              f"(update {checkpointed_at:,}) and replaying the tail")
+        del session
+        restored = GraphSession.restore(last_checkpoint)
+        restored.ingest_batch(tokens[restored.updates_ingested:])
+        recovered = restored.snapshot_answers()
+    ok = recovered == reference
+    print(f"recovery : final answers {'bit-identical' if ok else 'MISMATCH'} "
+          f"after kill/restore")
+    return 0 if ok else 1
+
+
 def _cmd_info(_args) -> int:
     from repro import __version__
 
     print(f"repro {__version__} — Kapralov & Woodruff, PODC 2014 reproduction")
     print("results: Thm 1 (2-pass 2^k-spanner), Cor 2 (2-pass sparsifier),")
     print("         Thm 3 (1-pass additive spanner), Thm 4 (Omega(nd) bound)")
+    print("serving: repro serve / repro workload — live sketch-store sessions")
     print("experiments: pytest benchmarks/ --benchmark-only  (E1-E8 + batch engine)")
     print("docs: README.md, docs/paper_map.md, docs/performance.md")
     return 0
@@ -385,6 +566,8 @@ _COMMANDS = {
     "sparsify": _cmd_sparsify,
     "connectivity": _cmd_connectivity,
     "game": _cmd_game,
+    "workload": _cmd_workload,
+    "serve": _cmd_serve,
     "info": _cmd_info,
 }
 

@@ -99,6 +99,25 @@ class RobustConnectivityEstimator:
             raise IndexError(f"t {t} out of [1, {self.depths}]")
         self._oracles[j][t] = spanner
 
+    def clone(self) -> "RobustConnectivityEstimator":
+        """Independent copy: oracle slots are copied, BFS caches reset.
+
+        The membership samplers are immutable shared randomness.  The
+        cache starts empty so a clone whose oracles are re-attached (the
+        snapshot path of :mod:`repro.service`) can never serve distances
+        computed against another epoch's oracles.
+        """
+        clone = object.__new__(RobustConnectivityEstimator)
+        clone.num_vertices = self.num_vertices
+        clone.stretch = self.stretch
+        clone.params = self.params
+        clone.reps = self.reps
+        clone.depths = self.depths
+        clone._samplers = self._samplers
+        clone._oracles = [list(row) for row in self._oracles]
+        clone._bfs_cache = {}
+        return clone
+
     def oracles_missing(self) -> int:
         """How many (j, t) slots still lack an oracle."""
         return sum(

@@ -51,6 +51,17 @@ class SpannerSampleLevels:
         # level -> set of recovered (spanner ∪ observed) edges.
         self._outputs: dict[int, set[tuple[int, int]]] = {}
 
+    def clone(self) -> "SpannerSampleLevels":
+        """Independent copy: registered level outputs are copied, the
+        (immutable) membership hashes are shared."""
+        clone = object.__new__(SpannerSampleLevels)
+        clone.num_vertices = self.num_vertices
+        clone.levels = self.levels
+        clone.invocation = self.invocation
+        clone._hashes = self._hashes
+        clone._outputs = {j: set(edges) for j, edges in self._outputs.items()}
+        return clone
+
     def member(self, j: int, u: int, v: int) -> bool:
         """Whether pair ``(u, v)`` belongs to ``E_{s,j}`` (rate ``2^-j``)."""
         if not 1 <= j <= self.levels:

@@ -87,6 +87,25 @@ class _PipelineCore:
             for s in range(self.rounds)
         ]
 
+    def clone(self) -> "_PipelineCore":
+        """Independent copy (estimator and samplers cloned, params shared).
+
+        Needed because :meth:`StreamingSparsifier.finalize` *writes into*
+        the core (attaching oracles and level outputs); a snapshot clone
+        must attach to its own core or it would pollute the live one.
+        """
+        clone = object.__new__(_PipelineCore)
+        clone.num_vertices = self.num_vertices
+        clone.k = self.k
+        clone.stretch = self.stretch
+        clone.params = self.params
+        clone.seed = self.seed
+        clone.estimator = self.estimator.clone()
+        clone.rounds = self.rounds
+        clone.levels = self.levels
+        clone.samplers = [sampler.clone() for sampler in self.samplers]
+        return clone
+
     def oracle_slots(self) -> list[tuple[int, int]]:
         """All (j, t) estimator-oracle indices."""
         return [
@@ -244,6 +263,26 @@ class StreamingSparsifier(StreamingAlgorithm):
         yield from self._oracle_builders.values()
         yield from self._sample_builders.values()
 
+    def clone(self) -> "StreamingSparsifier":
+        """Cheap structural copy: every sub-spanner is cloned and the
+        core is cloned with it.
+
+        The cloned sub-builders keep their original edge-filter closures
+        — those are pure functions of immutable hash families, so a
+        filter bound to the original core accepts exactly the pairs the
+        clone's core would.  The clone's ``finalize`` attaches oracles
+        and sampler outputs to the *clone's* core only.
+        """
+        clone = object.__new__(StreamingSparsifier)
+        clone.core = self.core.clone()
+        clone._oracle_builders = {
+            key: builder.clone() for key, builder in self._oracle_builders.items()
+        }
+        clone._sample_builders = {
+            key: builder.clone() for key, builder in self._sample_builders.items()
+        }
+        return clone
+
     # -- sharded execution protocol (see repro.stream.distributed) -----
     #
     # The pipeline is a fixed, seed-determined array of sub-spanners
@@ -383,6 +422,60 @@ class StreamingWeightedSparsifier(StreamingAlgorithm):
                     weight += result.weight(u, v)
                 result.add_edge(u, v, weight)
         return result
+
+    def clone(self) -> "StreamingWeightedSparsifier":
+        """Cheap structural copy: every weight-class pipeline is cloned."""
+        clone = object.__new__(StreamingWeightedSparsifier)
+        clone.num_vertices = self.num_vertices
+        clone.w_min = self.w_min
+        clone.w_max = self.w_max
+        clone.class_ratio = self.class_ratio
+        clone.num_classes = self.num_classes
+        clone._pipelines = [pipeline.clone() for pipeline in self._pipelines]
+        return clone
+
+    # -- sharded execution protocol (see repro.stream.distributed) -----
+    #
+    # The weight classes are a fixed, seed-determined array of
+    # sub-pipelines, so the protocol is the pipeline protocol applied
+    # class-wise, each block length-prefixed (mirroring
+    # :class:`StreamingSparsifier`).
+
+    def shard_state_ints(self, pass_index: int) -> list[int]:
+        """Length-prefixed concatenation of every class pipeline's state."""
+        flat: list[int] = []
+        for pipeline in self._pipelines:
+            block = pipeline.shard_state_ints(pass_index)
+            flat.append(len(block))
+            flat.extend(block)
+        return flat
+
+    def load_shard_state_ints(self, pass_index: int, values: list[int]) -> None:
+        """Inverse of :meth:`shard_state_ints`, class by class."""
+        cursor = 0
+        for pipeline in self._pipelines:
+            length = int(values[cursor])
+            cursor += 1
+            pipeline.load_shard_state_ints(pass_index, values[cursor : cursor + length])
+            cursor += length
+        if cursor != len(values):
+            raise ValueError(f"expected {cursor} state ints, got {len(values)}")
+
+    def merge_shard(self, other: "StreamingWeightedSparsifier", pass_index: int) -> None:
+        """Sum a shard's state into ours, class by class."""
+        for mine, theirs in zip(self._pipelines, other._pipelines):
+            mine.merge_shard(theirs, pass_index)
+
+    def broadcast_state(self, pass_index: int) -> object:
+        """Per-class list of the pipelines' forest broadcasts."""
+        if pass_index != 1:
+            return None
+        return [pipeline.broadcast_state(pass_index) for pipeline in self._pipelines]
+
+    def adopt_broadcast(self, state: object, pass_index: int) -> None:
+        """Install the coordinator's per-class forest broadcasts."""
+        for pipeline, piece in zip(self._pipelines, state):
+            pipeline.adopt_broadcast(piece, pass_index)
 
     def space_words(self) -> int:
         return sum(pipeline.space_words() for pipeline in self._pipelines)

@@ -215,6 +215,44 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         for root, sketch in other._cut_sketches.items():
             self._cut_sketches[root].combine(sketch)
 
+    def clone(self) -> "TwoPassSpannerBuilder":
+        """Cheap structural copy of the builder's dynamic state.
+
+        Sketches, tables and repair sketches are copied cell-for-cell;
+        the seed-derived samplers and level samples are immutable and
+        shared.  The cluster forest and its routing maps are shared too:
+        after ``end_pass(0)`` they are read-only (the same sharing the
+        distributed broadcast relies on), and ``_build_forest`` installs
+        a *new* forest object rather than mutating one in place — so a
+        clone taken mid-pass-1 builds its own forest without touching
+        the original's.
+        """
+        clone = object.__new__(TwoPassSpannerBuilder)
+        clone.num_vertices = self.num_vertices
+        clone.k = self.k
+        clone.params = self.params
+        clone.augmented = self.augmented
+        clone.edge_filter = self.edge_filter
+        clone._seed = self._seed
+        clone.levels = self.levels
+        clone._edge_levels = self._edge_levels
+        clone._edge_sampler = self._edge_sampler
+        clone._vertex_levels = self._vertex_levels
+        clone._y_samplers = self._y_samplers
+        clone._cluster_sketches = {
+            key: sketch.copy() for key, sketch in self._cluster_sketches.items()
+        }
+        clone.forest = self.forest
+        clone._terminal_trees = self._terminal_trees
+        clone._trees_of_vertex = self._trees_of_vertex
+        clone._tables = {key: table.clone() for key, table in self._tables.items()}
+        clone._cut_sketches = {
+            root: sketch.copy() for root, sketch in self._cut_sketches.items()
+        }
+        clone.observed_edges = set(self.observed_edges)
+        clone.diagnostics = dict(self.diagnostics)
+        return clone
+
     # -- sharded execution protocol (see repro.stream.distributed) -----
 
     def shard_state_ints(self, pass_index: int) -> list[int]:

@@ -1,0 +1,56 @@
+"""The live sketch-store service layer.
+
+Everything below :mod:`repro.core` answers questions about a *finished*
+stream; this package serves questions about a stream that never
+finishes.  It is the serving layer the ROADMAP's production north star
+builds on:
+
+* :class:`GraphSession` — continuous :class:`~repro.stream.updates.EdgeUpdate`
+  ingest into live linear-sketch state, snapshot queries
+  (``connected``, ``spanning_forest``, ``spanner_distance``,
+  ``cut_estimate``) answered mid-stream from finalized *clones*, with an
+  epoch-tagged result cache invalidated by ingest;
+* :mod:`repro.service.checkpoint` — crash-durable save/restore of a
+  session through the same varint wire protocol the distributed runner
+  uses, recovering bit-identical state;
+* :class:`WorkloadDriver` — mixed ingest/query scenario execution with
+  throughput and latency accounting (``python -m repro workload`` /
+  ``python -m repro serve`` drive it from the command line).
+
+Quick tour::
+
+    from repro.service import GraphSession
+    from repro.stream import mixed_workload_stream
+
+    session = GraphSession(num_vertices=64, seed=7)
+    for chunk in mixed_workload_stream(64, 10_000, seed=7).iter_batches(1024):
+        session.ingest_batch(chunk)
+        if session.connected(0, 1):
+            print(session.spanner_distance(0, 1))
+
+    session.checkpoint("state.bin")            # survive a crash ...
+    session = GraphSession.restore("state.bin")  # ... resume bit-identically
+"""
+
+from repro.service.checkpoint import CheckpointError, load_session, save_session
+from repro.service.session import GraphSession, SessionStats
+from repro.service.workload import (
+    SCENARIOS,
+    LatencySummary,
+    WorkloadDriver,
+    WorkloadReport,
+    scenario_ops,
+)
+
+__all__ = [
+    "GraphSession",
+    "SessionStats",
+    "CheckpointError",
+    "save_session",
+    "load_session",
+    "WorkloadDriver",
+    "WorkloadReport",
+    "LatencySummary",
+    "SCENARIOS",
+    "scenario_ops",
+]

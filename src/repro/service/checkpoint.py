@@ -1,0 +1,186 @@
+"""Checkpoint/restore for live sessions — crash durability in one file.
+
+A checkpoint is everything a :class:`~repro.service.session.GraphSession`
+cannot re-derive from its seed:
+
+* a JSON header with the session *configuration* (size, seed, enabled
+  slots, parameter dataclasses, weight bounds) and counters (epoch,
+  updates ingested) — configuration re-derives every hash family, so no
+  randomness is ever written;
+* the *ledger* (live-edge multiplicities and exact float64 weight bits);
+* every enabled algorithm's pass-0 dynamic state through the same
+  ``shard_state_ints`` / varint protocol the distributed runner ships
+  over the wire (:mod:`repro.sketch.serialize`) — a checkpoint is
+  literally a coordinator message written to disk.
+
+Restoring builds a fresh same-config session (identical derived
+randomness), overwrites the dynamic state in place, and resumes: because
+every later ingest and decode is deterministic given the state, a
+killed-and-restored session finishes with answers bit-identical to an
+uninterrupted run — the property ``tests/service/test_checkpoint_restore.py``
+pins down for all three algorithms on weighted and unweighted streams.
+
+Writes are atomic (temp file + ``os.replace``), so a crash *during*
+checkpointing leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import struct
+from pathlib import Path
+
+from repro.core.parameters import SpannerParams, SparsifierParams
+from repro.service.session import GraphSession
+from repro.sketch.serialize import pack_ints, unpack_ints
+
+__all__ = ["CheckpointError", "save_session", "load_session"]
+
+#: File magic; bump the suffix on incompatible layout changes.
+MAGIC = b"repro-sketchstore-v1\n"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, truncated, or inconsistent."""
+
+
+def _float_bits(value: float) -> int:
+    """Exact float64 -> int encoding (weights must round-trip bit-for-bit)."""
+    return struct.unpack(">Q", struct.pack(">d", value))[0]
+
+
+def _bits_float(bits: int) -> float:
+    """Inverse of :func:`_float_bits`."""
+    return struct.unpack(">d", struct.pack(">Q", bits))[0]
+
+
+def _params_dict(params) -> dict | None:
+    return None if params is None else dataclasses.asdict(params)
+
+
+def _header(session: GraphSession) -> dict:
+    return {
+        "num_vertices": session.num_vertices,
+        "seed": session.seed,
+        "k": session.k,
+        "enable_spanner": session.enable_spanner,
+        "enable_sparsifier": session.enable_sparsifier,
+        "sparsifier_k": session.sparsifier_k,
+        "sparsifier_params": _params_dict(session.sparsifier_params),
+        "spanner_params": _params_dict(session.spanner_params),
+        "weight_bounds": (
+            None
+            if session.weight_bounds is None
+            else [_float_bits(session.weight_bounds[0]), _float_bits(session.weight_bounds[1])]
+        ),
+        "epoch": session.epoch,
+        "updates_ingested": session.updates_ingested,
+    }
+
+
+def save_session(session: GraphSession, path) -> None:
+    """Write ``session``'s full state to ``path`` atomically.
+
+    Layout: magic line, one JSON header line, then a varint-packed int
+    sequence holding the ledger followed by one length-prefixed
+    ``shard_state_ints(0)`` block per enabled algorithm.
+    """
+    flat: list[int] = [len(session._multiplicity)]
+    for pair in sorted(session._multiplicity):
+        flat.extend(
+            (
+                pair[0],
+                pair[1],
+                session._multiplicity[pair],
+                _float_bits(session._weight[pair]),
+            )
+        )
+    for algorithm in session._algorithms():
+        block = algorithm.shard_state_ints(0)
+        flat.append(len(block))
+        flat.extend(block)
+    payload = pack_ints(flat)
+    header = json.dumps(_header(session), sort_keys=True).encode("utf-8")
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(header)
+        handle.write(b"\n")
+        handle.write(payload)
+    os.replace(temp, path)
+
+
+def load_session(path) -> GraphSession:
+    """Rebuild the checkpointed session from ``path``, bit-identically.
+
+    Raises :class:`CheckpointError` on a missing/corrupt file.  The
+    returned session continues exactly where the saved one stopped: same
+    epoch, same counters, same sketch cells — so its future answers
+    match an uninterrupted run's.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    if not data.startswith(MAGIC):
+        raise CheckpointError(f"{path} is not a sketch-store checkpoint")
+    body = data[len(MAGIC):]
+    newline = body.find(b"\n")
+    if newline < 0:
+        raise CheckpointError(f"{path}: truncated header")
+    try:
+        header = json.loads(body[:newline].decode("utf-8"))
+        values = unpack_ints(body[newline + 1 :])
+    except ValueError as error:
+        raise CheckpointError(f"{path}: corrupt checkpoint: {error}") from error
+
+    weight_bounds = header["weight_bounds"]
+    if weight_bounds is not None:
+        weight_bounds = (_bits_float(weight_bounds[0]), _bits_float(weight_bounds[1]))
+    sparsifier_params = header["sparsifier_params"]
+    spanner_params = header["spanner_params"]
+    session = GraphSession(
+        header["num_vertices"],
+        header["seed"],
+        k=header["k"],
+        enable_spanner=header["enable_spanner"],
+        enable_sparsifier=header["enable_sparsifier"],
+        sparsifier_k=header["sparsifier_k"],
+        sparsifier_params=(
+            None if sparsifier_params is None else SparsifierParams(**sparsifier_params)
+        ),
+        spanner_params=(
+            None if spanner_params is None else SpannerParams(**spanner_params)
+        ),
+        weight_bounds=weight_bounds,
+    )
+
+    cursor = 0
+    try:
+        ledger_len = values[cursor]
+        cursor += 1
+        for _ in range(ledger_len):
+            u, v, multiplicity, weight_bits = values[cursor : cursor + 4]
+            cursor += 4
+            session._multiplicity[(int(u), int(v))] = int(multiplicity)
+            session._weight[(int(u), int(v))] = _bits_float(int(weight_bits))
+        for algorithm in session._algorithms():
+            length = int(values[cursor])
+            cursor += 1
+            algorithm.load_shard_state_ints(0, values[cursor : cursor + length])
+            cursor += length
+    except (IndexError, ValueError) as error:
+        raise CheckpointError(f"{path}: inconsistent payload: {error}") from error
+    if cursor != len(values):
+        raise CheckpointError(
+            f"{path}: {len(values) - cursor} unconsumed payload ints"
+        )
+    session.epoch = int(header["epoch"])
+    session.updates_ingested = int(header["updates_ingested"])
+    return session

@@ -1,0 +1,281 @@
+"""Workload driving: replay mixed ingest/query scenarios, measure them.
+
+The service story needs numbers: how fast does a session ingest, what
+does a cold snapshot cost, what does the epoch cache buy, what does a
+checkpoint cost.  :class:`WorkloadDriver` executes the op streams
+produced by :func:`repro.stream.generators.mixed_session_ops` (or any
+compatible list) against a :class:`~repro.service.session.GraphSession`,
+timing every query and optionally checkpointing every N ingested
+updates, and renders a :class:`WorkloadReport` with throughput and
+per-kind latency tables.
+
+Three named scenarios cover the regimes the paper's serving model cares
+about (:func:`scenario_ops`):
+
+* ``mixed`` — steady interleaved inserts/deletes with periodic queries;
+* ``query-heavy`` — few updates between queries, the regime the epoch
+  cache exists for;
+* ``bursty-deletes`` — delete storms between queries, the dynamic-stream
+  regime where insertion-only state would be garbage.
+
+``python -m repro workload`` and ``benchmarks/bench_service.py`` are
+thin wrappers over this module.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.service.session import GraphSession
+from repro.stream.generators import mixed_session_ops
+
+__all__ = [
+    "SCENARIOS",
+    "LatencySummary",
+    "WorkloadReport",
+    "WorkloadDriver",
+    "scenario_ops",
+]
+
+#: Scenario name -> knobs for :func:`repro.stream.generators.mixed_session_ops`.
+SCENARIOS = {
+    "mixed": {"delete_fraction": 0.35, "query_divisor": 24, "query_repeats": 2},
+    "query-heavy": {
+        "delete_fraction": 0.25,
+        "query_divisor": 200,
+        "query_repeats": 3,
+    },
+    "bursty-deletes": {
+        "delete_fraction": 0.15,
+        "query_divisor": 24,
+        "query_repeats": 2,
+        "burst_divisor": 10,
+    },
+}
+
+
+def scenario_ops(
+    name: str,
+    num_vertices: int,
+    updates: int,
+    seed: int | str,
+    weights: tuple[float, float] | None = None,
+    query_kinds: tuple[str, ...] = ("connected", "forest", "spanner_distance", "cut"),
+) -> list[tuple]:
+    """Seeded op stream for a named scenario (see module docstring)."""
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+    knobs = SCENARIOS[name]
+    kwargs: dict = {
+        "delete_fraction": knobs["delete_fraction"],
+        "weights": weights,
+        "query_every": max(32, updates // knobs["query_divisor"]),
+        "query_kinds": query_kinds,
+        "query_repeats": knobs["query_repeats"],
+    }
+    if "burst_divisor" in knobs:
+        kwargs["burst_every"] = max(64, updates // knobs["burst_divisor"])
+        kwargs["burst_length"] = max(32, updates // (2 * knobs["burst_divisor"]))
+    return mixed_session_ops(num_vertices, updates, seed, **kwargs)
+
+
+@dataclass
+class LatencySummary:
+    """Latency aggregate for one query kind."""
+
+    count: int = 0
+    cache_hits: int = 0
+    _samples_ms: list[float] = field(default_factory=list)
+
+    def record(self, seconds: float, cache_hit: bool) -> None:
+        """Add one observation."""
+        self.count += 1
+        if cache_hit:
+            self.cache_hits += 1
+        self._samples_ms.append(seconds * 1e3)
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean latency in milliseconds (0 when empty)."""
+        return statistics.fmean(self._samples_ms) if self._samples_ms else 0.0
+
+    @property
+    def p50_ms(self) -> float:
+        """Median latency in milliseconds (0 when empty)."""
+        return statistics.median(self._samples_ms) if self._samples_ms else 0.0
+
+    @property
+    def max_ms(self) -> float:
+        """Worst latency in milliseconds (0 when empty)."""
+        return max(self._samples_ms) if self._samples_ms else 0.0
+
+
+@dataclass
+class WorkloadReport:
+    """Outcome of one :meth:`WorkloadDriver.run`."""
+
+    scenario: str
+    num_vertices: int
+    updates: int
+    queries: int
+    skipped_queries: int
+    checkpoints: int
+    ingest_seconds: float
+    query_seconds: float
+    checkpoint_seconds: float
+    cache_hits: int
+    cache_misses: int
+    latencies: dict[str, LatencySummary]
+    last_checkpoint: Path | None = None
+
+    @property
+    def ingest_rate(self) -> float:
+        """Ingested updates per second of ingest wall-clock."""
+        return self.updates / self.ingest_seconds if self.ingest_seconds > 0 else 0.0
+
+    def table(self) -> str:
+        """Human-readable summary (what the CLI and the bench print)."""
+        lines = [
+            f"scenario  : {self.scenario} (n={self.num_vertices}, "
+            f"{self.updates:,} updates, {self.queries} queries)",
+            f"ingest    : {self.ingest_seconds:8.2f} s  "
+            f"({self.ingest_rate:,.0f} updates/s)",
+            f"queries   : {self.query_seconds:8.2f} s  "
+            f"(cache {self.cache_hits} hits / {self.cache_misses} misses)",
+        ]
+        if self.checkpoints:
+            lines.append(
+                f"checkpoint: {self.checkpoint_seconds:8.2f} s over "
+                f"{self.checkpoints} snapshots -> {self.last_checkpoint}"
+            )
+        if self.skipped_queries:
+            lines.append(
+                f"skipped   : {self.skipped_queries} queries for disabled slots"
+            )
+        for kind in sorted(self.latencies):
+            summary = self.latencies[kind]
+            lines.append(
+                f"  {kind:<16} x{summary.count:<4} "
+                f"mean {summary.mean_ms:8.2f} ms  p50 {summary.p50_ms:8.2f} ms  "
+                f"max {summary.max_ms:8.2f} ms  ({summary.cache_hits} cached)"
+            )
+        return "\n".join(lines)
+
+
+class WorkloadDriver:
+    """Execute an op stream against a session, measuring as it goes.
+
+    Parameters
+    ----------
+    session:
+        The live :class:`~repro.service.session.GraphSession`.
+    checkpoint_every:
+        Checkpoint after every ``checkpoint_every`` ingested updates
+        (0 disables) into ``checkpoint_dir``.
+    checkpoint_dir:
+        Directory for ``ckpt-<epoch>.bin`` files (required when
+        ``checkpoint_every`` is positive).
+    """
+
+    def __init__(
+        self,
+        session: GraphSession,
+        checkpoint_every: int = 0,
+        checkpoint_dir=None,
+    ):
+        if checkpoint_every < 0:
+            raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        if checkpoint_every > 0 and checkpoint_dir is None:
+            raise ValueError("checkpoint_every needs a checkpoint_dir")
+        self.session = session
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = None if checkpoint_dir is None else Path(checkpoint_dir)
+
+    def _dispatch(self, kind: str, args: tuple):
+        session = self.session
+        if kind == "connected":
+            return session.connected(*args)
+        if kind == "forest":
+            return session.spanning_forest()
+        if kind == "spanner_distance":
+            if session._spanner is None:
+                return None
+            return session.spanner_distance(*args)
+        if kind == "cut":
+            if session._sparsifier is None:
+                return None
+            return session.cut_estimate(*args)
+        raise ValueError(f"unknown query kind {kind!r}")
+
+    def run(self, ops: list[tuple], scenario: str = "custom") -> WorkloadReport:
+        """Execute ``ops`` (``("ingest", updates)`` / ``("query", kind,
+        args)`` tuples) and return the measured report.
+
+        Queries for disabled session slots are counted as skipped rather
+        than failing, so one op stream drives any session configuration.
+        """
+        session = self.session
+        hits_at_start = session._cache.hits
+        misses_at_start = session._cache.misses
+        ingest_seconds = 0.0
+        query_seconds = 0.0
+        checkpoint_seconds = 0.0
+        updates = 0
+        queries = 0
+        skipped = 0
+        checkpoints = 0
+        last_checkpoint: Path | None = None
+        since_checkpoint = 0
+        latencies: dict[str, LatencySummary] = {}
+        for op in ops:
+            if op[0] == "ingest":
+                chunk = op[1]
+                start = time.perf_counter()
+                session.ingest_batch(chunk)
+                ingest_seconds += time.perf_counter() - start
+                updates += len(chunk)
+                since_checkpoint += len(chunk)
+                if self.checkpoint_every and since_checkpoint >= self.checkpoint_every:
+                    since_checkpoint = 0
+                    target = self.checkpoint_dir / f"ckpt-{session.epoch}.bin"
+                    start = time.perf_counter()
+                    session.checkpoint(target)
+                    checkpoint_seconds += time.perf_counter() - start
+                    checkpoints += 1
+                    last_checkpoint = target
+            elif op[0] == "query":
+                kind, args = op[1], op[2]
+                hits_before = session._cache.hits
+                start = time.perf_counter()
+                result = self._dispatch(kind, args)
+                elapsed = time.perf_counter() - start
+                query_seconds += elapsed
+                if result is None and kind in ("spanner_distance", "cut"):
+                    skipped += 1
+                    continue
+                queries += 1
+                latencies.setdefault(kind, LatencySummary()).record(
+                    elapsed, session._cache.hits > hits_before
+                )
+            else:
+                raise ValueError(f"unknown op {op[0]!r}")
+        return WorkloadReport(
+            scenario=scenario,
+            num_vertices=session.num_vertices,
+            updates=updates,
+            queries=queries,
+            skipped_queries=skipped,
+            checkpoints=checkpoints,
+            ingest_seconds=ingest_seconds,
+            query_seconds=query_seconds,
+            checkpoint_seconds=checkpoint_seconds,
+            # Deltas, not lifetime totals: a warmed-up or re-run session
+            # must not leak earlier traffic into this run's table.
+            cache_hits=session._cache.hits - hits_at_start,
+            cache_misses=session._cache.misses - misses_at_start,
+            latencies=latencies,
+            last_checkpoint=last_checkpoint,
+        )

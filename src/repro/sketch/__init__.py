@@ -43,6 +43,18 @@ freely — including across ``combine``::
 
 ``update_batch`` is 5-10x faster on long batches and falls back to the
 scalar loop below the measured crossover; see ``docs/performance.md``.
+
+The ``clone()`` contract
+------------------------
+Every sketch class exposes ``clone() -> same type``: an independent copy
+of the *dynamic* state (cells, counters, fingerprints) that shares the
+immutable seed-derived randomness (hash families, samplers, fingerprint
+bases).  Mutating the original after cloning never affects the clone and
+vice versa — this is what lets the live sketch-store service
+(:mod:`repro.service`) finalize snapshot copies while ingest continues.
+The hash families define ``__deepcopy__`` as identity, so even a naive
+``copy.deepcopy`` of a sketch preserves the interning memory win and
+cannot accidentally fork shared randomness.
 """
 
 from repro.sketch.countsketch import CountSketch

@@ -189,6 +189,11 @@ class CountSketch:
         clone._cells = [list(row) for row in self._cells]
         return clone
 
+    def clone(self) -> "CountSketch":
+        """Uniform deep-copy entry point (see the sketch-wide ``clone()``
+        contract in :mod:`repro.sketch`): alias of :meth:`copy`."""
+        return self.copy()
+
     def state_ints(self) -> list[int]:
         """Dynamic state as a flat int sequence (for serialization)."""
         flat: list[int] = []

@@ -157,6 +157,22 @@ class DistinctElementsSketch:
             for j in range(self.levels):
                 mine[j] = (mine[j] + sign * theirs[j]) % MERSENNE_61
 
+    def clone(self) -> "DistinctElementsSketch":
+        """Independent copy with the same state and seed.
+
+        The samplers and fingerprint bases are immutable shared
+        randomness; only the per-repetition fingerprint rows are copied.
+        """
+        clone = object.__new__(DistinctElementsSketch)
+        clone.domain_size = self.domain_size
+        clone.reps = self.reps
+        clone.levels = self.levels
+        clone._seed_key = self._seed_key
+        clone._samplers = self._samplers
+        clone._bases = self._bases
+        clone._fingerprints = [list(row) for row in self._fingerprints]
+        return clone
+
     def state_ints(self) -> list[int]:
         """Dynamic state as a flat int sequence (for serialization)."""
         flat: list[int] = []

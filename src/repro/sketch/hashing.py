@@ -73,6 +73,15 @@ class KWiseHash:
             acc = (acc * x + coeff) % MERSENNE_61
         return acc
 
+    # Instances are immutable after construction, so copying is sharing.
+    # This keeps ``clone()``/``copy.deepcopy`` of the sketches cheap and
+    # preserves the interning win of :meth:`shared` across clones.
+    def __copy__(self) -> "KWiseHash":
+        return self
+
+    def __deepcopy__(self, memo) -> "KWiseHash":
+        return self
+
     def unit(self, x: int) -> float:
         """Hash ``x`` to a float in ``[0, 1)`` (k-wise independent)."""
         return self(x) / MERSENNE_61
@@ -132,6 +141,14 @@ class NestedSampler:
             raise ValueError(f"max_level must be >= 0, got {max_level}")
         self.max_level = max_level
         self._hash = KWiseHash.shared(independence, derive_seed(seed, "nested"))
+
+    # Immutable (a max level plus an interned hash): share under copying,
+    # mirroring :meth:`KWiseHash.__deepcopy__`.
+    def __copy__(self) -> "NestedSampler":
+        return self
+
+    def __deepcopy__(self, memo) -> "NestedSampler":
+        return self
 
     def level(self, x: int) -> int:
         """Deepest ``j`` (capped at ``max_level``) with ``x`` in ``S_j``."""

@@ -145,6 +145,11 @@ class L0Sampler:
         clone._tiebreak = self._tiebreak
         return clone
 
+    def clone(self) -> "L0Sampler":
+        """Uniform deep-copy entry point (see the sketch-wide ``clone()``
+        contract in :mod:`repro.sketch`): alias of :meth:`copy`."""
+        return self.copy()
+
     def state_ints(self) -> list[int]:
         """Dynamic state as a flat int sequence (for serialization)."""
         flat: list[int] = []

@@ -138,6 +138,16 @@ class LinearHashTable:
         """In-place ``self += sign * other``; seeds/shapes must match."""
         self._sketch.combine(other._sketch, sign)
 
+    def clone(self) -> "LinearHashTable":
+        """Independent copy with the same state and seed (the addressing
+        layer is stateless; only the inner sketch cells are copied)."""
+        clone = object.__new__(LinearHashTable)
+        clone.key_domain = self.key_domain
+        clone.payload_len = self.payload_len
+        clone.capacity = self.capacity
+        clone._sketch = self._sketch.copy()
+        return clone
+
     def state_ints(self) -> list[int]:
         """Dynamic state as a flat int sequence (for serialization).
 
@@ -261,6 +271,19 @@ class NeighborhoodHashTable:
     def combine(self, other: "NeighborhoodHashTable", sign: int = 1) -> None:
         """In-place ``self += sign * other``; seeds must match."""
         self._table.combine(other._table, sign)
+
+    def clone(self) -> "NeighborhoodHashTable":
+        """Independent copy with the same state and seed.
+
+        The payload-template detector is never mutated (decoding copies
+        it before loading payloads), so it is shared; the outer table is
+        copied cell-for-cell.
+        """
+        clone = object.__new__(NeighborhoodHashTable)
+        clone.num_vertices = self.num_vertices
+        clone._payload_template = self._payload_template
+        clone._table = self._table.clone()
+        return clone
 
     def state_ints(self) -> list[int]:
         """Dynamic state as a flat int sequence (for serialization).

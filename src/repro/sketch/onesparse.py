@@ -164,6 +164,11 @@ class OneSparseDetector:
         clone.fingerprint = self.fingerprint
         return clone
 
+    def clone(self) -> "OneSparseDetector":
+        """Uniform deep-copy entry point (see the sketch-wide ``clone()``
+        contract in :mod:`repro.sketch`): alias of :meth:`copy`."""
+        return self.copy()
+
     @property
     def fingerprint_base(self) -> int:
         """The fingerprint base ``z`` (needed to *encode* raw state

@@ -309,6 +309,11 @@ class SparseRecoverySketch:
         clone._fingerprints = list(self._fingerprints)
         return clone
 
+    def clone(self) -> "SparseRecoverySketch":
+        """Uniform deep-copy entry point (see the sketch-wide ``clone()``
+        contract in :mod:`repro.sketch`): alias of :meth:`copy`."""
+        return self.copy()
+
     def state_ints(self) -> list[int]:
         """Dynamic state as a flat int sequence (for serialization).
 

@@ -6,7 +6,12 @@ from repro.stream.distributed import (
     RoundTrace,
     ShardedRunner,
 )
-from repro.stream.generators import adversarial_churn_stream, stream_from_graph
+from repro.stream.generators import (
+    adversarial_churn_stream,
+    mixed_session_ops,
+    mixed_workload_stream,
+    stream_from_graph,
+)
 from repro.stream.pipeline import StreamingAlgorithm, run_passes
 from repro.stream.sharding import shard_by_edge, shard_round_robin
 from repro.stream.space import SpaceReport
@@ -21,6 +26,8 @@ __all__ = [
     "SpaceReport",
     "stream_from_graph",
     "adversarial_churn_stream",
+    "mixed_workload_stream",
+    "mixed_session_ops",
     "shard_round_robin",
     "shard_by_edge",
     "ShardedRunner",

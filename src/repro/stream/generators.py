@@ -15,7 +15,12 @@ from repro.stream.stream import DynamicStream
 from repro.stream.updates import EdgeUpdate
 from repro.util.rng import rng_from_seed
 
-__all__ = ["stream_from_graph", "adversarial_churn_stream"]
+__all__ = [
+    "stream_from_graph",
+    "adversarial_churn_stream",
+    "mixed_workload_stream",
+    "mixed_session_ops",
+]
 
 
 def stream_from_graph(
@@ -71,6 +76,174 @@ def stream_from_graph(
         tokens.insert(delete_at, EdgeUpdate(u, v, -1, w))
 
     return DynamicStream(graph.num_vertices, tokens)
+
+
+def mixed_workload_stream(
+    num_vertices: int,
+    length: int,
+    seed: int | str,
+    delete_fraction: float = 0.35,
+    burst_every: int = 0,
+    burst_length: int = 0,
+    weights: tuple[float, float] | None = None,
+) -> DynamicStream:
+    """A seeded unbounded-looking mixed insert/delete stream.
+
+    This is the service-plane workload shape: unlike
+    :func:`stream_from_graph` there is no target final graph — edges keep
+    arriving and dying for as long as the caller asks, which is what a
+    long-lived :class:`~repro.service.GraphSession` ingests.  Used by the
+    service benchmark, the checkpoint/crash failure-injection tests and
+    ``python -m repro workload``.
+
+    Parameters
+    ----------
+    num_vertices, length, seed:
+        Graph size, token count, and the name of all randomness.
+    delete_fraction:
+        Baseline probability that the next token deletes a live edge
+        (inserts otherwise; deletions always target a live edge, so the
+        stream respects the model invariants by construction).
+    burst_every / burst_length:
+        When both are positive, every ``burst_every`` tokens the stream
+        enters a *delete burst*: the next ``burst_length`` tokens delete
+        live edges for as long as any remain — the "bursty deletes"
+        regime in which insertion-only algorithms break.
+    weights:
+        ``None`` for an unweighted stream; ``(w_min, w_max)`` draws each
+        inserted edge's weight uniformly from the range.  A live edge's
+        deletion restates its insertion weight (the model's no-turnstile
+        rule), and a re-inserted pair may pick a fresh weight only after
+        full removal.
+    """
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ValueError(f"delete_fraction must be in [0, 1), got {delete_fraction}")
+    if (burst_every > 0) != (burst_length > 0):
+        raise ValueError("burst_every and burst_length must be set together")
+    if weights is not None and not 0 < weights[0] <= weights[1]:
+        raise ValueError(f"need 0 < w_min <= w_max, got {weights}")
+    if num_vertices < 2 and length > 0:
+        raise ValueError("a nonempty stream needs at least 2 vertices")
+    rng = rng_from_seed(seed, "mixed-workload")
+    stream = DynamicStream(num_vertices)
+    live: list[tuple[int, int]] = []
+    live_set: set[tuple[int, int]] = set()
+    burst_remaining = 0
+    stalled = 0
+    while len(stream) < length:
+        # Progress guard: with every pair live and deletes disabled (or
+        # similar corners) no token can ever be emitted — fail loudly
+        # instead of spinning forever.
+        if stalled > 10_000:
+            raise ValueError(
+                f"cannot generate more tokens at n={num_vertices} with "
+                f"delete_fraction={delete_fraction} (all pairs live?)"
+            )
+        if burst_every > 0 and burst_remaining == 0 and len(stream) > 0 \
+                and len(stream) % burst_every == 0:
+            burst_remaining = burst_length
+        deleting = live and (
+            burst_remaining > 0 or rng.random() < delete_fraction
+        )
+        if deleting:
+            position = rng.randrange(len(live))
+            live[position], live[-1] = live[-1], live[position]
+            pair = live.pop()
+            live_set.discard(pair)
+            stream.delete(*pair)  # restates the stored live weight
+            if burst_remaining > 0:
+                burst_remaining -= 1
+            stalled = 0
+        else:
+            u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices)
+            if u == v:
+                stalled += 1
+                continue
+            pair = (min(u, v), max(u, v))
+            if pair in live_set:
+                stalled += 1
+                continue  # already live: keep multiplicities at 1
+            live.append(pair)
+            live_set.add(pair)
+            weight = rng.uniform(*weights) if weights else 1.0
+            stream.insert(pair[0], pair[1], weight)
+            stalled = 0
+    return stream
+
+
+def mixed_session_ops(
+    num_vertices: int,
+    length: int,
+    seed: int | str,
+    query_every: int = 0,
+    query_kinds: tuple[str, ...] = ("connected", "forest", "spanner_distance", "cut"),
+    ingest_chunk: int = 1024,
+    query_repeats: int = 1,
+    **stream_kwargs,
+) -> list[tuple]:
+    """Interleave a :func:`mixed_workload_stream` with seeded query ops.
+
+    Returns a list of operations for a session driver
+    (:class:`repro.service.WorkloadDriver`):
+
+    * ``("ingest", updates)`` — a chunk (list) of
+      :class:`~repro.stream.updates.EdgeUpdate` tokens;
+    * ``("query", kind, args)`` — a snapshot query, where ``kind`` is one
+      of ``query_kinds`` and ``args`` is a concrete seeded argument tuple
+      (vertex pair for ``connected``/``spanner_distance``, a frozen
+      vertex set for ``cut``, empty for ``forest``).
+
+    ``query_every`` places a query op (cycling through ``query_kinds``)
+    after every ``query_every`` ingested tokens; 0 generates pure ingest.
+    ``query_repeats`` emits each query op that many times back-to-back —
+    the dashboard-refresh pattern whose repeats land in the session's
+    epoch cache.  Remaining keyword arguments flow to
+    :func:`mixed_workload_stream`.
+    """
+    if query_every < 0:
+        raise ValueError(f"query_every must be >= 0, got {query_every}")
+    if query_repeats < 1:
+        raise ValueError(f"query_repeats must be >= 1, got {query_repeats}")
+    if ingest_chunk < 1:
+        raise ValueError(f"ingest_chunk must be positive, got {ingest_chunk}")
+    if query_every > 0 and not query_kinds:
+        raise ValueError("query_every > 0 needs at least one query kind")
+    stream = mixed_workload_stream(num_vertices, length, seed, **stream_kwargs)
+    rng = rng_from_seed(seed, "mixed-queries")
+    tokens = list(stream)
+    ops: list[tuple] = []
+    kind_index = 0
+    pending_start = 0
+
+    def flush_until(stop: int) -> None:
+        nonlocal pending_start
+        for start in range(pending_start, stop, ingest_chunk):
+            ops.append(("ingest", tokens[start : min(start + ingest_chunk, stop)]))
+        pending_start = stop
+
+    next_query = query_every if query_every > 0 else len(tokens) + 1
+    while next_query <= len(tokens):
+        flush_until(next_query)
+        kind = query_kinds[kind_index % len(query_kinds)]
+        kind_index += 1
+        if kind in ("connected", "spanner_distance"):
+            u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices - 1)
+            args: tuple = (u, v if v < u else v + 1)
+        elif kind == "cut":
+            side = frozenset(
+                v for v in range(num_vertices) if rng.random() < 0.5
+            ) or frozenset({0})
+            args = (side,)
+        else:
+            args = ()
+        ops.extend([("query", kind, args)] * query_repeats)
+        next_query += query_every
+    flush_until(len(tokens))
+    return ops
 
 
 def adversarial_churn_stream(

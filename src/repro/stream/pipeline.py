@@ -43,6 +43,7 @@ for batch-size guidance and measured speedups.
 from __future__ import annotations
 
 import abc
+import copy
 from typing import Any, Sequence
 
 from repro.stream.stream import DynamicStream
@@ -98,6 +99,20 @@ class StreamingAlgorithm(abc.ABC):
     def space_words(self) -> int:
         """Persistent sketch state in machine words (0 if not tracked)."""
         return 0
+
+    def clone(self) -> "StreamingAlgorithm":
+        """Independent copy of this algorithm's dynamic state.
+
+        Snapshot queries (the live service of :mod:`repro.service`)
+        finalize a *clone* so decoding never perturbs — and is never
+        perturbed by — continued ingest into the original.  The default
+        is a ``copy.deepcopy``, which is correct for every algorithm in
+        the repository because the immutable hash families deep-copy as
+        themselves (see :mod:`repro.sketch.hashing`); sketch-heavy
+        algorithms override it with cheaper structural copies that share
+        the seed-derived randomness outright.
+        """
+        return copy.deepcopy(self)
 
     # -- sharded execution protocol (the distributed setting) ----------
     #

@@ -1,0 +1,123 @@
+"""Tests for workload scenarios and the measuring driver."""
+
+import pytest
+
+from repro.core import SparsifierParams
+from repro.service import SCENARIOS, GraphSession, WorkloadDriver, scenario_ops
+from repro.stream import mixed_session_ops, mixed_workload_stream
+
+SLIM = SparsifierParams(estimate_levels=2, sampling_levels=2, sampling_rounds_factor=0.01)
+
+
+class TestGenerators:
+    def test_mixed_workload_stream_is_model_valid_and_deterministic(self):
+        first = mixed_workload_stream(10, 500, seed=1, delete_fraction=0.4)
+        second = mixed_workload_stream(10, 500, seed=1, delete_fraction=0.4)
+        assert list(first) == list(second)
+        assert len(first) == 500
+        assert first.num_deletions() > 0
+
+    def test_burst_mode_deletes_in_storms(self):
+        calm = mixed_workload_stream(10, 2000, seed=2, delete_fraction=0.1)
+        bursty = mixed_workload_stream(
+            10, 2000, seed=2, delete_fraction=0.1, burst_every=400, burst_length=150
+        )
+        assert bursty.num_deletions() > calm.num_deletions()
+
+    def test_weighted_stream_weights_in_range(self):
+        stream = mixed_workload_stream(10, 300, seed=3, weights=(2.0, 5.0))
+        weights = {update.weight for update in stream}
+        assert all(2.0 <= w <= 5.0 for w in weights)
+        assert len(weights) > 1
+
+    def test_exhausted_pair_space_fails_loudly_instead_of_hanging(self):
+        with pytest.raises(ValueError, match="at least 2 vertices"):
+            mixed_workload_stream(1, 10, seed=1)
+        # One pair, deletes disabled: after the single insert no token
+        # can ever be emitted — the progress guard must raise.
+        with pytest.raises(ValueError, match="cannot generate"):
+            mixed_workload_stream(2, 10, seed=1, delete_fraction=0.0)
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_workload_stream(10, -1, seed=1)
+        with pytest.raises(ValueError):
+            mixed_workload_stream(10, 10, seed=1, delete_fraction=1.0)
+        with pytest.raises(ValueError):
+            mixed_workload_stream(10, 10, seed=1, burst_every=5)
+        with pytest.raises(ValueError):
+            mixed_session_ops(10, 10, seed=1, query_every=-1)
+        with pytest.raises(ValueError):
+            mixed_session_ops(10, 10, seed=1, query_every=5, query_kinds=())
+        with pytest.raises(ValueError):
+            scenario_ops("nope", 10, 100, seed=1)
+
+    def test_ops_cover_all_tokens_in_order(self):
+        ops = mixed_session_ops(10, 700, seed=4, query_every=150, ingest_chunk=64)
+        replayed = [u for op in ops if op[0] == "ingest" for u in op[1]]
+        assert replayed == list(mixed_workload_stream(10, 700, seed=4))
+        kinds = [op[1] for op in ops if op[0] == "query"]
+        assert kinds  # queries interleaved
+        assert set(kinds) <= {"connected", "forest", "spanner_distance", "cut"}
+
+    def test_query_repeats_emit_back_to_back(self):
+        ops = mixed_session_ops(
+            10, 300, seed=5, query_every=100, query_repeats=3,
+            query_kinds=("connected",),
+        )
+        queries = [op for op in ops if op[0] == "query"]
+        assert len(queries) == 9
+        assert queries[0] == queries[1] == queries[2]
+
+
+class TestDriver:
+    def test_scenarios_run_and_report(self, tmp_path):
+        for name in SCENARIOS:
+            session = GraphSession(
+                10, f"wl-{name}", sparsifier_k=1, sparsifier_params=SLIM
+            )
+            ops = scenario_ops(name, 10, 600, seed=6)
+            report = WorkloadDriver(
+                session, checkpoint_every=300, checkpoint_dir=tmp_path / name
+            ).run(ops, scenario=name)
+            assert report.updates == 600
+            assert report.queries > 0
+            assert report.checkpoints >= 1
+            assert report.ingest_rate > 0
+            assert report.cache_hits > 0  # query_repeats land in the cache
+            table = report.table()
+            assert name in table and "updates/s" in table
+
+    def test_disabled_slots_are_skipped_not_failed(self):
+        session = GraphSession(10, "wl-skip", enable_spanner=False,
+                               enable_sparsifier=False)
+        ops = scenario_ops("mixed", 10, 400, seed=7)
+        report = WorkloadDriver(session).run(ops)
+        assert report.skipped_queries > 0
+        assert "spanner_distance" not in report.latencies
+        assert "cut" not in report.latencies
+
+    def test_driver_argument_validation(self, tmp_path):
+        session = GraphSession(6, 1, enable_spanner=False, enable_sparsifier=False)
+        with pytest.raises(ValueError):
+            WorkloadDriver(session, checkpoint_every=-1)
+        with pytest.raises(ValueError):
+            WorkloadDriver(session, checkpoint_every=10)  # no dir
+        driver = WorkloadDriver(session)
+        with pytest.raises(ValueError, match="unknown op"):
+            driver.run([("frobnicate", ())])
+        with pytest.raises(ValueError, match="unknown query kind"):
+            driver.run([("query", "nope", ())])
+
+    def test_checkpoints_are_restorable(self, tmp_path):
+        from repro.service import load_session
+
+        session = GraphSession(10, "wl-ck", enable_spanner=False,
+                               enable_sparsifier=False)
+        ops = mixed_session_ops(10, 500, seed=8, query_every=200)
+        report = WorkloadDriver(
+            session, checkpoint_every=250, checkpoint_dir=tmp_path
+        ).run(ops)
+        assert report.last_checkpoint is not None
+        restored = load_session(report.last_checkpoint)
+        assert restored.num_live_edges() > 0

@@ -66,3 +66,33 @@ class TestCommands:
         assert code == 0
         assert "INDEX length" in out
         assert "bytes" in out
+
+    def test_workload_mixed(self, capsys):
+        code = main([
+            "workload", "--scenario", "mixed", "--n", "12",
+            "--updates", "800", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "updates/s" in out
+        assert "components OK" in out
+
+    def test_workload_no_sparsifier_skips_cuts(self, capsys):
+        code = main([
+            "workload", "--scenario", "bursty-deletes", "--n", "12",
+            "--updates", "800", "--seed", "3", "--no-sparsifier",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "skipped" in out
+
+    def test_serve_recovers_bit_identically(self, capsys, tmp_path):
+        code = main([
+            "serve", "--n", "12", "--updates", "1200", "--seed", "3",
+            "--checkpoint-every", "400", "--query-every", "300",
+            "--no-sparsifier", "--state-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bit-identical" in out
+        assert list(tmp_path.glob("ckpt-*.bin"))

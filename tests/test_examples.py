@@ -32,6 +32,10 @@ def test_distributed_servers_example():
     run_example("distributed_servers.py")
 
 
+def test_service_session_example():
+    run_example("service_session.py")
+
+
 def test_all_examples_have_main_and_docstring():
     examples = sorted(EXAMPLES_DIR.glob("*.py"))
     assert len(examples) >= 5, "at least five runnable examples are promised"

@@ -26,6 +26,22 @@ import sys
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
+#: Sub-packages the repository promises; a rename or accidental deletion
+#: fails the gate instead of silently shrinking coverage.  New
+#: subsystems (e.g. the ``service`` sketch store) must be listed here so
+#: their public APIs are provably walked.
+EXPECTED_PACKAGES = (
+    "agm",
+    "baselines",
+    "core",
+    "graph",
+    "lowerbound",
+    "service",
+    "sketch",
+    "stream",
+    "util",
+)
+
 
 def _public(name: str) -> bool:
     return not name.startswith("_")
@@ -114,6 +130,14 @@ def check_module(
 
 
 def main() -> int:
+    missing_packages = [
+        name for name in EXPECTED_PACKAGES
+        if not (SRC / name / "__init__.py").is_file()
+    ]
+    if missing_packages:
+        print(f"expected packages missing under {SRC}: "
+              f"{', '.join(missing_packages)}", file=sys.stderr)
+        return 2
     modules = sorted(SRC.rglob("*.py"))
     if not modules:
         print(f"no modules found under {SRC}", file=sys.stderr)
