@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-engine bench-distributed bench-service docs-check check
+.PHONY: test bench bench-engine bench-distributed bench-service bench-columnar docs-check check
 
 # Tier-1 verification: the full unit/integration suite, fail-fast.
 test:
@@ -32,6 +32,14 @@ bench-distributed:
 bench-service:
 	$(PYTHON) -m pytest benchmarks/bench_service.py -q
 
+# The columnar-engine gates: >=3x algorithm-level columnar-vs-scalar
+# speedup with bit-identical state on 10^5-update streams (single-core
+# gates only), then the machine-readable regression check of the fresh
+# BENCH_columnar.json against the committed baseline floors.
+bench-columnar:
+	$(PYTHON) -m pytest benchmarks/bench_columnar.py -q
+	$(PYTHON) tools/perf_regress.py
+
 # Documentation gates: public-API docstring coverage, and the docs the
 # README promises must exist.
 docs-check:
@@ -42,6 +50,6 @@ docs-check:
 	@echo "docs OK: README.md, docs/paper_map.md, docs/performance.md present"
 
 # Everything a PR should pass: docs gates (docstring coverage), the
-# unit/integration suite, the distributed-engine gates, and the live
-# service gates.
-check: docs-check test bench-distributed bench-service
+# unit/integration suite, the distributed-engine gates, the live
+# service gates, and the columnar-engine speedup/regression gates.
+check: docs-check test bench-distributed bench-service bench-columnar

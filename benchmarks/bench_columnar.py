@@ -1,0 +1,232 @@
+"""Columnar-engine gates: algorithm-level speedup and long-stream identity.
+
+The columnar sketch stacks (:mod:`repro.sketch.columnar`) claim to move
+*algorithm-level* throughput toward the primitive-level ceiling by
+sharing hash evaluations across same-seeded sketch rows.  This bench
+pins the claim on a seeded 10^5-update dynamic stream per algorithm:
+
+* **speedup gates** — the columnar ``process_batch`` path must run
+  >= ``SPEEDUP_FLOOR`` times faster than the scalar one-token loop for
+  AGM connectivity, the two-pass spanner, and the streaming sparsifier
+  pipeline.  Single-core vectorization only: the gates hold on the 1-CPU
+  reference container (no parallelism assumptions anywhere here).
+* **bit-identity** — both paths must land in identical
+  ``shard_state_ints`` for all three algorithms, weighted and
+  unweighted (the scalar runs the speedup measurement needs double as
+  the identity references, so the strongest probe is free).
+* **primitive rates** — stack-level scatter throughput for the two
+  columnar primitives, reported for the regression baseline.
+
+Every measured rate lands in ``benchmarks/results/BENCH_columnar.json``;
+``tools/perf_regress.py`` (run by ``make bench-columnar``) compares that
+file against the committed conservative baseline and fails the build on
+a > 20% regression.  ``docs/performance.md`` quotes the tables.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.agm.connectivity import ConnectivityChecker
+from repro.core.parameters import SparsifierParams
+from repro.core.sparsify import StreamingSparsifier, StreamingWeightedSparsifier
+from repro.core.two_pass_spanner import TwoPassSpannerBuilder
+from repro.sketch.columnar import L0SamplerStack, SketchStack
+from repro.stream.generators import mixed_workload_stream
+from repro.util.rng import rng_from_seed
+
+#: The acceptance stream length: 10^5 seeded dynamic updates.
+STREAM_UPDATES = 100_000
+
+#: Columnar vs. scalar algorithm-level gate (measured: 10-30x).
+SPEEDUP_FLOOR = 3.0
+
+#: Chunk size for the columnar runs.
+BATCH_SIZE = 8_192
+
+#: Slim sparsifier constants (the bench_service configuration).
+SLIM = SparsifierParams(estimate_levels=2, sampling_levels=2, sampling_rounds_factor=0.01)
+
+RESULTS_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_columnar.json"
+
+_RATES: dict[str, float] = {}
+
+
+def _timed_passes(algorithm, stream, batch_size):
+    begin = time.perf_counter()
+    passes = algorithm.passes_required
+    for pass_index in range(passes):
+        algorithm.begin_pass(pass_index)
+        if batch_size is None:
+            for update in stream:
+                algorithm.process(update, pass_index)
+        else:
+            for chunk in stream.iter_batches(batch_size):
+                algorithm.process_batch(chunk, pass_index)
+        algorithm.end_pass(pass_index)
+    return time.perf_counter() - begin
+
+
+def _states(algorithm) -> list[list[int]]:
+    return [
+        list(algorithm.shard_state_ints(p)) for p in range(algorithm.passes_required)
+    ]
+
+
+def _lifecycle(make_algorithm, stream):
+    """Run scalar and columnar engines over ``stream``; return rates and
+    the two state serializations (the identity probe rides the timing
+    runs for free)."""
+    scalar = make_algorithm()
+    scalar_seconds = _timed_passes(scalar, stream, None)
+    columnar = make_algorithm()
+    columnar_seconds = _timed_passes(columnar, stream, BATCH_SIZE)
+    return {
+        "scalar_rate": len(stream) / scalar_seconds,
+        "columnar_rate": len(stream) / columnar_seconds,
+        "speedup": scalar_seconds / columnar_seconds,
+        "scalar_states": _states(scalar),
+        "columnar_states": _states(columnar),
+    }
+
+
+@pytest.fixture(scope="module")
+def agm_run():
+    stream = mixed_workload_stream(64, STREAM_UPDATES, "columnar-agm")
+    return _lifecycle(lambda: ConnectivityChecker(64, "columnar-agm"), stream)
+
+
+@pytest.fixture(scope="module")
+def spanner_run():
+    stream = mixed_workload_stream(64, STREAM_UPDATES, "columnar-spanner")
+    return _lifecycle(lambda: TwoPassSpannerBuilder(64, 2, "columnar-spanner"), stream)
+
+
+@pytest.fixture(scope="module")
+def sparsifier_run():
+    stream = mixed_workload_stream(32, STREAM_UPDATES, "columnar-sparsify")
+    return _lifecycle(
+        lambda: StreamingSparsifier(32, "columnar-sparsify", k=1, params=SLIM), stream
+    )
+
+
+@pytest.fixture(scope="module")
+def weighted_run():
+    stream = mixed_workload_stream(
+        16, STREAM_UPDATES, "columnar-weighted", weights=(1.0, 4.0)
+    )
+    return _lifecycle(
+        lambda: StreamingWeightedSparsifier(
+            16, "columnar-weighted", 1.0, 4.0, k=1, params=SLIM
+        ),
+        stream,
+    )
+
+
+def _gate(name, run, results):
+    _RATES[f"{name}_scalar"] = round(run["scalar_rate"], 1)
+    _RATES[f"{name}_columnar"] = round(run["columnar_rate"], 1)
+    table = "\n".join([
+        f"{name}: columnar vs scalar on a {STREAM_UPDATES:,}-update stream "
+        f"(batch {BATCH_SIZE:,}):",
+        f"  scalar   : {run['scalar_rate']:>10,.0f} updates/s",
+        f"  columnar : {run['columnar_rate']:>10,.0f} updates/s",
+        f"  speedup  : {run['speedup']:>10.1f}x (gate {SPEEDUP_FLOOR:.0f}x)",
+        f"  states   : bit-identical across both engines",
+    ])
+    results(f"bench_columnar_{name}", table)
+    assert run["scalar_states"] == run["columnar_states"], (
+        f"{name}: columnar state diverged from the scalar path"
+    )
+    assert run["speedup"] >= SPEEDUP_FLOOR, (
+        f"{name}: columnar speedup {run['speedup']:.2f}x under {SPEEDUP_FLOOR}x"
+    )
+
+
+def test_agm_connectivity_gate(agm_run, results):
+    """AGM connectivity: >= 3x columnar speedup, bit-identical state."""
+    _gate("agm_connectivity", agm_run, results)
+
+
+def test_two_pass_spanner_gate(spanner_run, results):
+    """Two-pass spanner (both passes): >= 3x, bit-identical state."""
+    _gate("two_pass_spanner", spanner_run, results)
+
+
+def test_sparsifier_gate(sparsifier_run, results):
+    """Streaming sparsifier pipeline: >= 3x, bit-identical state."""
+    _gate("sparsifier", sparsifier_run, results)
+
+
+def test_weighted_sparsifier_identity(weighted_run, results):
+    """Weighted pipeline: long-stream bit-identity (no speedup gate —
+    the weight-class split shares the unweighted pipeline's engine)."""
+    _RATES["weighted_sparsifier_columnar"] = round(weighted_run["columnar_rate"], 1)
+    table = "\n".join([
+        f"weighted sparsifier on a {STREAM_UPDATES:,}-update weighted stream:",
+        f"  scalar   : {weighted_run['scalar_rate']:>10,.0f} updates/s",
+        f"  columnar : {weighted_run['columnar_rate']:>10,.0f} updates/s "
+        f"({weighted_run['speedup']:.1f}x)",
+        f"  states   : bit-identical across both engines",
+    ])
+    results("bench_columnar_weighted", table)
+    assert weighted_run["scalar_states"] == weighted_run["columnar_states"], (
+        "weighted sparsifier: columnar state diverged from the scalar path"
+    )
+
+
+def test_primitive_scatter_rates(results):
+    """Stack-level scatter throughput (reported; part of the regression
+    baseline, no per-run gate beyond perf_regress tolerances)."""
+    rng = rng_from_seed("columnar-primitives", 0)
+    count, num_rows, domain = 200_000, 64, 4096
+    rows = np.array([rng.randrange(num_rows) for _ in range(count)], dtype=np.int64)
+    idxs = np.array([rng.randrange(domain) for _ in range(count)], dtype=np.int64)
+    deltas = np.array([rng.choice([-1, 1]) for _ in range(count)], dtype=np.int64)
+
+    stack = SketchStack(num_rows, domain, 8, "prim-stack", rows=3)
+    begin = time.perf_counter()
+    for start in range(0, count, BATCH_SIZE):
+        stop = start + BATCH_SIZE
+        stack.scatter(rows[start:stop], idxs[start:stop], deltas[start:stop])
+    stack_rate = count / (time.perf_counter() - begin)
+
+    l0 = L0SamplerStack(num_rows, domain, "prim-l0")
+    begin = time.perf_counter()
+    for start in range(0, count, BATCH_SIZE):
+        stop = start + BATCH_SIZE
+        l0.scatter(rows[start:stop], idxs[start:stop], deltas[start:stop])
+    l0_rate = count / (time.perf_counter() - begin)
+
+    _RATES["sketch_stack_scatter"] = round(stack_rate, 1)
+    _RATES["l0_stack_scatter"] = round(l0_rate, 1)
+    table = "\n".join([
+        f"columnar primitive scatter, {count:,} incidences across "
+        f"{num_rows} rows (batch {BATCH_SIZE:,}):",
+        f"  SketchStack(B=8)  : {stack_rate:>12,.0f} updates/s",
+        f"  L0SamplerStack    : {l0_rate:>12,.0f} updates/s",
+    ])
+    results("bench_columnar_primitives", table)
+    assert stack_rate > 0 and l0_rate > 0
+
+
+def test_write_rates_json(agm_run, spanner_run, sparsifier_run, weighted_run, results):
+    """Last: persist every measured rate for tools/perf_regress.py."""
+    payload = {
+        "stream_updates": STREAM_UPDATES,
+        "batch_size": BATCH_SIZE,
+        "updates_per_second": dict(sorted(_RATES.items())),
+    }
+    RESULTS_JSON.parent.mkdir(exist_ok=True)
+    RESULTS_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    results(
+        "bench_columnar_json",
+        f"wrote {len(_RATES)} measured rates to {RESULTS_JSON.name} "
+        "(regression-gated by tools/perf_regress.py)",
+    )
+    assert RESULTS_JSON.exists()

@@ -20,8 +20,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.agm.spanning_forest import AgmSketch
 from repro.graph.graph import Graph
+from repro.stream.batching import updates_to_arrays
 from repro.stream.pipeline import StreamingAlgorithm, run_passes
 from repro.stream.stream import DynamicStream
 from repro.stream.updates import EdgeUpdate
@@ -45,11 +48,7 @@ class ConnectivityChecker(StreamingAlgorithm):
         self._sketch.update(update.u, update.v, update.sign)
 
     def process_batch(self, updates: Sequence[EdgeUpdate], pass_index: int) -> None:
-        self._sketch.update_batch(
-            [update.u for update in updates],
-            [update.v for update in updates],
-            [update.sign for update in updates],
-        )
+        self._sketch.update_batch(*updates_to_arrays(updates))
 
     def finalize(self) -> list[set[int]]:
         """The connected components (whp)."""
@@ -126,13 +125,13 @@ class BipartitenessChecker(StreamingAlgorithm):
         self._cover.update(u + n, v, sign)
 
     def process_batch(self, updates: Sequence[EdgeUpdate], pass_index: int) -> None:
-        us = [update.u for update in updates]
-        vs = [update.v for update in updates]
-        signs = [update.sign for update in updates]
+        us, vs, signs = updates_to_arrays(updates)
         self._base.update_batch(us, vs, signs)
-        n = self.num_vertices
+        n = np.int64(self.num_vertices)
         self._cover.update_batch(
-            us + [u + n for u in us], [v + n for v in vs] + vs, signs + signs
+            np.concatenate([us, us + n]),
+            np.concatenate([vs + n, vs]),
+            np.concatenate([signs, signs]),
         )
 
     def finalize(self) -> bool:
@@ -200,9 +199,7 @@ class KConnectivityCertificate(StreamingAlgorithm):
             stack.update(update.u, update.v, update.sign)
 
     def process_batch(self, updates: Sequence[EdgeUpdate], pass_index: int) -> None:
-        us = [update.u for update in updates]
-        vs = [update.v for update in updates]
-        signs = [update.sign for update in updates]
+        us, vs, signs = updates_to_arrays(updates)
         for stack in self._stacks:
             stack.update_batch(us, vs, signs)
 

@@ -5,6 +5,18 @@ incidence vectors; a spanning forest is extracted by Borůvka: every round
 each current component sums its members' round-``r`` samplers (linearity)
 and samples one outgoing edge.
 
+Storage is *columnar* (:mod:`repro.sketch.columnar`): the ``n`` vertex
+samplers of one round are same-seeded by construction (component sums
+must be meaningful), so each round keeps one
+:class:`~repro.sketch.columnar.L0SamplerStack` whose rows are vertices.
+A batched update then evaluates each round's membership/bucket hashes
+and fingerprint powers once per distinct edge coordinate and scatters
+into all affected vertex rows at once — instead of routing per-vertex
+sub-batches into ``n x rounds`` standalone samplers.  State stays
+bit-identical to the per-sampler scalar sequence
+(``tests/sketch/test_columnar.py``), and the Borůvka component sums
+become vectorized column reductions.
+
 Two extra properties the paper relies on are implemented here:
 
 * **supernode collapsing** — "if a graph H is obtained from G by
@@ -23,10 +35,17 @@ import math
 import numpy as np
 
 from repro.agm.incidence import decode_edge, incidence_updates
+from repro.sketch.columnar import L0SamplerStack
 from repro.sketch.l0sampler import L0Sampler
+from repro.stream.batching import aggregate_updates
 from repro.util.rng import derive_seed
 
 __all__ = ["AgmSketch", "DisjointSets"]
+
+#: Below this many updates the batched path's fixed numpy cost exceeds
+#: the scalar loop's (the stacks amortize over distinct coordinates, so
+#: the crossover is lower than the per-sketch engine's).
+_SMALL_BATCH = 48
 
 
 class DisjointSets:
@@ -92,14 +111,14 @@ class AgmSketch:
         self.rounds = rounds
         self._seed_key = derive_seed(seed, "agm", num_vertices, rounds, budget)
         domain = num_vertices * num_vertices
-        # Samplers for the same round share a seed across vertices so that
-        # component sums are meaningful; rounds are independent.
-        self._samplers = [
-            [
-                L0Sampler(domain, derive_seed(self._seed_key, "round", r), budget=budget)
-                for r in range(rounds)
-            ]
-            for _ in range(num_vertices)
+        # One columnar stack per round, rows = vertices: samplers for the
+        # same round share a seed across vertices so that component sums
+        # are meaningful; rounds are independent.
+        self._round_stacks = [
+            L0SamplerStack(
+                num_vertices, domain, derive_seed(self._seed_key, "round", r), budget=budget
+            )
+            for r in range(rounds)
         ]
 
     # ------------------------------------------------------------------
@@ -109,18 +128,19 @@ class AgmSketch:
     def update(self, u: int, v: int, delta: int) -> None:
         """Apply ``x_{uv} += delta`` to every round's samplers."""
         for vertex, coordinate, signed in incidence_updates(u, v, delta, self.num_vertices):
-            for r in range(self.rounds):
-                self._samplers[vertex][r].update(coordinate, signed)
+            for stack in self._round_stacks:
+                stack.update_row(vertex, coordinate, signed)
 
     def update_batch(self, us, vs, deltas) -> None:
         """Apply a whole batch of edge updates ``x_{u_t v_t} += delta_t``.
 
-        The signed-incidence encoding is computed vectorized, the
-        resulting coordinate updates are grouped per endpoint with one
-        stable sort, and each vertex's samplers consume their slice
-        through the vectorized
-        :meth:`~repro.sketch.l0sampler.L0Sampler.update_batch` — the
-        state is bit-identical to the scalar :meth:`update` sequence.
+        The chunk is first collapsed to its net delta per distinct edge
+        pair (:func:`~repro.stream.batching.aggregate_updates` — exact by
+        linearity), then every round stack absorbs the signed-incidence
+        encoding of the distinct pairs in one columnar scatter.  Hashes
+        are evaluated once per (coordinate, round) rather than once per
+        (coordinate, vertex, round, level); the final state is
+        bit-identical to the scalar :meth:`update` sequence.
         """
         us = np.ascontiguousarray(us, dtype=np.int64)
         vs = np.ascontiguousarray(vs, dtype=np.int64)
@@ -133,27 +153,25 @@ class AgmSketch:
             raise ValueError(f"vertex batch leaves [0, {self.num_vertices})")
         if np.any(us == vs):
             raise ValueError("self-loops are not allowed")
+        if us.size <= _SMALL_BATCH:
+            for u, v, delta in zip(us, vs, values):
+                if delta:
+                    self.update(int(u), int(v), int(delta))
+            return
         low = np.minimum(us, vs)
         high = np.maximum(us, vs)
-        coordinates = low * np.int64(self.num_vertices) + high
-        # Each edge touches both endpoints: +delta at the low endpoint,
-        # -delta at the high endpoint (the AGM sign convention).
-        endpoints = np.concatenate([low, high])
-        coordinate_pairs = np.concatenate([coordinates, coordinates])
-        signed = np.concatenate([values, -values])
-        order = np.argsort(endpoints, kind="stable")
-        endpoints = endpoints[order]
-        coordinate_pairs = coordinate_pairs[order]
-        signed = signed[order]
-        boundaries = np.flatnonzero(np.diff(endpoints)) + 1
-        starts = np.concatenate([[0], boundaries])
-        stops = np.concatenate([boundaries, [endpoints.size]])
-        for start, stop in zip(starts, stops):
-            vertex = int(endpoints[start])
-            slice_coords = coordinate_pairs[start:stop]
-            slice_deltas = signed[start:stop]
-            for r in range(self.rounds):
-                self._samplers[vertex][r].update_batch(slice_coords, slice_deltas)
+        lows, highs, coordinates, net = aggregate_updates(
+            low, high, values, self.num_vertices
+        )
+        if coordinates.size == 0:
+            return
+        # Each distinct edge touches both endpoints: +delta at the low
+        # endpoint, -delta at the high endpoint (the AGM sign convention).
+        rows = np.concatenate([lows, highs])
+        coords = np.concatenate([coordinates, coordinates])
+        signed = np.concatenate([net, -net])
+        for stack in self._round_stacks:
+            stack.scatter(rows, coords, signed)
 
     def subtract_edges(self, edges: dict[tuple[int, int], int]) -> None:
         """Remove known edges (pair -> multiplicity) by linearity."""
@@ -170,25 +188,31 @@ class AgmSketch:
         """In-place ``self += sign * other``; seeds must match."""
         if self._seed_key != other._seed_key:
             raise ValueError("cannot combine AGM sketches with different seeds")
-        for vertex in range(self.num_vertices):
-            for r in range(self.rounds):
-                self._samplers[vertex][r].combine(other._samplers[vertex][r], sign)
+        for mine, theirs in zip(self._round_stacks, other._round_stacks):
+            mine.combine(theirs, sign)
 
     def clone(self) -> "AgmSketch":
         """Independent copy with the same state and seed.
 
-        Per-vertex samplers are copied cell-for-cell (their hash
-        families are shared, immutable), so forest extraction from the
-        clone is unaffected by further updates to the original.
+        Round stacks are copied cell-for-cell (their hash families are
+        shared, immutable), so forest extraction from the clone is
+        unaffected by further updates to the original.
         """
         clone = object.__new__(AgmSketch)
         clone.num_vertices = self.num_vertices
         clone.rounds = self.rounds
         clone._seed_key = self._seed_key
-        clone._samplers = [
-            [sampler.copy() for sampler in per_vertex] for per_vertex in self._samplers
-        ]
+        clone._round_stacks = [stack.clone() for stack in self._round_stacks]
         return clone
+
+    def sampler_view(self, vertex: int, r: int) -> L0Sampler:
+        """Standalone copy of vertex ``vertex``'s round-``r`` sampler.
+
+        For inspection and tests: the returned sampler holds the row's
+        exact current state and shares the (immutable) randomness, so it
+        is summable with other views of the same round.
+        """
+        return self._round_stacks[r].row_sampler(vertex)
 
     # ------------------------------------------------------------------
     # Forest extraction
@@ -236,9 +260,9 @@ class AgmSketch:
                 break
             merged_any = False
             for root, vertices in members.items():
-                combined = self._samplers[vertices[0]][r].copy()
-                for vertex in vertices[1:]:
-                    combined.combine(self._samplers[vertex][r])
+                # The component sum, as one column reduction over the
+                # round's stack (identical to pairwise combines).
+                combined = self._round_stacks[r].rows_sum_sampler(vertices)
                 sampled = combined.sample()
                 if sampled is None:
                     continue
@@ -270,17 +294,21 @@ class AgmSketch:
         return list(components.values())
 
     def state_ints(self) -> list[int]:
-        """Dynamic state as a flat int sequence (for serialization)."""
+        """Dynamic state as a flat int sequence (for serialization).
+
+        Vertex-major, then round — the layout predates the columnar
+        storage and is preserved so checkpoints and shard messages stay
+        compatible across engine versions.
+        """
         flat: list[int] = []
-        for per_vertex in self._samplers:
-            for sampler in per_vertex:
-                flat.extend(sampler.state_ints())
+        for vertex in range(self.num_vertices):
+            for stack in self._round_stacks:
+                flat.extend(stack.row_state_ints(vertex))
         return flat
 
     def state_len(self) -> int:
         """Length of :meth:`state_ints`, without materializing it."""
-        # Every sampler has the same shape, so probe one for its length.
-        return self.num_vertices * self.rounds * self._samplers[0][0].state_len()
+        return self.num_vertices * self.rounds * self._round_stacks[0].row_state_len()
 
     def from_state_ints(self, values: list[int]) -> "AgmSketch":
         """Overwrite the dynamic state from a :meth:`state_ints` sequence.
@@ -290,19 +318,19 @@ class AgmSketch:
         rebuild a server's shipped sketch before summing (the
         distributed setting of :mod:`repro.stream.distributed`).
         """
-        per_sampler = self._samplers[0][0].state_len()
+        per_sampler = self._round_stacks[0].row_state_len()
         expected = self.num_vertices * self.rounds * per_sampler
         if len(values) != expected:
             raise ValueError(f"expected {expected} state ints, got {len(values)}")
         cursor = 0
-        for per_vertex in self._samplers:
-            for sampler in per_vertex:
-                sampler.from_state_ints(values[cursor : cursor + per_sampler])
+        for vertex in range(self.num_vertices):
+            for stack in self._round_stacks:
+                stack.load_row_state(vertex, values[cursor : cursor + per_sampler])
                 cursor += per_sampler
         return self
 
     def space_words(self) -> int:
         """Persistent state, in machine words."""
         return sum(
-            sampler.space_words() for per_vertex in self._samplers for sampler in per_vertex
+            stack.row_space_words() * self.num_vertices for stack in self._round_stacks
         )

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.core.parameters import SparsifierParams
 from repro.graph.distances import bfs_distances
 from repro.graph.graph import Graph, edge_index
@@ -90,6 +92,18 @@ class RobustConnectivityEstimator:
     def edge_filter(self, j: int, t: int):
         """A pair predicate selecting ``E^j_t`` (for spanner builders)."""
         return lambda u, v: self.member(j, t, u, v)
+
+    def member_level_array(self, j: int, pairs: np.ndarray) -> np.ndarray:
+        """Vectorized nesting depths of a batch of pair coordinates.
+
+        ``pairs[i]`` belongs to ``E^j_t`` iff the returned depth is
+        ``>= t - 1`` — one hash evaluation per (pair, sequence ``j``)
+        answers membership at *every* depth ``t``, which is how the
+        streaming sparsifier evaluates all its oracle-slot filters in
+        one vectorized pass per chunk.  Bit-identical to :meth:`member`
+        element-wise (the nested sampler is integer-exact).
+        """
+        return self._samplers[j].level_array(pairs)
 
     def attach_oracle(self, j: int, t: int, spanner: Graph) -> None:
         """Provide the distance oracle (a spanner of ``E^j_t``)."""

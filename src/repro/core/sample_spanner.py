@@ -18,8 +18,10 @@ itself (Claim 23).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.graph.graph import edge_index
-from repro.sketch.hashing import KWiseHash
+from repro.sketch.hashing import MERSENNE_61, KWiseHash
 from repro.util.rng import derive_seed
 
 __all__ = ["SpannerSampleLevels"]
@@ -27,6 +29,17 @@ __all__ = ["SpannerSampleLevels"]
 #: Independence of the per-(s, j) membership hashes (O(log n)-wise
 #: suffices per Section 6.3; 16 is comfortable).
 _MEMBERSHIP_INDEPENDENCE = 16
+
+
+def _rate_threshold(j: int) -> int:
+    """Largest field-value threshold with ``value < threshold`` iff
+    ``value / p < 2^-j`` as exact rationals: ``ceil(p / 2^j)``.
+
+    Integer-exact Bernoulli(``2^-j``) membership — the scalar and
+    vectorized evaluations agree bit-for-bit, with none of the boundary
+    rounding a float ``unit() < 2.0**-j`` comparison would admit.
+    """
+    return (MERSENNE_61 + (1 << j) - 1) >> j
 
 
 class SpannerSampleLevels:
@@ -67,11 +80,23 @@ class SpannerSampleLevels:
         if not 1 <= j <= self.levels:
             raise IndexError(f"level {j} out of [1, {self.levels}]")
         pair = edge_index(u, v, self.num_vertices)
-        return self._hashes[j].unit(pair) < 2.0 ** (-j)
+        return self._hashes[j](pair) < _rate_threshold(j)
 
     def edge_filter(self, j: int):
         """A pair predicate selecting ``E_{s,j}``."""
         return lambda u, v: self.member(j, u, v)
+
+    def member_array(self, j: int, pairs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`member` over a batch of pair coordinates.
+
+        One polynomial-hash evaluation per (pair, level) replaces the
+        per-token Python filter in the streaming sparsifier's ingest
+        path; bit-identical to the scalar predicate element-wise.
+        """
+        if not 1 <= j <= self.levels:
+            raise IndexError(f"level {j} out of [1, {self.levels}]")
+        values = self._hashes[j].values_array(pairs)
+        return values < np.uint64(_rate_threshold(j))
 
     def attach_level_output(self, j: int, recovered_edges: set[tuple[int, int]]) -> None:
         """Register ``S_j`` — the level-``j`` spanner's recovered edges

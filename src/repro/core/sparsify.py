@@ -34,12 +34,15 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.estimate import RobustConnectivityEstimator
 from repro.core.offline_spanner import offline_two_phase_spanner
 from repro.core.parameters import SpannerParams, SparsifierParams
 from repro.core.sample_spanner import SpannerSampleLevels
 from repro.core.two_pass_spanner import TwoPassSpannerBuilder
 from repro.graph.graph import Graph
+from repro.stream.batching import aggregate_updates, updates_to_arrays
 from repro.stream.pipeline import StreamingAlgorithm, run_passes
 from repro.stream.space import SpaceReport
 from repro.stream.stream import DynamicStream
@@ -58,6 +61,10 @@ __all__ = [
 #: sampler tolerates occasional coverage misses (they only shave the
 #: (1-2eps) output probability), so one Y-stack plus repair suffices.
 _SUB_SPANNER_PARAMS = SpannerParams(table_stacks=1, table_capacity_factor=0.75)
+
+#: Below this many chunk tokens the per-token filter loop beats the
+#: vectorized membership machinery.
+_SMALL_BATCH = 32
 
 
 class _PipelineCore:
@@ -240,10 +247,48 @@ class StreamingSparsifier(StreamingAlgorithm):
             builder.process(update, pass_index)
 
     def process_batch(self, updates: Sequence[EdgeUpdate], pass_index: int) -> None:
-        # Every sub-spanner applies its own hash filter to the chunk and
-        # rides its batched sketch paths.
-        for builder in self._all_builders():
-            builder.process_batch(updates, pass_index)
+        """Vectorized slot routing: one membership pass per chunk.
+
+        The chunk is unpacked and collapsed to its distinct pairs once;
+        every oracle slot's nested-sample filter and every sampler
+        level's Bernoulli filter is then a vectorized comparison over
+        those distinct pairs (one hash evaluation per (pair, hash
+        family) instead of one Python predicate call per token per
+        slot), and each sub-spanner receives its surviving pairs through
+        :meth:`~repro.core.two_pass_spanner.TwoPassSpannerBuilder.process_pairs`.
+        State is bit-identical to the per-token filter path.
+        """
+        if not updates:
+            return
+        if len(updates) <= _SMALL_BATCH:
+            for builder in self._all_builders():
+                builder.process_batch(updates, pass_index)
+            return
+        core = self.core
+        us, vs, signs = updates_to_arrays(updates)
+        # Pass 0 keeps zero-net pairs: they drive the sub-spanners' lazy
+        # sketch-row allocation exactly as the token path would.
+        lows, highs, pairs, net = aggregate_updates(
+            us, vs, signs, core.num_vertices, keep_zero=(pass_index == 0)
+        )
+        if pairs.size == 0:
+            return
+
+        def route(builder, mask):
+            if mask is None:  # every pair survives — skip the copies
+                builder.process_pairs(lows, highs, pairs, net, pass_index)
+            elif mask.any():
+                builder.process_pairs(
+                    lows[mask], highs[mask], pairs[mask], net[mask], pass_index
+                )
+
+        for j in range(core.estimator.reps):
+            depth = core.estimator.member_level_array(j, pairs)
+            for t in range(1, core.estimator.depths + 1):
+                mask = None if t <= 1 else depth >= np.int64(t - 1)
+                route(self._oracle_builders[(j, t)], mask)
+        for (s, j), builder in self._sample_builders.items():
+            route(builder, core.samplers[s].member_array(j, pairs))
 
     def end_pass(self, pass_index: int) -> None:
         for builder in self._all_builders():
@@ -378,15 +423,23 @@ class StreamingWeightedSparsifier(StreamingAlgorithm):
             )
             for t in range(self.num_classes)
         ]
+        # Streams carry few distinct weights; memoizing the float-log
+        # class computation turns the per-token split into a dict hit.
+        self._class_memo: dict[float, int] = {}
 
     def weight_class(self, weight: float) -> int:
         """Index of the weight class containing ``weight``."""
+        memoized = self._class_memo.get(weight)
+        if memoized is not None:
+            return memoized
         if not self.w_min <= weight <= self.w_max:
             raise ValueError(
                 f"weight {weight} outside the declared range [{self.w_min}, {self.w_max}]"
             )
         t = math.floor(math.log(weight / self.w_min) / math.log(self.class_ratio))
-        return min(t, self.num_classes - 1)
+        t = min(t, self.num_classes - 1)
+        self._class_memo[weight] = t
+        return t
 
     @property
     def passes_required(self) -> int:
@@ -432,6 +485,7 @@ class StreamingWeightedSparsifier(StreamingAlgorithm):
         clone.class_ratio = self.class_ratio
         clone.num_classes = self.num_classes
         clone._pipelines = [pipeline.clone() for pipeline in self._pipelines]
+        clone._class_memo = self._class_memo  # pure cache of a pure function
         return clone
 
     # -- sharded execution protocol (see repro.stream.distributed) -----

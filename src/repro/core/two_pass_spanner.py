@@ -17,6 +17,21 @@ Pass 2 (Algorithm 2 — CONSTRUCTSPANNER)
     ``N(v) ∩ T_u ∩ Y_j``.  Decoding the tables yields one edge from each
     outside neighbor into the cluster, completing the spanner.
 
+Columnar storage
+----------------
+The pass-1 sketches of one ``(r, j)`` slot are seeded independently of
+the vertex — sketches of different vertices must be summable — so all
+``n`` of them live in one :class:`~repro.sketch.columnar.SketchStack`
+(rows = vertices); likewise every terminal root's pass-2 *cut* sketch
+joins a per-shape mixed-seed stack (rows = roots).  A stream chunk is
+first collapsed to its net delta per distinct edge pair
+(:func:`~repro.stream.batching.aggregate_updates`), hashes are evaluated
+once per (pair, stack), and one flattened scatter lands every row's
+contribution — bit-identical to the historical per-sketch state,
+including the lazy-allocation bookkeeping (``shard_state_ints`` still
+ships exactly the ``(vertex, r, j)`` rows the scalar path would have
+allocated).
+
 The class is linear-sketch-based throughout: all pass-1/pass-2 state
 supports addition of same-seeded instances, so sketches computed on
 different shards of the stream can be merged (see
@@ -40,10 +55,11 @@ from repro.core.levels import LevelSamples
 from repro.core.offline_spanner import SpannerOutput
 from repro.core.parameters import SpannerParams
 from repro.graph.graph import Graph, edge_from_index, edge_index
+from repro.sketch.columnar import SketchStack
 from repro.sketch.hashing import NestedSampler
 from repro.sketch.linear_hash_table import NeighborhoodHashTable
 from repro.sketch.onesparse import DecodeStatus
-from repro.sketch.sparse_recovery import SparseRecoverySketch
+from repro.stream.batching import aggregate_updates, updates_to_arrays
 from repro.stream.pipeline import StreamingAlgorithm, run_passes
 from repro.stream.space import SpaceReport
 from repro.stream.stream import DynamicStream
@@ -51,6 +67,10 @@ from repro.stream.updates import EdgeUpdate
 from repro.util.rng import derive_seed
 
 __all__ = ["TwoPassSpannerBuilder"]
+
+#: Below this many distinct chunk tokens the token loop beats the
+#: aggregation + scatter machinery.
+_SMALL_BATCH = 32
 
 
 class TwoPassSpannerBuilder(StreamingAlgorithm):
@@ -74,7 +94,10 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         Optional predicate on canonical pairs ``(u, v)``; updates whose
         pair fails it are ignored.  This is how the sparsifier runs many
         spanner instances on (hash-)filtered substreams, and how the
-        weighted wrapper splits weight classes.
+        weighted wrapper splits weight classes.  (The sparsifier's own
+        batch path evaluates the filters vectorized and feeds the
+        surviving pairs through :meth:`process_pairs`, bypassing the
+        per-token predicate.)
     """
 
     def __init__(
@@ -108,8 +131,13 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             for stack in range(self.params.table_stacks)
         ]
 
-        # Pass-1 sketches, allocated lazily: (vertex, r, j) -> sketch.
-        self._cluster_sketches: dict[tuple[int, int, int], SparseRecoverySketch] = {}
+        # Pass-1 columnar stacks, allocated lazily: (r, j) -> stack with
+        # one row per vertex, plus the per-row liveness flags that
+        # reproduce the historical per-(vertex, r, j) lazy allocation.
+        self._cluster_stacks: dict[tuple[int, int], SketchStack] = {}
+        self._cluster_live: dict[tuple[int, int], np.ndarray] = {}
+        # Per-chunk memo of the (hash-derived) vertex levels.
+        self._levels_memo: dict[int, list[int]] = {}
 
         # Filled between passes.
         self.forest: ClusterForest | None = None
@@ -117,8 +145,10 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         self._trees_of_vertex: dict[int, list[Copy]] = {}
         # Pass-2 tables: (root, stack, j) -> table.
         self._tables: dict[tuple[Copy, int, int], NeighborhoodHashTable] = {}
-        # Pass-2 repair sketches: root -> sketch of the root's cut edges.
-        self._cut_sketches: dict[Copy, SparseRecoverySketch] = {}
+        # Pass-2 repair sketches: per-shape mixed-seed stacks whose rows
+        # are terminal roots; root -> (stack index, row).
+        self._cut_stacks: list[SketchStack] = []
+        self._cut_rows: dict[Copy, tuple[int, int]] = {}
 
         self.observed_edges: set[tuple[int, int]] = set()
         self.diagnostics: dict[str, int] = {
@@ -145,7 +175,7 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             self._process_second_pass(update)
 
     def process_batch(self, updates: Sequence[EdgeUpdate], pass_index: int) -> None:
-        """Consume a chunk of stream tokens through the batched sketch
+        """Consume a chunk of stream tokens through the columnar sketch
         paths; final state is bit-identical to the scalar loop."""
         if self.edge_filter is not None:
             updates = [
@@ -153,10 +183,49 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             ]
         if not updates:
             return
+        if len(updates) <= _SMALL_BATCH:
+            for update in updates:
+                if pass_index == 0:
+                    self._process_first_pass(update)
+                else:
+                    self._process_second_pass(update)
+            return
+        us, vs, signs = updates_to_arrays(updates)
         if pass_index == 0:
-            self._process_first_pass_batch(updates)
+            lows, highs, pairs, net = aggregate_updates(
+                us, vs, signs, self.num_vertices, keep_zero=True
+            )
+            self._first_pass_pairs(lows, highs, pairs, net)
         else:
-            self._process_second_pass_batch(updates)
+            lows, highs, pairs, net = aggregate_updates(
+                us, vs, signs, self.num_vertices
+            )
+            self._second_pass_pairs(lows, highs, pairs, net)
+
+    def process_pairs(
+        self,
+        us: np.ndarray,
+        vs: np.ndarray,
+        pairs: np.ndarray,
+        deltas: np.ndarray,
+        pass_index: int,
+    ) -> None:
+        """Array entry point for pre-filtered, pre-aggregated chunks.
+
+        ``us < vs`` are the distinct canonical pairs of a chunk,
+        ``pairs`` their :func:`~repro.graph.graph.edge_index`
+        coordinates, ``deltas`` the chunk-net multiplicity changes.  The
+        sparsifier pipeline evaluates its per-slot hash filters
+        vectorized on the distinct pairs of each chunk and routes the
+        survivors here, skipping the per-token ``edge_filter`` Python
+        loop entirely.  Pass-0 callers must keep zero-delta pairs (they
+        drive the lazy sketch-row allocation); pass-1 callers should
+        drop them.
+        """
+        if pass_index == 0:
+            self._first_pass_pairs(us, vs, pairs, deltas)
+        else:
+            self._second_pass_pairs(us, vs, pairs, deltas)
 
     def end_pass(self, pass_index: int) -> None:
         if pass_index == 0:
@@ -190,12 +259,13 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         """
         if other._seed != self._seed:
             raise ValueError("builders must share a seed to merge")
-        for key, sketch in other._cluster_sketches.items():
-            mine = self._cluster_sketches.get(key)
+        for key, stack in other._cluster_stacks.items():
+            mine = self._cluster_stacks.get(key)
             if mine is None:
-                self._cluster_sketches[key] = sketch.copy()
-            else:
-                mine.combine(sketch)
+                self._ensure_cluster_stack(*key)
+                mine = self._cluster_stacks[key]
+            mine.combine(stack)
+            self._cluster_live[key] |= other._cluster_live[key]
 
     def adopt_forest_from(self, other: "TwoPassSpannerBuilder") -> None:
         """Take the between-pass state (forest + table layout) from a
@@ -212,14 +282,14 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             raise ValueError("builders must share a seed to merge")
         for key, table in other._tables.items():
             self._tables[key].combine(table)
-        for root, sketch in other._cut_sketches.items():
-            self._cut_sketches[root].combine(sketch)
+        for mine, theirs in zip(self._cut_stacks, other._cut_stacks):
+            mine.combine(theirs)
 
     def clone(self) -> "TwoPassSpannerBuilder":
         """Cheap structural copy of the builder's dynamic state.
 
-        Sketches, tables and repair sketches are copied cell-for-cell;
-        the seed-derived samplers and level samples are immutable and
+        Stacks, tables and repair stacks are copied cell-for-cell; the
+        seed-derived samplers and level samples are immutable and
         shared.  The cluster forest and its routing maps are shared too:
         after ``end_pass(0)`` they are read-only (the same sharing the
         distributed broadcast relies on), and ``_build_forest`` installs
@@ -239,16 +309,19 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         clone._edge_sampler = self._edge_sampler
         clone._vertex_levels = self._vertex_levels
         clone._y_samplers = self._y_samplers
-        clone._cluster_sketches = {
-            key: sketch.copy() for key, sketch in self._cluster_sketches.items()
+        clone._cluster_stacks = {
+            key: stack.clone() for key, stack in self._cluster_stacks.items()
         }
+        clone._cluster_live = {
+            key: live.copy() for key, live in self._cluster_live.items()
+        }
+        clone._levels_memo = self._levels_memo
         clone.forest = self.forest
         clone._terminal_trees = self._terminal_trees
         clone._trees_of_vertex = self._trees_of_vertex
         clone._tables = {key: table.clone() for key, table in self._tables.items()}
-        clone._cut_sketches = {
-            root: sketch.copy() for root, sketch in self._cut_sketches.items()
-        }
+        clone._cut_stacks = [stack.clone() for stack in self._cut_stacks]
+        clone._cut_rows = dict(self._cut_rows)
         clone.observed_edges = set(self.observed_edges)
         clone.diagnostics = dict(self.diagnostics)
         return clone
@@ -258,25 +331,32 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
     def shard_state_ints(self, pass_index: int) -> list[int]:
         """Serialize one pass's sketch state as a flat int sequence.
 
-        Pass 0 ships the lazily allocated cluster sketches as
+        Pass 0 ships the lazily allocated cluster sketch rows as
         ``[count, (vertex, r, j, cells...) ...]`` — different shards
-        allocate different key sets, so keys travel with the states.
+        allocate different key sets, so keys travel with the states
+        (the columnar storage reproduces the per-(vertex, r, j)
+        allocation exactly, so the wire format is unchanged).
         Pass 1 ships the hash tables and repair sketches in sorted key
         order; their layout is determined by the (broadcast) forest, so
         only the cell values travel.
         """
         if pass_index == 0:
-            flat: list[int] = [len(self._cluster_sketches)]
-            for key in sorted(self._cluster_sketches):
-                vertex, r, j = key
+            keys: list[tuple[int, int, int]] = []
+            for (r, j), live in self._cluster_live.items():
+                for vertex in np.flatnonzero(live):
+                    keys.append((int(vertex), r, j))
+            keys.sort()
+            flat: list[int] = [len(keys)]
+            for vertex, r, j in keys:
                 flat.extend((vertex, r, j))
-                flat.extend(self._cluster_sketches[key].state_ints())
+                flat.extend(self._cluster_stacks[(r, j)].row_state_ints(vertex))
             return flat
         flat = []
         for key in sorted(self._tables):
             flat.extend(self._tables[key].state_ints())
-        for root in sorted(self._cut_sketches):
-            flat.extend(self._cut_sketches[root].state_ints())
+        for root in sorted(self._cut_rows):
+            stack_index, row = self._cut_rows[root]
+            flat.extend(self._cut_stacks[stack_index].row_state_ints(row))
         return flat
 
     def load_shard_state_ints(self, pass_index: int, values: list[int]) -> None:
@@ -287,11 +367,12 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             count = values[0]
             cursor = 1
             for _ in range(count):
-                vertex, r, j = values[cursor : cursor + 3]
+                vertex, r, j = (int(v) for v in values[cursor : cursor + 3])
                 cursor += 3
-                sketch = self._cluster_sketch(int(vertex), int(r), int(j))
-                need = sketch.state_len()
-                sketch.from_state_ints(values[cursor : cursor + need])
+                stack = self._ensure_cluster_stack(r, j)
+                self._cluster_live[(r, j)][vertex] = True
+                need = stack.row_state_len()
+                stack.load_row_state(vertex, values[cursor : cursor + need])
                 cursor += need
             if cursor != len(values):
                 raise ValueError(f"expected {cursor} state ints, got {len(values)}")
@@ -304,10 +385,11 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             need = table.state_len()
             table.from_state_ints(values[cursor : cursor + need])
             cursor += need
-        for root in sorted(self._cut_sketches):
-            sketch = self._cut_sketches[root]
-            need = sketch.state_len()
-            sketch.from_state_ints(values[cursor : cursor + need])
+        for root in sorted(self._cut_rows):
+            stack_index, row = self._cut_rows[root]
+            stack = self._cut_stacks[stack_index]
+            need = stack.row_state_len()
+            stack.load_row_state(row, values[cursor : cursor + need])
             cursor += need
         if cursor != len(values):
             raise ValueError(f"expected {cursor} state ints, got {len(values)}")
@@ -339,71 +421,86 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             self._allocate_tables()
 
     # ------------------------------------------------------------------
-    # Pass 1: cluster sketches
+    # Pass 1: cluster sketch stacks
     # ------------------------------------------------------------------
 
-    def _cluster_sketch(self, vertex: int, r: int, j: int) -> SparseRecoverySketch:
-        key = (vertex, r, j)
-        sketch = self._cluster_sketches.get(key)
-        if sketch is None:
+    def _ensure_cluster_stack(self, r: int, j: int) -> SketchStack:
+        key = (r, j)
+        stack = self._cluster_stacks.get(key)
+        if stack is None:
             # Seeds depend on (r, j) only: sketches of different vertices
-            # are summable, which _build_forest relies on.
-            sketch = SparseRecoverySketch(
-                domain_size=self.num_vertices * self.num_vertices,
-                budget=self.params.cluster_budget,
-                seed=derive_seed(self._seed, "cluster-sketch", r, j),
+            # are summable, which _build_forest relies on — and which
+            # lets all n of them share one columnar stack.
+            stack = SketchStack(
+                self.num_vertices,
+                self.num_vertices * self.num_vertices,
+                self.params.cluster_budget,
+                derive_seed(self._seed, "cluster-sketch", r, j),
                 rows=self.params.cluster_rows,
             )
-            self._cluster_sketches[key] = sketch
-        return sketch
+            self._cluster_stacks[key] = stack
+            self._cluster_live[key] = np.zeros(self.num_vertices, dtype=bool)
+        return stack
+
+    def _vertex_levels_of(self, vertex: int) -> list[int]:
+        """Nonzero sample levels of ``vertex`` (hash-derived, memoized)."""
+        levels = self._levels_memo.get(vertex)
+        if levels is None:
+            levels = [r for r in self.levels.levels_of(vertex) if r != 0]
+            self._levels_memo[vertex] = levels
+        return levels
 
     def _process_first_pass(self, update: EdgeUpdate) -> None:
         pair = edge_index(update.u, update.v, self.num_vertices)
         deepest_j = min(self._edge_sampler.level(pair), self._edge_levels)
         for endpoint, other in ((update.u, update.v), (update.v, update.u)):
-            for r in self.levels.levels_of(other):
-                if r == 0:
-                    continue  # Q sums only target levels r = i+1 >= 1
+            for r in self._vertex_levels_of(other):
                 for j in range(deepest_j + 1):
-                    self._cluster_sketch(endpoint, r, j).update(pair, update.sign)
+                    stack = self._ensure_cluster_stack(r, j)
+                    self._cluster_live[(r, j)][endpoint] = True
+                    stack.update_row(endpoint, pair, update.sign)
 
-    def _process_first_pass_batch(self, updates: Sequence[EdgeUpdate]) -> None:
-        """Batched Algorithm 1 updates.
+    def _first_pass_pairs(
+        self, us: np.ndarray, vs: np.ndarray, pairs: np.ndarray, deltas: np.ndarray
+    ) -> None:
+        """Columnar Algorithm 1 updates over a chunk's distinct pairs.
 
-        The edge-pair coordinates and their nested sample levels ``E_j``
-        are computed in two vectorized passes; the per-update routing
-        (which ``(endpoint, r)`` sketch stacks an edge feeds) is grouped
-        in plain dicts, and every group then rides
-        :meth:`~repro.sketch.sparse_recovery.SparseRecoverySketch.update_batch`.
+        The nested sample levels ``E_j`` are computed in one vectorized
+        pass over the distinct pairs; the (vertex-sample) routing fans
+        each pair out to its ``(endpoint, r)`` incidences, and each
+        ``(r, j)`` stack absorbs its incidence list in one scatter —
+        hashes evaluated once per (pair, stack) instead of once per
+        (pair, vertex, stack).  Zero-delta pairs still mark their rows
+        live (the scalar path allocates their sketches too) but
+        contribute no cell changes.
         """
-        us = np.array([update.u for update in updates], dtype=np.int64)
-        vs = np.array([update.v for update in updates], dtype=np.int64)
-        signs = np.array([update.sign for update in updates], dtype=np.int64)
-        pairs = us * np.int64(self.num_vertices) + vs  # canonical u < v
+        if pairs.size == 0:
+            return
         deepest = np.minimum(
             self._edge_sampler.level_array(pairs), self._edge_levels
         )
-        # Route update positions to their (endpoint, r) sketch stacks;
-        # levels_of is hash-derived, so memoize it per distinct vertex.
-        levels_cache: dict[int, list[int]] = {}
-        groups: dict[tuple[int, int], list[int]] = defaultdict(list)
-        for position, update in enumerate(updates):
-            for endpoint, other in ((update.u, update.v), (update.v, update.u)):
-                levels = levels_cache.get(other)
-                if levels is None:
-                    levels = [r for r in self.levels.levels_of(other) if r != 0]
-                    levels_cache[other] = levels
-                for r in levels:
-                    groups[(endpoint, r)].append(position)
-        for (endpoint, r), positions in groups.items():
-            selector = np.array(positions, dtype=np.intp)
-            group_pairs = pairs[selector]
-            group_signs = signs[selector]
-            group_deepest = deepest[selector]
+        # Fan distinct pairs out to their (endpoint, r) incidences.
+        rows_of_r: dict[int, list[int]] = defaultdict(list)
+        take_of_r: dict[int, list[int]] = defaultdict(list)
+        for position in range(pairs.size):
+            u = int(us[position])
+            v = int(vs[position])
+            for endpoint, other in ((u, v), (v, u)):
+                for r in self._vertex_levels_of(other):
+                    rows_of_r[r].append(endpoint)
+                    take_of_r[r].append(position)
+        for r, row_list in rows_of_r.items():
+            rows = np.array(row_list, dtype=np.int64)
+            take = np.array(take_of_r[r], dtype=np.intp)
+            group_pairs = pairs[take]
+            group_deltas = deltas[take]
+            group_deepest = deepest[take]
             for j in range(int(group_deepest.max()) + 1):
                 surviving = group_deepest >= j
-                self._cluster_sketch(endpoint, r, j).update_batch(
-                    group_pairs[surviving], group_signs[surviving]
+                stack = self._ensure_cluster_stack(r, j)
+                self._cluster_live[(r, j)][rows[surviving]] = True
+                stack.scatter(
+                    rows[surviving], group_pairs[surviving], group_deltas[surviving]
                 )
 
     def _build_forest(self) -> None:
@@ -435,17 +532,14 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         """Decode ``Q^{target}_j = sum_{v in tree} S^{target}_j(v)`` from
         the sparsest level down; attach on the first usable edge."""
         for j in range(self._edge_levels, -1, -1):
-            combined: SparseRecoverySketch | None = None
-            for v in tree:
-                sketch = self._cluster_sketches.get((v, target, j))
-                if sketch is None:
-                    continue
-                if combined is None:
-                    combined = sketch.copy()
-                else:
-                    combined.combine(sketch)
-            if combined is None:
+            stack = self._cluster_stacks.get((target, j))
+            if stack is None:
+                continue
+            live = self._cluster_live[(target, j)]
+            members = [v for v in tree if live[v]]
+            if not members:
                 continue  # no member saw any edge at this level
+            combined = stack.rows_sum_sketch(members)
             decoded = combined.decode()
             if decoded is None:
                 self.diagnostics["pass1_decode_failures"] += 1
@@ -489,13 +583,34 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
                         rows=self.params.table_rows,
                         bucket_factor=self.params.table_bucket_factor,
                     )
-            if self.params.repair_budget_factor > 0:
-                self._cut_sketches[root] = SparseRecoverySketch(
-                    domain_size=self.num_vertices * self.num_vertices,
-                    budget=max(8, math.ceil(self.params.repair_budget_factor * capacity)),
-                    seed=derive_seed(self._seed, "cut-sketch", root[0], root[1]),
+        if self.params.repair_budget_factor > 0:
+            # Group the per-root cut sketches into mixed-seed stacks by
+            # shape (the budget depends only on the root's level); the
+            # grouping is seed-determined, so every same-forest builder
+            # forms identical stacks and they merge stack-wise.
+            by_budget: dict[int, list[Copy]] = {}
+            for root in sorted(self._terminal_trees):
+                capacity = self.params.table_capacity(
+                    self.num_vertices, root[1], self.k
+                )
+                budget = max(8, math.ceil(self.params.repair_budget_factor * capacity))
+                by_budget.setdefault(budget, []).append(root)
+            for budget, group in by_budget.items():
+                seeds = [
+                    derive_seed(self._seed, "cut-sketch", root[0], root[1])
+                    for root in group
+                ]
+                stack = SketchStack(
+                    len(group),
+                    self.num_vertices * self.num_vertices,
+                    budget,
+                    seeds,
                     rows=3,
                 )
+                stack_index = len(self._cut_stacks)
+                self._cut_stacks.append(stack)
+                for row, root in enumerate(group):
+                    self._cut_rows[root] = (stack_index, row)
 
     def _process_second_pass(self, update: EdgeUpdate) -> None:
         if self.forest is None:
@@ -505,9 +620,10 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             for root in self._trees_of_vertex[inside]:
                 if outside in self._terminal_trees[root]:
                     continue
-                cut_sketch = self._cut_sketches.get(root)
-                if cut_sketch is not None:
-                    cut_sketch.update(pair, update.sign)
+                cut_entry = self._cut_rows.get(root)
+                if cut_entry is not None:
+                    stack_index, row = cut_entry
+                    self._cut_stacks[stack_index].update_row(row, pair, update.sign)
                 for stack, sampler in enumerate(self._y_samplers):
                     deepest = min(sampler.level(inside), self._vertex_levels)
                     for j in range(deepest + 1):
@@ -515,52 +631,65 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
                             key=outside, neighbor=inside, delta=update.sign
                         )
 
-    def _process_second_pass_batch(self, updates: Sequence[EdgeUpdate]) -> None:
-        """Batched Algorithm 2 updates.
+    def _second_pass_pairs(
+        self, us: np.ndarray, vs: np.ndarray, pairs: np.ndarray, deltas: np.ndarray
+    ) -> None:
+        """Columnar Algorithm 2 updates over a chunk's distinct pairs.
 
-        Routing (which terminal trees an update crosses into) is grouped
-        per root in plain dicts; the cut sketches and the per-stack hash
-        tables then absorb each group through their vectorized batch
-        paths.  The ``Y_j`` level of each inside endpoint is memoized
-        per stack, mirroring the scalar path's hash evaluations.
+        Routing (which terminal trees a pair crosses into) runs once per
+        *distinct* pair; cut contributions group per columnar stack (one
+        scatter each), and the per-(root, stack) hash tables absorb
+        their groups through their vectorized batch paths.  The ``Y_j``
+        level of each inside endpoint is memoized per stack, mirroring
+        the scalar path's hash evaluations.
         """
         if self.forest is None:
             raise RuntimeError("second pass before the forest was built")
-        cut_groups: dict[Copy, list[tuple[int, int]]] = defaultdict(list)
+        if pairs.size == 0:
+            return
+        # (stack index) -> rows / coords / deltas of cut contributions.
+        cut_groups: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
         # (root, stack) -> (keys, neighbors, deltas, deepest levels)
         table_groups: dict[tuple[Copy, int], list[tuple[int, int, int, int]]] = (
             defaultdict(list)
         )
         y_levels: list[dict[int, int]] = [{} for _ in self._y_samplers]
-        for update in updates:
-            pair = edge_index(update.u, update.v, self.num_vertices)
-            for inside, outside in ((update.u, update.v), (update.v, update.u)):
+        for position in range(pairs.size):
+            u = int(us[position])
+            v = int(vs[position])
+            pair = int(pairs[position])
+            delta = int(deltas[position])
+            for inside, outside in ((u, v), (v, u)):
                 for root in self._trees_of_vertex[inside]:
                     if outside in self._terminal_trees[root]:
                         continue
-                    if root in self._cut_sketches:
-                        cut_groups[root].append((pair, update.sign))
+                    cut_entry = self._cut_rows.get(root)
+                    if cut_entry is not None:
+                        stack_index, row = cut_entry
+                        cut_groups[stack_index].append((row, pair, delta))
                     for stack, sampler in enumerate(self._y_samplers):
                         deepest = y_levels[stack].get(inside)
                         if deepest is None:
                             deepest = min(sampler.level(inside), self._vertex_levels)
                             y_levels[stack][inside] = deepest
                         table_groups[(root, stack)].append(
-                            (outside, inside, update.sign, deepest)
+                            (outside, inside, delta, deepest)
                         )
-        for root, entries in cut_groups.items():
-            self._cut_sketches[root].update_batch(
-                [pair for pair, _ in entries], [sign for _, sign in entries]
+        for stack_index, entries in cut_groups.items():
+            self._cut_stacks[stack_index].scatter(
+                np.array([row for row, _, _ in entries], dtype=np.int64),
+                np.array([pair for _, pair, _ in entries], dtype=np.int64),
+                np.array([delta for _, _, delta in entries], dtype=np.int64),
             )
         for (root, stack), entries in table_groups.items():
             deepest = np.array([entry[3] for entry in entries], dtype=np.int64)
             keys = np.array([entry[0] for entry in entries], dtype=np.int64)
             neighbors = np.array([entry[1] for entry in entries], dtype=np.int64)
-            deltas = np.array([entry[2] for entry in entries], dtype=np.int64)
+            values = np.array([entry[2] for entry in entries], dtype=np.int64)
             for j in range(int(deepest.max()) + 1):
                 surviving = deepest >= j
                 self._tables[(root, stack, j)].add_neighbors_batch(
-                    keys[surviving], neighbors[surviving], deltas[surviving]
+                    keys[surviving], neighbors[surviving], values[surviving]
                 )
 
     def _recover_spanner(self) -> SpannerOutput:
@@ -634,10 +763,11 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         Returns the number of keys repaired.  Only possible when the cut
         sketch decodes, i.e. the root's cut is within its budget.
         """
-        cut_sketch = self._cut_sketches.get(root)
-        if cut_sketch is None:
+        cut_entry = self._cut_rows.get(root)
+        if cut_entry is None:
             return 0
-        decoded = cut_sketch.decode()
+        stack_index, row = cut_entry
+        decoded = self._cut_stacks[stack_index].row_sketch(row).decode()
         if decoded is None:
             return 0
         best_neighbor: dict[int, int] = {}
@@ -677,12 +807,16 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         report.add("edge-sample seeds", self._edge_sampler.space_words())
         for sampler in self._y_samplers:
             report.add("vertex-sample seeds", sampler.space_words())
-        for sketch in self._cluster_sketches.values():
-            report.add("pass1 cluster sketches", sketch.space_words())
+        for key, stack in self._cluster_stacks.items():
+            live_rows = int(np.count_nonzero(self._cluster_live[key]))
+            report.add("pass1 cluster sketches", live_rows * stack.row_space_words())
         for table in self._tables.values():
             report.add("pass2 hash tables", table.space_words())
-        for sketch in self._cut_sketches.values():
-            report.add("pass2 repair sketches", sketch.space_words())
+        for root, (stack_index, _) in self._cut_rows.items():
+            report.add(
+                "pass2 repair sketches",
+                self._cut_stacks[stack_index].row_space_words(),
+            )
         return report
 
     def space_words(self) -> int:

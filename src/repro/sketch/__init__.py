@@ -20,6 +20,10 @@ Contents
     sample one nonzero coordinate (AGM building block).
 :class:`LinearHashTable`, :class:`NeighborhoodHashTable`
     the second-pass hash tables ``H^u_j`` of Algorithm 2.
+:class:`SketchStack`, :class:`L0SamplerStack`
+    columnar storage of many same-shaped sketches as one 2-D state
+    array — hashes evaluated once per (coordinate, stack), one
+    flattened scatter for all rows (:mod:`repro.sketch.columnar`).
 :mod:`repro.sketch.batched`
     exact vectorized field arithmetic behind every ``update_batch``.
 
@@ -57,6 +61,7 @@ The hash families define ``__deepcopy__`` as identity, so even a naive
 cannot accidentally fork shared randomness.
 """
 
+from repro.sketch.columnar import L0SamplerStack, SketchStack
 from repro.sketch.countsketch import CountSketch
 from repro.sketch.distinct import DistinctElementsSketch
 from repro.sketch.hashing import MERSENNE_61, KWiseHash, NestedSampler
@@ -83,6 +88,8 @@ __all__ = [
     "CountSketch",
     "DistinctElementsSketch",
     "L0Sampler",
+    "SketchStack",
+    "L0SamplerStack",
     "LinearHashTable",
     "NeighborhoodHashTable",
     "pack_ints",

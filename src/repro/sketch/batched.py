@@ -47,9 +47,12 @@ __all__ = [
     "max_abs_int64",
     "mulmod61",
     "polyhash61",
+    "polyhash61_rows",
     "powmod61",
+    "powmod61_bases",
     "prepare_batch",
     "scatter_sum_mod61",
+    "submod61",
     "sum_mod61",
 ]
 
@@ -181,6 +184,11 @@ def addmod61(a: np.ndarray, b) -> np.ndarray:
     return _fold61(a + b)
 
 
+def submod61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise ``(a - b) mod p`` for operands already in ``[0, p)``."""
+    return _fold61(a + np.where(b == _ZERO, _ZERO, _M61 - b))
+
+
 def mulmod61(a, b) -> np.ndarray:
     """Element-wise ``(a * b) mod p`` for operands in ``[0, p)``, exactly.
 
@@ -227,6 +235,28 @@ def polyhash61(coefficients, xs: np.ndarray) -> np.ndarray:
     return acc
 
 
+def polyhash61_rows(coeff_matrix: np.ndarray, row_ids: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Horner evaluation where each element uses its own coefficient row.
+
+    ``coeff_matrix`` has shape ``(num_rows, k)`` (``uint64``, reduced mod
+    ``p``); element ``t`` is hashed with the polynomial of row
+    ``row_ids[t]``.  This is the heterogeneous-seed form of
+    :func:`polyhash61`, used by sketch stacks whose rows hold
+    *different*-seeded sketches (e.g. the spanner's per-root cut
+    sketches): one vectorized pass evaluates every row's hash at once.
+    Bit-identical to evaluating each row's scalar hash element-wise.
+    """
+    xs = np.asarray(xs)
+    if xs.dtype != np.uint64:
+        xs = np.remainder(xs, MERSENNE_61).astype(np.uint64)
+    else:
+        xs = np.where(xs >= _M61, xs - _M61, xs)
+    acc = coeff_matrix[row_ids, 0]
+    for t in range(1, coeff_matrix.shape[1]):
+        acc = addmod61(mulmod61(acc, xs), coeff_matrix[row_ids, t])
+    return acc
+
+
 def powmod61(base: int, exponents: np.ndarray) -> np.ndarray:
     """Vectorized ``pow(base, e, p)`` by square-and-multiply.
 
@@ -251,6 +281,32 @@ def powmod61(base: int, exponents: np.ndarray) -> np.ndarray:
         if int(exp.max()) == 0:
             break
         square = square * square % MERSENNE_61
+    return result
+
+
+def powmod61_bases(bases: np.ndarray, exponents: np.ndarray) -> np.ndarray:
+    """Vectorized ``pow(bases[t], exponents[t], p)`` with per-element bases.
+
+    The heterogeneous-seed form of :func:`powmod61`: each element raises
+    its *own* fingerprint base (rows of a mixed-seed sketch stack hold
+    different ``z``).  Runs ``bit_length(max exponent)`` vectorized
+    square-and-multiply rounds.
+    """
+    exponents = np.asarray(exponents)
+    if np.any(exponents < 0):
+        raise ValueError("exponents must be non-negative")
+    exp = exponents.astype(np.uint64)
+    square = np.asarray(bases, dtype=np.uint64)
+    square = np.where(square >= _M61, square - _M61, square)
+    result = np.ones(exp.shape, dtype=np.uint64)
+    while exp.size and int(exp.max()) != 0:
+        odd = (exp & np.uint64(1)).astype(bool)
+        if odd.any():
+            result[odd] = mulmod61(result[odd], square[odd])
+        exp = exp >> np.uint64(1)
+        if int(exp.max()) == 0:
+            break
+        square = mulmod61(square, square)
     return result
 
 

@@ -1,0 +1,651 @@
+"""Columnar sketch stacks: many sketches, one contiguous state array.
+
+The batch engine (:mod:`repro.sketch.batched`) vectorizes *within* one
+sketch, but the graph algorithms fan a stream chunk out across ``n x
+O(log n)`` AGM vertex sketches or ``(endpoint, r, j)`` spanner stacks
+before any single sketch sees a vectorizable sub-batch — so the
+per-sketch engine mostly falls back to its scalar loops.  The structural
+fact that rescues vectorization is that those sketches are *same-seeded
+stacks*: every vertex row of an AGM round hashes the same edge
+coordinates with the same hash family.  This module stores such a stack
+as one 2-D array (rows = sketches, columns = counter cells), evaluates
+each chunk's polynomial hashes and fingerprint powers **once per
+(coordinate, stack)**, and lands every row's contribution with a single
+flattened ``(row, cell)`` scatter — bit-identical to updating each row's
+standalone sketch (the property ``tests/sketch/test_columnar.py`` pins).
+
+Two stack flavors:
+
+:class:`SketchStack`
+    ``num_rows`` same-shaped :class:`~repro.sketch.sparse_recovery.SparseRecoverySketch`
+    states.  Rows may share one seed (AGM rounds, the spanner's
+    ``(r, j)`` cluster stacks) — hashes are then evaluated once per
+    coordinate and broadcast — or carry per-row seeds (the spanner's
+    per-root cut sketches), in which case the gathered-coefficient
+    kernels :func:`~repro.sketch.batched.polyhash61_rows` /
+    :func:`~repro.sketch.batched.powmod61_bases` still evaluate the
+    whole incidence list in one vectorized pass.
+
+:class:`L0SamplerStack`
+    ``num_rows`` same-seeded :class:`~repro.sketch.l0sampler.L0Sampler`
+    states: one shared membership evaluation per coordinate routes every
+    row's contribution to the right geometric levels, each level being a
+    :class:`SketchStack`.
+
+Exactness and interop
+---------------------
+Counter cells live in ``int64`` arrays guarded by a conservative running
+bound (:attr:`SketchStack.cell_bound`); before any batch could overflow,
+the stack *spills* to the per-row scalar sketch objects and keeps exact
+Python-integer arithmetic from then on (state identical, just slower).
+Rows materialize back into the existing sketch classes via
+:meth:`SketchStack.row_sketch` / :meth:`L0SamplerStack.row_sampler`
+(shared immutable hash families, copied cells), so every decode,
+``clone()``, ``combine`` and ``state_ints`` contract is preserved on top
+of the new storage — mixed scalar/columnar state stays summable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.batched import (
+    addmod61,
+    mulmod61,
+    polyhash61_rows,
+    powmod61,
+    powmod61_bases,
+    scatter_sum_mod61,
+    submod61,
+    MASK32,
+)
+from repro.sketch.hashing import MERSENNE_61, KWiseHash, NestedSampler
+from repro.sketch.l0sampler import L0Sampler
+from repro.sketch.sparse_recovery import (
+    _BUCKET_HASH_INDEPENDENCE,
+    SparseRecoverySketch,
+)
+from repro.util.rng import derive_seed
+
+__all__ = ["SketchStack", "L0SamplerStack"]
+
+#: Spill threshold for the running per-cell magnitude bound: while the
+#: bound stays below this, every ``int64`` accumulation (including a
+#: whole-stack column sum) is provably exact.
+_INT64_SAFE_BOUND = 1 << 61
+
+
+def _colsum_mod61(selected: np.ndarray) -> np.ndarray:
+    """Exact per-column ``sum mod p`` over a gathered row subset.
+
+    ``selected`` is a ``uint64`` field-element matrix (the caller's
+    already-gathered rows); the straight sum of even a handful of 61-bit
+    values overflows ``uint64``, so the 32-bit limbs are accumulated
+    separately (exact for up to ``2^31`` rows) and recombined mod ``p``
+    — the column form of
+    :func:`repro.sketch.batched.scatter_sum_mod61`.
+    """
+    lo = np.sum(selected & MASK32, axis=0, dtype=np.uint64)
+    hi = np.sum(selected >> np.uint64(32), axis=0, dtype=np.uint64)
+    lo_red = np.remainder(lo, np.uint64(MERSENNE_61))
+    hi_red = np.remainder(hi, np.uint64(MERSENNE_61))
+    return addmod61(lo_red, mulmod61(hi_red, np.uint64((1 << 32) % MERSENNE_61)))
+
+
+class SketchStack:
+    """Columnar state of ``num_rows`` sparse-recovery sketches.
+
+    Parameters
+    ----------
+    num_rows:
+        Number of stacked sketches (AGM: vertices; spanner cluster
+        stacks: vertices; cut stacks: terminal roots).
+    domain_size, budget, rows, bucket_factor:
+        Per-row sketch shape, exactly as
+        :class:`~repro.sketch.sparse_recovery.SparseRecoverySketch`.
+    seed:
+        One shared randomness name (all rows identically seeded, hence
+        summable across rows — the AGM requirement), **or** a list of
+        ``num_rows`` per-row seeds for heterogeneous stacks.
+    """
+
+    __slots__ = (
+        "num_rows",
+        "domain_size",
+        "budget",
+        "rows",
+        "buckets",
+        "cells",
+        "shared_seed",
+        "_seed_keys",
+        "_zs",
+        "_hash_objs",
+        "_coeff_mats",
+        "_totals",
+        "_index_sums",
+        "_fingerprints",
+        "_bound",
+        "_spilled",
+    )
+
+    def __init__(
+        self,
+        num_rows: int,
+        domain_size: int,
+        budget: int,
+        seed,
+        rows: int = 4,
+        bucket_factor: float = 2.0,
+    ):
+        if num_rows <= 0:
+            raise ValueError(f"num_rows must be positive, got {num_rows}")
+        template = SparseRecoverySketch(
+            domain_size,
+            budget,
+            seed if not isinstance(seed, (list, tuple)) else seed[0],
+            rows=rows,
+            bucket_factor=bucket_factor,
+        )
+        self.num_rows = num_rows
+        self.domain_size = domain_size
+        self.budget = budget
+        self.rows = rows
+        self.buckets = template.buckets
+        self.cells = rows * self.buckets
+        if isinstance(seed, (list, tuple)):
+            if len(seed) != num_rows:
+                raise ValueError(
+                    f"need one seed per row: {num_rows} rows, {len(seed)} seeds"
+                )
+            self.shared_seed = False
+            self._seed_keys = [
+                derive_seed(s, "sparse-recovery", domain_size, budget, rows)
+                for s in seed
+            ]
+            self._hash_objs = [
+                [
+                    KWiseHash.shared(
+                        _BUCKET_HASH_INDEPENDENCE, derive_seed(key, "row", r)
+                    )
+                    for r in range(rows)
+                ]
+                for key in self._seed_keys
+            ]
+            self._zs = np.array(
+                [1 + key % (MERSENNE_61 - 1) for key in self._seed_keys],
+                dtype=np.uint64,
+            )
+            # One (num_rows, k) coefficient matrix per hash row, for the
+            # gathered-coefficient vectorized evaluation.
+            self._coeff_mats = [
+                np.array(
+                    [self._hash_objs[row][r].coefficients for row in range(num_rows)],
+                    dtype=np.uint64,
+                )
+                for r in range(rows)
+            ]
+        else:
+            self.shared_seed = True
+            self._seed_keys = [template._seed_key] * num_rows
+            self._hash_objs = template._row_hashes  # d shared hashes
+            self._zs = np.full(num_rows, np.uint64(template._z), dtype=np.uint64)
+            self._coeff_mats = None
+        self._totals = np.zeros((num_rows, self.cells), dtype=np.int64)
+        self._index_sums = np.zeros((num_rows, self.cells), dtype=np.int64)
+        self._fingerprints = np.zeros((num_rows, self.cells), dtype=np.uint64)
+        self._bound = 0
+        self._spilled: list[SparseRecoverySketch] | None = None
+
+    # ------------------------------------------------------------------
+    # Exactness bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def cell_bound(self) -> int:
+        """Conservative bound on any cell's ``|total|`` / ``|index sum|``."""
+        return self._bound
+
+    def is_spilled(self) -> bool:
+        """Whether the stack fell back to per-row exact sketches."""
+        return self._spilled is not None
+
+    def _spill(self) -> None:
+        """Convert to per-row scalar sketches (exact big-int fallback).
+
+        Reached only when the running bound says a future ``int64``
+        accumulation might not be provably exact — unreachable for
+        ``±1``-delta graph streams at any realistic length, but the
+        contract must hold for arbitrary linear payloads.
+        """
+        if self._spilled is not None:
+            return
+        self._spilled = [self._materialize_row(row) for row in range(self.num_rows)]
+        self._totals = self._index_sums = self._fingerprints = None
+
+    def _grow_bound(self, amount: int) -> None:
+        self._bound += amount
+        if self._spilled is None and self._bound >= _INT64_SAFE_BOUND:
+            self._spill()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update_row(self, row: int, index: int, delta: int) -> None:
+        """Scalar ``x_row[index] += delta`` — bit-identical to
+        :meth:`SparseRecoverySketch.update` on the row's sketch."""
+        if delta == 0:
+            return
+        if not 0 <= row < self.num_rows:
+            raise IndexError(f"row {row} out of [0, {self.num_rows})")
+        if not 0 <= index < self.domain_size:
+            raise IndexError(f"index {index} out of domain [0, {self.domain_size})")
+        self._grow_bound(abs(delta) * max(index, 1))
+        if self._spilled is not None:
+            self._spilled[row].update(index, delta)
+            return
+        z = int(self._zs[row])
+        power = pow(z, index, MERSENNE_61)
+        fingerprint_delta = delta * power
+        index_delta = delta * index
+        hashes = self._hash_objs if self.shared_seed else self._hash_objs[row]
+        for r, row_hash in enumerate(hashes):
+            cell = r * self.buckets + row_hash.bucket(index, self.buckets)
+            self._totals[row, cell] += delta
+            self._index_sums[row, cell] += index_delta
+            self._fingerprints[row, cell] = np.uint64(
+                (int(self._fingerprints[row, cell]) + fingerprint_delta) % MERSENNE_61
+            )
+
+    def scatter(self, row_ids: np.ndarray, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply a whole incidence batch: ``x_{row_ids[t]}[indices[t]] +=
+        deltas[t]`` for every ``t``, in one vectorized pass.
+
+        The polynomial bucket hashes and the fingerprint powers are
+        evaluated once per incidence (once per *coordinate* when the
+        caller deduplicates, which the graph layers do), shared across
+        all affected rows; contributions land via one flattened
+        ``(row, cell)`` scatter per counter plane.  Bit-identical to the
+        equivalent sequence of per-row scalar updates.
+        """
+        row_ids = np.ascontiguousarray(row_ids, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+        if not (row_ids.shape == indices.shape == deltas.shape) or row_ids.ndim != 1:
+            raise ValueError("row_ids, indices, deltas must be 1-D of equal length")
+        if row_ids.size == 0:
+            return
+        nonzero = deltas != 0
+        if not nonzero.all():
+            row_ids, indices, deltas = row_ids[nonzero], indices[nonzero], deltas[nonzero]
+            if row_ids.size == 0:
+                return
+        if int(indices.min()) < 0 or int(indices.max()) >= self.domain_size:
+            raise IndexError(f"index batch leaves domain [0, {self.domain_size})")
+        if int(row_ids.min()) < 0 or int(row_ids.max()) >= self.num_rows:
+            raise IndexError(f"row batch leaves [0, {self.num_rows})")
+        volume = int(np.sum(np.abs(deltas)))
+        self._grow_bound(volume * max(self.domain_size - 1, 1))
+        if self._spilled is not None:
+            order = np.argsort(row_ids, kind="stable")
+            sorted_rows = row_ids[order]
+            boundaries = np.flatnonzero(np.diff(sorted_rows)) + 1
+            for chunk in np.split(order, boundaries):
+                row = int(row_ids[chunk[0]])
+                self._spilled[row].update_batch(indices[chunk], deltas[chunk])
+            return
+
+        residues = np.remainder(deltas, MERSENNE_61).astype(np.uint64)
+        if self.shared_seed:
+            powers = powmod61(int(self._zs[0]), indices)
+            positions = [
+                row_hash.bucket_array(indices, self.buckets)
+                for row_hash in self._hash_objs
+            ]
+        else:
+            powers = powmod61_bases(self._zs[row_ids], indices)
+            positions = [
+                (polyhash61_rows(self._coeff_mats[r], row_ids, indices)
+                 % np.uint64(self.buckets)).astype(np.int64)
+                for r in range(self.rows)
+            ]
+        terms = mulmod61(residues, powers)
+
+        flat_base = row_ids * np.int64(self.cells)
+        flat = np.concatenate(
+            [flat_base + np.int64(r * self.buckets) + positions[r] for r in range(self.rows)]
+        )
+        tiled_deltas = np.tile(deltas, self.rows)
+        np.add.at(self._totals.reshape(-1), flat, tiled_deltas)
+        np.add.at(self._index_sums.reshape(-1), flat, np.tile(deltas * indices, self.rows))
+        agg = scatter_sum_mod61(self.num_rows * self.cells, flat, np.tile(terms, self.rows))
+        self._fingerprints = addmod61(
+            self._fingerprints.reshape(-1), agg
+        ).reshape(self.num_rows, self.cells)
+
+    # ------------------------------------------------------------------
+    # Row materialization / decode support
+    # ------------------------------------------------------------------
+
+    def _row_hashes_of(self, row: int) -> list[KWiseHash]:
+        return self._hash_objs if self.shared_seed else self._hash_objs[row]
+
+    def _materialize_row(self, row: int) -> SparseRecoverySketch:
+        sketch = object.__new__(SparseRecoverySketch)
+        sketch.domain_size = self.domain_size
+        sketch.budget = self.budget
+        sketch.rows = self.rows
+        sketch.buckets = self.buckets
+        sketch._seed_key = self._seed_keys[row]
+        sketch._z = int(self._zs[row])
+        sketch._row_hashes = list(self._row_hashes_of(row))
+        sketch._totals = self._totals[row].tolist()
+        sketch._index_sums = self._index_sums[row].tolist()
+        sketch._fingerprints = self._fingerprints[row].tolist()
+        return sketch
+
+    def row_sketch(self, row: int) -> SparseRecoverySketch:
+        """A standalone sketch holding row ``row``'s exact current state.
+
+        Cheap view: hash families are shared (immutable), cells copied;
+        mutating the returned sketch never touches the stack.
+        """
+        if self._spilled is not None:
+            return self._spilled[row].copy()
+        return self._materialize_row(row)
+
+    def rows_sum_sketch(self, row_ids) -> SparseRecoverySketch:
+        """One sketch holding the exact cell-wise sum of the selected rows.
+
+        Linearity makes this the sketch of the summed vectors — the
+        Borůvka component sum and the spanner's ``Q`` sums, computed as
+        vectorized column reductions instead of pairwise ``combine``
+        loops (identical resulting state).
+        """
+        rows = np.asarray(list(row_ids), dtype=np.int64)
+        if rows.size == 0:
+            raise ValueError("rows_sum_sketch needs at least one row")
+        if self._spilled is not None:
+            combined = self._spilled[int(rows[0])].copy()
+            for row in rows[1:]:
+                combined.combine(self._spilled[int(row)])
+            return combined
+        sketch = object.__new__(SparseRecoverySketch)
+        sketch.domain_size = self.domain_size
+        sketch.budget = self.budget
+        sketch.rows = self.rows
+        sketch.buckets = self.buckets
+        sketch._seed_key = self._seed_keys[int(rows[0])]
+        sketch._z = int(self._zs[int(rows[0])])
+        sketch._row_hashes = list(self._row_hashes_of(int(rows[0])))
+        sketch._totals = self._totals[rows].sum(axis=0).tolist()
+        sketch._index_sums = self._index_sums[rows].sum(axis=0).tolist()
+        selected = self._fingerprints[rows]
+        # Borůvka sums many components whose high sample levels hold no
+        # contributions at all — skip the modular column sum for those.
+        if selected.any():
+            sketch._fingerprints = _colsum_mod61(selected).tolist()
+        else:
+            sketch._fingerprints = [0] * self.cells
+        return sketch
+
+    def is_row_zero(self, row: int) -> bool:
+        """Whether row ``row``'s summarized vector is (whp) zero."""
+        if self._spilled is not None:
+            return self._spilled[row].is_zero()
+        return (
+            not self._totals[row].any()
+            and not self._index_sums[row].any()
+            and not self._fingerprints[row].any()
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (per-row, matching SparseRecoverySketch layout)
+    # ------------------------------------------------------------------
+
+    def row_state_len(self) -> int:
+        """Length of one row's :meth:`row_state_ints`."""
+        return 3 * self.cells
+
+    def row_state_ints(self, row: int) -> list[int]:
+        """Row ``row``'s dynamic state, exactly as the standalone
+        sketch's ``state_ints()`` would serialize it."""
+        if self._spilled is not None:
+            return self._spilled[row].state_ints()
+        return (
+            self._totals[row].tolist()
+            + self._index_sums[row].tolist()
+            + self._fingerprints[row].tolist()
+        )
+
+    def load_row_state(self, row: int, values: list[int]) -> None:
+        """Inverse of :meth:`row_state_ints` for row ``row``."""
+        if len(values) != 3 * self.cells:
+            raise ValueError(f"expected {3 * self.cells} state ints, got {len(values)}")
+        magnitude = max((abs(int(v)) for v in values), default=0)
+        self._grow_bound(magnitude)
+        if self._spilled is not None:
+            self._spilled[row].from_state_ints(values)
+            return
+        cells = self.cells
+        self._totals[row] = np.array(values[:cells], dtype=np.int64)
+        self._index_sums[row] = np.array(values[cells : 2 * cells], dtype=np.int64)
+        self._fingerprints[row] = np.array(
+            [int(v) % MERSENNE_61 for v in values[2 * cells :]], dtype=np.uint64
+        )
+
+    # ------------------------------------------------------------------
+    # Linearity / copying
+    # ------------------------------------------------------------------
+
+    def combine(self, other: "SketchStack", sign: int = 1) -> None:
+        """In-place ``self += sign * other`` row-wise; seeds/shapes must
+        match (mixed spilled/columnar operands are handled)."""
+        if sign not in (1, -1):
+            raise ValueError(f"sign must be +1 or -1, got {sign}")
+        if self._seed_keys != other._seed_keys:
+            raise ValueError("cannot combine stacks with different seeds")
+        if self.num_rows != other.num_rows or self.cells != other.cells:
+            raise ValueError("cannot combine stacks with different shapes")
+        self._grow_bound(other._bound)
+        if self._spilled is None and other._spilled is None:
+            self._totals += sign * other._totals
+            self._index_sums += sign * other._index_sums
+            if sign == 1:
+                self._fingerprints = addmod61(self._fingerprints, other._fingerprints)
+            else:
+                self._fingerprints = submod61(self._fingerprints, other._fingerprints)
+            return
+        self._spill()
+        for row in range(self.num_rows):
+            self._spilled[row].combine(other.row_sketch(row), sign)
+
+    def clone(self) -> "SketchStack":
+        """Independent copy with the same state and seeds."""
+        clone = object.__new__(SketchStack)
+        clone.num_rows = self.num_rows
+        clone.domain_size = self.domain_size
+        clone.budget = self.budget
+        clone.rows = self.rows
+        clone.buckets = self.buckets
+        clone.cells = self.cells
+        clone.shared_seed = self.shared_seed
+        clone._seed_keys = self._seed_keys
+        clone._zs = self._zs
+        clone._hash_objs = self._hash_objs
+        clone._coeff_mats = self._coeff_mats
+        clone._bound = self._bound
+        if self._spilled is not None:
+            clone._totals = clone._index_sums = clone._fingerprints = None
+            clone._spilled = [sketch.copy() for sketch in self._spilled]
+        else:
+            clone._totals = self._totals.copy()
+            clone._index_sums = self._index_sums.copy()
+            clone._fingerprints = self._fingerprints.copy()
+            clone._spilled = None
+        return clone
+
+    def row_space_words(self) -> int:
+        """Per-row persistent state in machine words — same accounting as
+        the standalone sketch's ``space_words()``."""
+        hashes = self._hash_objs if self.shared_seed else self._hash_objs[0]
+        return 3 * self.cells + sum(h.space_words() for h in hashes) + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchStack(num_rows={self.num_rows}, domain_size={self.domain_size}, "
+            f"budget={self.budget}, rows={self.rows}, buckets={self.buckets}, "
+            f"shared_seed={self.shared_seed}, spilled={self.is_spilled()})"
+        )
+
+
+class L0SamplerStack:
+    """Columnar state of ``num_rows`` same-seeded L0-samplers.
+
+    One shared :class:`~repro.sketch.hashing.NestedSampler` membership
+    evaluation per coordinate routes each incidence to its geometric
+    levels; every level is a shared-seed :class:`SketchStack`.  This is
+    the storage behind :class:`~repro.agm.spanning_forest.AgmSketch`:
+    rows are vertices, and all rows of one AGM round hash the same edge
+    coordinates — the structure the columnar layout exploits.
+    """
+
+    __slots__ = ("num_rows", "domain_size", "levels", "_seed_key", "_membership", "_level_stacks", "_tiebreak")
+
+    def __init__(self, num_rows: int, domain_size: int, seed, budget: int = 4):
+        template = L0Sampler(domain_size, seed, budget=budget)
+        self.num_rows = num_rows
+        self.domain_size = domain_size
+        self.levels = template.levels
+        self._seed_key = template._seed_key
+        self._membership = template._membership
+        self._tiebreak = template._tiebreak
+        self._level_stacks = [
+            SketchStack(
+                num_rows,
+                domain_size,
+                budget,
+                derive_seed(self._seed_key, "level", j),
+                rows=3,
+            )
+            for j in range(self.levels)
+        ]
+
+    def update_row(self, row: int, index: int, delta: int) -> None:
+        """Scalar ``x_row[index] += delta`` — bit-identical to
+        :meth:`L0Sampler.update` on the row's sampler."""
+        if delta == 0:
+            return
+        deepest = self._membership.level(index)
+        for j in range(deepest + 1):
+            self._level_stacks[j].update_row(row, index, delta)
+
+    def scatter(self, row_ids: np.ndarray, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Vectorized incidence batch: one membership evaluation per
+        coordinate, then one :meth:`SketchStack.scatter` per level."""
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return
+        levels = self._membership.level_array(indices)
+        row_ids = np.ascontiguousarray(row_ids, dtype=np.int64)
+        deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+        for j in range(int(levels.max()) + 1):
+            surviving = levels >= j
+            self._level_stacks[j].scatter(
+                row_ids[surviving], indices[surviving], deltas[surviving]
+            )
+
+    # ------------------------------------------------------------------
+    # Row materialization / decode support
+    # ------------------------------------------------------------------
+
+    def _sampler_from_sketches(self, sketches: list[SparseRecoverySketch]) -> L0Sampler:
+        sampler = object.__new__(L0Sampler)
+        sampler.domain_size = self.domain_size
+        sampler.levels = self.levels
+        sampler._seed_key = self._seed_key
+        sampler._membership = self._membership
+        sampler._level_sketches = sketches
+        sampler._tiebreak = self._tiebreak
+        return sampler
+
+    def row_sampler(self, row: int) -> L0Sampler:
+        """A standalone sampler holding row ``row``'s exact state."""
+        return self._sampler_from_sketches(
+            [stack.row_sketch(row) for stack in self._level_stacks]
+        )
+
+    def rows_sum_sampler(self, row_ids) -> L0Sampler:
+        """One sampler summarizing the exact sum of the selected rows —
+        the Borůvka component sum, as column reductions."""
+        rows = list(row_ids)
+        return self._sampler_from_sketches(
+            [stack.rows_sum_sketch(rows) for stack in self._level_stacks]
+        )
+
+    def is_row_zero(self, row: int) -> bool:
+        """Whether row ``row``'s vector is (whp) identically zero."""
+        return self._level_stacks[0].is_row_zero(row)
+
+    # ------------------------------------------------------------------
+    # Serialization (per-row, matching L0Sampler layout)
+    # ------------------------------------------------------------------
+
+    def row_state_len(self) -> int:
+        """Length of one row's :meth:`row_state_ints`."""
+        return sum(stack.row_state_len() for stack in self._level_stacks)
+
+    def row_state_ints(self, row: int) -> list[int]:
+        """Row ``row``'s state, exactly as ``L0Sampler.state_ints()``."""
+        flat: list[int] = []
+        for stack in self._level_stacks:
+            flat.extend(stack.row_state_ints(row))
+        return flat
+
+    def load_row_state(self, row: int, values: list[int]) -> None:
+        """Inverse of :meth:`row_state_ints` for row ``row``."""
+        cursor = 0
+        for stack in self._level_stacks:
+            need = stack.row_state_len()
+            stack.load_row_state(row, values[cursor : cursor + need])
+            cursor += need
+        if cursor != len(values):
+            raise ValueError(f"expected {cursor} state ints, got {len(values)}")
+
+    # ------------------------------------------------------------------
+    # Linearity / copying
+    # ------------------------------------------------------------------
+
+    def combine(self, other: "L0SamplerStack", sign: int = 1) -> None:
+        """In-place ``self += sign * other``; seeds must match."""
+        if self._seed_key != other._seed_key:
+            raise ValueError("cannot combine stacks with different seeds")
+        for mine, theirs in zip(self._level_stacks, other._level_stacks):
+            mine.combine(theirs, sign)
+
+    def clone(self) -> "L0SamplerStack":
+        """Independent copy with the same state and seed."""
+        clone = object.__new__(L0SamplerStack)
+        clone.num_rows = self.num_rows
+        clone.domain_size = self.domain_size
+        clone.levels = self.levels
+        clone._seed_key = self._seed_key
+        clone._membership = self._membership
+        clone._tiebreak = self._tiebreak
+        clone._level_stacks = [stack.clone() for stack in self._level_stacks]
+        return clone
+
+    def row_space_words(self) -> int:
+        """Per-row persistent state in machine words — same accounting as
+        the standalone sampler's ``space_words()``."""
+        return (
+            self._membership.space_words()
+            + self._tiebreak.space_words()
+            + sum(stack.row_space_words() for stack in self._level_stacks)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"L0SamplerStack(num_rows={self.num_rows}, "
+            f"domain_size={self.domain_size}, levels={self.levels})"
+        )

@@ -73,6 +73,13 @@ class KWiseHash:
             acc = (acc * x + coeff) % MERSENNE_61
         return acc
 
+    @property
+    def coefficients(self) -> tuple[int, ...]:
+        """The polynomial's coefficients (read-only; for stacked
+        evaluation of many hashes at once — see
+        :func:`repro.sketch.batched.polyhash61_rows`)."""
+        return tuple(self._coeffs)
+
     # Instances are immutable after construction, so copying is sharing.
     # This keeps ``clone()``/``copy.deepcopy`` of the sketches cheap and
     # preserves the interning win of :meth:`shared` across clones.

@@ -206,6 +206,12 @@ class SparseRecoverySketch:
         up to the ``~1/2^61`` fingerprint failure probability.  An empty
         dict means the vector is (whp) zero.
         """
+        if (
+            not any(self._totals)
+            and not any(self._index_sums)
+            and not any(self._fingerprints)
+        ):
+            return {}  # zero state peels to nothing with a clean residual
         totals = list(self._totals)
         index_sums = list(self._index_sums)
         fingerprints = list(self._fingerprints)

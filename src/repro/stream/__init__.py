@@ -12,6 +12,7 @@ from repro.stream.generators import (
     mixed_workload_stream,
     stream_from_graph,
 )
+from repro.stream.batching import aggregate_updates, updates_to_arrays
 from repro.stream.pipeline import StreamingAlgorithm, run_passes
 from repro.stream.sharding import shard_by_edge, shard_round_robin
 from repro.stream.space import SpaceReport
@@ -23,6 +24,8 @@ __all__ = [
     "DynamicStream",
     "StreamingAlgorithm",
     "run_passes",
+    "updates_to_arrays",
+    "aggregate_updates",
     "SpaceReport",
     "stream_from_graph",
     "adversarial_churn_stream",

@@ -50,8 +50,8 @@ class TestIncidence:
         sketch = AgmSketch(4, seed=1, rounds=2)
         sketch.update(0, 1, 1)  # internal to {0,1}
         sketch.update(1, 2, 1)  # leaves {0,1}
-        combined = sketch._samplers[0][0].copy()
-        combined.combine(sketch._samplers[1][0])
+        combined = sketch.sampler_view(0, 0)
+        combined.combine(sketch.sampler_view(1, 0))
         sampled = combined.sample()
         assert sampled is not None
         assert decode_edge(sampled[0], 4) == (1, 2)

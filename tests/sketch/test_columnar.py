@@ -1,0 +1,383 @@
+"""Columnar sketch stacks: bit-identity against the per-sketch engine.
+
+The columnar layer (:mod:`repro.sketch.columnar`) stores many
+same-shaped sketches as one 2-D array and promises state *bit-identical*
+to the standalone sketch classes under every path combination: scalar
+vs. scattered updates, aggregated chunks, clone, spill, sharded
+serialization round trips, and checkpoint/restore.  These tests pin that
+promise for the raw stacks and for the three algorithm-level consumers
+(AGM connectivity, the two-pass spanner, the streaming sparsifier —
+weighted and unweighted).  Longer-stream (10^5-token) identity is
+asserted by ``benchmarks/bench_columnar.py``, which runs both engines
+anyway to measure the speedup it gates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.sketch.columnar as columnar_module
+from repro.agm.connectivity import ConnectivityChecker
+from repro.agm.spanning_forest import AgmSketch
+from repro.core.parameters import SparsifierParams
+from repro.core.sparsify import StreamingSparsifier, StreamingWeightedSparsifier
+from repro.core.two_pass_spanner import TwoPassSpannerBuilder
+from repro.service import GraphSession, load_session
+from repro.sketch.columnar import L0SamplerStack, SketchStack
+from repro.sketch.l0sampler import L0Sampler
+from repro.sketch.sparse_recovery import SparseRecoverySketch
+from repro.stream.batching import aggregate_updates, updates_to_arrays
+from repro.stream.generators import mixed_workload_stream
+from repro.util.rng import rng_from_seed
+
+SLIM = SparsifierParams(estimate_levels=2, sampling_levels=2, sampling_rounds_factor=0.01)
+
+
+def random_incidences(seed, count, num_rows, domain, deltas=(-2, -1, 1, 3)):
+    rng = rng_from_seed(seed, "columnar-test")
+    rows = np.array([rng.randrange(num_rows) for _ in range(count)], dtype=np.int64)
+    idxs = np.array([rng.randrange(domain) for _ in range(count)], dtype=np.int64)
+    ds = np.array([rng.choice(deltas) for _ in range(count)], dtype=np.int64)
+    return rows, idxs, ds
+
+
+class TestSketchStack:
+    def test_shared_seed_scatter_matches_scalar_sketches(self):
+        num_rows, domain = 6, 300
+        stack = SketchStack(num_rows, domain, 4, "stack-shared", rows=3)
+        references = [
+            SparseRecoverySketch(domain, 4, "stack-shared", rows=3)
+            for _ in range(num_rows)
+        ]
+        rows, idxs, ds = random_incidences("shared", 4000, num_rows, domain)
+        stack.scatter(rows, idxs, ds)
+        for row, index, delta in zip(rows, idxs, ds):
+            references[row].update(int(index), int(delta))
+        for row in range(num_rows):
+            assert stack.row_state_ints(row) == references[row].state_ints()
+            assert stack.row_sketch(row).decode() == references[row].decode()
+
+    def test_update_row_matches_scatter(self):
+        num_rows, domain = 4, 200
+        scalar = SketchStack(num_rows, domain, 4, "paths", rows=3)
+        batched = SketchStack(num_rows, domain, 4, "paths", rows=3)
+        rows, idxs, ds = random_incidences("paths", 1500, num_rows, domain)
+        batched.scatter(rows, idxs, ds)
+        for row, index, delta in zip(rows, idxs, ds):
+            scalar.update_row(int(row), int(index), int(delta))
+        for row in range(num_rows):
+            assert scalar.row_state_ints(row) == batched.row_state_ints(row)
+
+    def test_per_row_seeds_match_scalar_sketches(self):
+        num_rows, domain = 5, 250
+        seeds = [("root", r) for r in range(num_rows)]
+        stack = SketchStack(num_rows, domain, 6, [str(s) for s in seeds], rows=3)
+        references = [
+            SparseRecoverySketch(domain, 6, str(seeds[r]), rows=3)
+            for r in range(num_rows)
+        ]
+        rows, idxs, ds = random_incidences("multi", 3000, num_rows, domain)
+        stack.scatter(rows, idxs, ds)
+        for row, index, delta in zip(rows, idxs, ds):
+            references[row].update(int(index), int(delta))
+        for row in range(num_rows):
+            assert stack.row_state_ints(row) == references[row].state_ints()
+
+    def test_rows_sum_equals_pairwise_combine(self):
+        num_rows, domain = 5, 150
+        stack = SketchStack(num_rows, domain, 4, "sum", rows=3)
+        rows, idxs, ds = random_incidences("sum", 2000, num_rows, domain)
+        stack.scatter(rows, idxs, ds)
+        combined = stack.row_sketch(1)
+        combined.combine(stack.row_sketch(3))
+        combined.combine(stack.row_sketch(4))
+        assert stack.rows_sum_sketch([1, 3, 4]).state_ints() == combined.state_ints()
+
+    def test_clone_is_isolated(self):
+        stack = SketchStack(3, 100, 4, "clone", rows=3)
+        stack.update_row(0, 7, 1)
+        clone = stack.clone()
+        stack.update_row(0, 8, 1)
+        clone.update_row(1, 9, -1)
+        assert stack.row_state_ints(1) != clone.row_state_ints(1)
+        fresh = SketchStack(3, 100, 4, "clone", rows=3)
+        fresh.update_row(0, 7, 1)
+        fresh.update_row(1, 9, -1)
+        assert clone.row_state_ints(0) == fresh.row_state_ints(0)
+        assert clone.row_state_ints(1) == fresh.row_state_ints(1)
+
+    def test_combine_with_sign_cancels(self):
+        stack = SketchStack(3, 100, 4, "cancel", rows=3)
+        rows, idxs, ds = random_incidences("cancel", 500, 3, 100)
+        stack.scatter(rows, idxs, ds)
+        clone = stack.clone()
+        clone.combine(stack, sign=-1)
+        for row in range(3):
+            assert clone.is_row_zero(row)
+
+    def test_load_row_state_round_trip(self):
+        stack = SketchStack(3, 100, 4, "load", rows=3)
+        rows, idxs, ds = random_incidences("load", 700, 3, 100)
+        stack.scatter(rows, idxs, ds)
+        other = SketchStack(3, 100, 4, "load", rows=3)
+        for row in range(3):
+            other.load_row_state(row, stack.row_state_ints(row))
+            assert other.row_state_ints(row) == stack.row_state_ints(row)
+
+    def test_spill_preserves_state_and_interop(self, monkeypatch):
+        """Past the int64-safety bound the stack falls back to exact
+        per-row sketches; every contract keeps working unchanged."""
+        monkeypatch.setattr(columnar_module, "_INT64_SAFE_BOUND", 3_000)
+        num_rows, domain = 3, 60
+        stack = SketchStack(num_rows, domain, 4, "spill", rows=3)
+        references = [
+            SparseRecoverySketch(domain, 4, "spill", rows=3) for _ in range(num_rows)
+        ]
+        rng = rng_from_seed("spill-ops", 0)
+        for step in range(400):
+            row, index = rng.randrange(num_rows), rng.randrange(domain)
+            delta = rng.choice([-1, 1])
+            stack.update_row(row, index, delta)
+            references[row].update(index, delta)
+        assert stack.is_spilled()
+        rows, idxs, ds = random_incidences("spill-batch", 300, num_rows, domain)
+        stack.scatter(rows, idxs, ds)
+        for row, index, delta in zip(rows, idxs, ds):
+            references[row].update(int(index), int(delta))
+        for row in range(num_rows):
+            assert stack.row_state_ints(row) == references[row].state_ints()
+        # combine columnar into spilled, clone, and sum rows
+        fresh = SketchStack(num_rows, domain, 4, "spill", rows=3)
+        fresh.update_row(2, 5, 7)
+        stack.combine(fresh)
+        references[2].update(5, 7)
+        clone = stack.clone()
+        for row in range(num_rows):
+            assert clone.row_state_ints(row) == references[row].state_ints()
+        summed = references[0].copy()
+        summed.combine(references[1])
+        assert stack.rows_sum_sketch([0, 1]).state_ints() == summed.state_ints()
+
+
+class TestL0SamplerStack:
+    def test_matches_scalar_samplers_and_sum(self):
+        num_rows, domain = 5, 400
+        stack = L0SamplerStack(num_rows, domain, "l0-stack")
+        references = [L0Sampler(domain, "l0-stack") for _ in range(num_rows)]
+        rows, idxs, ds = random_incidences("l0", 4000, num_rows, domain)
+        stack.scatter(rows, idxs, ds)
+        for row, index, delta in zip(rows, idxs, ds):
+            references[row].update(int(index), int(delta))
+        for row in range(num_rows):
+            assert stack.row_state_ints(row) == references[row].state_ints()
+            assert stack.row_sampler(row).sample() == references[row].sample()
+        combined = references[0].copy()
+        combined.combine(references[2])
+        assert stack.rows_sum_sampler([0, 2]).state_ints() == combined.state_ints()
+
+    def test_scalar_path_and_clone(self):
+        stack = L0SamplerStack(3, 128, "l0-scalar")
+        reference = L0Sampler(128, "l0-scalar")
+        for index, delta in [(5, 1), (17, -2), (5, 1), (99, 4)]:
+            stack.update_row(1, index, delta)
+            reference.update(index, delta)
+        clone = stack.clone()
+        stack.update_row(1, 64, 1)
+        assert clone.row_state_ints(1) == reference.state_ints()
+        assert stack.row_state_ints(1) != reference.state_ints()
+
+
+class TestBatchingHelpers:
+    def test_updates_to_arrays(self):
+        stream = mixed_workload_stream(8, 200, "arrays")
+        updates = list(stream)
+        us, vs, signs = updates_to_arrays(updates)
+        assert us.tolist() == [u.u for u in updates]
+        assert vs.tolist() == [u.v for u in updates]
+        assert signs.tolist() == [u.sign for u in updates]
+
+    def test_aggregate_cancellation(self):
+        us = np.array([0, 0, 1, 0], dtype=np.int64)
+        vs = np.array([1, 1, 2, 2], dtype=np.int64)
+        ds = np.array([1, -1, 1, 1], dtype=np.int64)
+        lows, highs, pairs, net = aggregate_updates(us, vs, ds, 4)
+        assert list(zip(lows.tolist(), highs.tolist(), net.tolist())) == [
+            (0, 2, 1),
+            (1, 2, 1),
+        ]
+        lows, highs, pairs, net = aggregate_updates(us, vs, ds, 4, keep_zero=True)
+        assert list(zip(lows.tolist(), highs.tolist(), net.tolist())) == [
+            (0, 1, 0),
+            (0, 2, 1),
+            (1, 2, 1),
+        ]
+        assert pairs.tolist() == [1, 2, 6]
+
+
+def _shard_states(algorithm, pass_index=0):
+    return list(algorithm.shard_state_ints(pass_index))
+
+
+class TestAgmColumnarIdentity:
+    def test_batched_equals_scalar_equals_standalone(self):
+        n, length = 24, 3000
+        stream = mixed_workload_stream(n, length, "agm-identity")
+        scalar = ConnectivityChecker(n, "agm-id")
+        batched = ConnectivityChecker(n, "agm-id")
+        for update in stream:
+            scalar.process(update, 0)
+        for chunk in stream.iter_batches(512):
+            batched.process_batch(chunk, 0)
+        assert _shard_states(scalar) == _shard_states(batched)
+        assert scalar.finalize() == batched.finalize()
+
+    def test_sketch_rows_equal_standalone_samplers(self):
+        """The true cross-engine probe: columnar rows decode through (and
+        equal) freshly built standalone per-vertex samplers."""
+        n = 10
+        sketch = AgmSketch(n, seed="standalone", rounds=3)
+        stream = mixed_workload_stream(n, 600, "agm-standalone")
+        us, vs, signs = updates_to_arrays(list(stream))
+        sketch.update_batch(us, vs, signs)
+        from repro.util.rng import derive_seed
+
+        domain = n * n
+        for r in range(3):
+            seed = derive_seed(sketch._seed_key, "round", r)
+            references = [L0Sampler(domain, seed) for _ in range(n)]
+            for update, sign in zip(stream, signs):
+                low, high = update.u, update.v
+                coordinate = low * n + high
+                references[low].update(coordinate, int(sign))
+                references[high].update(coordinate, -int(sign))
+            for vertex in range(n):
+                assert (
+                    sketch.sampler_view(vertex, r).state_ints()
+                    == references[vertex].state_ints()
+                )
+
+
+class TestSpannerColumnarIdentity:
+    def test_both_passes_bit_identical(self):
+        n, length = 24, 3000
+        stream = mixed_workload_stream(n, length, "spanner-identity")
+        scalar = TwoPassSpannerBuilder(n, 2, "spanner-id")
+        batched = TwoPassSpannerBuilder(n, 2, "spanner-id")
+        for pass_index in range(2):
+            for update in stream:
+                scalar.process(update, pass_index)
+            scalar.end_pass(pass_index)
+        for pass_index in range(2):
+            for chunk in stream.iter_batches(512):
+                batched.process_batch(chunk, pass_index)
+            batched.end_pass(pass_index)
+        assert _shard_states(scalar, 0) == _shard_states(batched, 0)
+        assert _shard_states(scalar, 1) == _shard_states(batched, 1)
+        assert (
+            scalar.finalize().spanner.edge_set()
+            == batched.finalize().spanner.edge_set()
+        )
+
+    def test_merge_shard_round_trip(self):
+        """Shard the stream, serialize/load/merge — the reassembled state
+        equals the single-instance state, across the columnar storage."""
+        n, length, shards = 16, 2000, 3
+        stream = mixed_workload_stream(n, length, "spanner-shards")
+        updates = list(stream)
+        single = TwoPassSpannerBuilder(n, 2, "shard-id")
+        for chunk in stream.iter_batches(256):
+            single.process_batch(chunk, 0)
+        coordinator = TwoPassSpannerBuilder(n, 2, "shard-id")
+        for shard in range(shards):
+            worker = TwoPassSpannerBuilder(n, 2, "shard-id")
+            worker.process_batch(updates[shard::shards], 0)
+            shipped = worker.shard_state_ints(0)
+            rebuilt = TwoPassSpannerBuilder(n, 2, "shard-id")
+            rebuilt.load_shard_state_ints(0, shipped)
+            assert rebuilt.shard_state_ints(0) == shipped
+            coordinator.merge_shard(rebuilt, 0)
+        assert coordinator.shard_state_ints(0) == single.shard_state_ints(0)
+
+    def test_clone_isolation_mid_pass(self):
+        n = 12
+        stream = mixed_workload_stream(n, 800, "spanner-clone")
+        builder = TwoPassSpannerBuilder(n, 2, "clone-id")
+        updates = list(stream)
+        builder.process_batch(updates[:400], 0)
+        clone = builder.clone()
+        builder.process_batch(updates[400:], 0)
+        reference = TwoPassSpannerBuilder(n, 2, "clone-id")
+        reference.process_batch(updates[:400], 0)
+        assert clone.shard_state_ints(0) == reference.shard_state_ints(0)
+
+
+class TestSparsifierColumnarIdentity:
+    def test_unweighted_bit_identical(self):
+        n, length = 16, 2000
+        stream = mixed_workload_stream(n, length, "sparsify-identity")
+        scalar = StreamingSparsifier(n, "sparsify-id", k=1, params=SLIM)
+        batched = StreamingSparsifier(n, "sparsify-id", k=1, params=SLIM)
+        for pass_index in range(2):
+            for update in stream:
+                scalar.process(update, pass_index)
+            scalar.end_pass(pass_index)
+            for chunk in stream.iter_batches(512):
+                batched.process_batch(chunk, pass_index)
+            batched.end_pass(pass_index)
+        assert _shard_states(scalar, 0) == _shard_states(batched, 0)
+        assert _shard_states(scalar, 1) == _shard_states(batched, 1)
+        assert scalar.finalize().edge_set() == batched.finalize().edge_set()
+
+    def test_weighted_bit_identical(self):
+        n, length = 12, 1200
+        stream = mixed_workload_stream(
+            n, length, "sparsify-weighted", weights=(1.0, 8.0)
+        )
+        scalar = StreamingWeightedSparsifier(
+            n, "weighted-id", 1.0, 8.0, k=1, params=SLIM
+        )
+        batched = StreamingWeightedSparsifier(
+            n, "weighted-id", 1.0, 8.0, k=1, params=SLIM
+        )
+        for pass_index in range(2):
+            for update in stream:
+                scalar.process(update, pass_index)
+            scalar.end_pass(pass_index)
+            for chunk in stream.iter_batches(256):
+                batched.process_batch(chunk, pass_index)
+            batched.end_pass(pass_index)
+        assert _shard_states(scalar, 0) == _shard_states(batched, 0)
+        assert _shard_states(scalar, 1) == _shard_states(batched, 1)
+
+
+class TestServiceColumnarDurability:
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_checkpoint_restore_through_columnar_state(self, tmp_path, weighted):
+        """Kill/restore mid-stream lands bit-identical to no crash, with
+        all three algorithms' state in columnar storage."""
+        n, length = 12, 1500
+        bounds = (1.0, 4.0) if weighted else None
+        tokens = list(
+            mixed_workload_stream(
+                n, length, "service-columnar", weights=bounds
+            )
+        )
+        session = GraphSession(
+            n, "service-columnar", k=2, sparsifier_k=1,
+            sparsifier_params=SLIM, weight_bounds=bounds,
+        )
+        midpoint = length // 2
+        session.ingest_batch(tokens[:midpoint])
+        path = tmp_path / "mid.bin"
+        session.checkpoint(path)
+        session.ingest_batch(tokens[midpoint:])
+        reference = session.snapshot_answers()
+        reference_states = [list(a.shard_state_ints(0)) for a in session._algorithms()]
+
+        restored = load_session(path)
+        restored.ingest_batch(tokens[midpoint:])
+        assert restored.snapshot_answers() == reference
+        assert [
+            list(a.shard_state_ints(0)) for a in restored._algorithms()
+        ] == reference_states

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Fail the build when the columnar engine regresses past tolerance.
+
+``benchmarks/bench_columnar.py`` writes every measured throughput to
+``benchmarks/results/BENCH_columnar.json``; this tool compares that
+fresh measurement against the committed conservative baseline
+(``benchmarks/baselines/BENCH_columnar.json``) and exits nonzero when
+any rate falls more than ``TOLERANCE`` below its baseline — a
+machine-readable perf gate, wired into ``make bench-columnar`` (and so
+``make check``).
+
+The committed baseline is deliberately set well *below* the reference
+container's measured rates (about half), so the gate trips on genuine
+order-of-magnitude regressions — a vectorized path silently falling back
+to scalar loops — rather than on scheduler noise or modest hardware
+differences.  Regenerate it with ``--update-baseline`` after an
+intentional performance change (and commit the result).
+
+Usage::
+
+    python tools/perf_regress.py                  # compare, exit 1 on regression
+    python tools/perf_regress.py --update-baseline  # rewrite the baseline at
+                                                    # 50% of the fresh rates
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FRESH = REPO_ROOT / "benchmarks" / "results" / "BENCH_columnar.json"
+BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_columnar.json"
+
+#: A fresh rate may fall at most this fraction below its baseline.
+TOLERANCE = 0.20
+
+#: ``--update-baseline`` records this fraction of the fresh rates.
+BASELINE_FRACTION = 0.50
+
+
+def load(path: pathlib.Path) -> dict:
+    """Parse one measurement file, failing with a pointed message."""
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(
+            f"perf_regress: {path} is missing — run "
+            "`make bench-columnar` (or commit the baseline) first"
+        )
+    except ValueError as error:
+        sys.exit(f"perf_regress: {path} is not valid JSON: {error}")
+
+
+def update_baseline() -> int:
+    fresh = load(FRESH)
+    baseline = {
+        "note": (
+            "Conservative columnar-throughput floors: "
+            f"{BASELINE_FRACTION:.0%} of a reference-container run of "
+            "benchmarks/bench_columnar.py.  Compared by tools/perf_regress.py "
+            f"with {TOLERANCE:.0%} tolerance; regenerate with "
+            "`python tools/perf_regress.py --update-baseline`."
+        ),
+        "stream_updates": fresh["stream_updates"],
+        "batch_size": fresh["batch_size"],
+        "updates_per_second": {
+            name: round(rate * BASELINE_FRACTION, 1)
+            for name, rate in fresh["updates_per_second"].items()
+        },
+    }
+    BASELINE.parent.mkdir(exist_ok=True)
+    BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(f"perf_regress: baseline rewritten at {BASELINE}")
+    return 0
+
+
+def compare() -> int:
+    fresh = load(FRESH)["updates_per_second"]
+    baseline = load(BASELINE)["updates_per_second"]
+    failures: list[str] = []
+    width = max(len(name) for name in baseline)
+    print(f"perf_regress: fresh rates vs committed floors ({TOLERANCE:.0%} tolerance)")
+    for name, floor in sorted(baseline.items()):
+        rate = fresh.get(name)
+        if rate is None:
+            failures.append(f"{name}: missing from the fresh measurement")
+            continue
+        allowed = floor * (1.0 - TOLERANCE)
+        verdict = "ok" if rate >= allowed else "REGRESSION"
+        print(
+            f"  {name:<{width}} {rate:>12,.0f} up/s  "
+            f"(floor {floor:>12,.0f}, min {allowed:>12,.0f})  {verdict}"
+        )
+        if rate < allowed:
+            failures.append(
+                f"{name}: {rate:,.0f} updates/s is more than {TOLERANCE:.0%} "
+                f"below the baseline floor {floor:,.0f}"
+            )
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"  {name:<{width}} {fresh[name]:>12,.0f} up/s  (no baseline yet)")
+    if failures:
+        print("perf_regress: FAILED")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("perf_regress: all rates within tolerance")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry: compare (default) or ``--update-baseline``."""
+    if "--update-baseline" in argv:
+        return update_baseline()
+    return compare()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
