@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-engine bench-distributed bench-service bench-columnar docs-check check
+.PHONY: test bench bench-engine bench-distributed bench-service bench-columnar bench-sparse docs-check check
 
 # Tier-1 verification: the full unit/integration suite, fail-fast.
 test:
@@ -38,7 +38,17 @@ bench-service:
 # BENCH_columnar.json against the committed baseline floors.
 bench-columnar:
 	$(PYTHON) -m pytest benchmarks/bench_columnar.py -q
-	$(PYTHON) tools/perf_regress.py
+	$(PYTHON) tools/perf_regress.py columnar
+
+# The sparse vertex-universe gates: a 10^7-id session answers all four
+# query kinds with resident sketch words proportional to touched
+# vertices (not the universe), lazy wire state bit-identical to the
+# dense engine, ingest above the throughput floor, then the regression
+# check of the fresh BENCH_sparse.json against the committed floors.
+# Single-core gates only (no parallel-speedup assumptions).
+bench-sparse:
+	$(PYTHON) -m pytest benchmarks/bench_sparse_universe.py -q
+	$(PYTHON) tools/perf_regress.py sparse
 
 # Documentation gates: public-API docstring coverage, and the docs the
 # README promises must exist.
@@ -51,5 +61,6 @@ docs-check:
 
 # Everything a PR should pass: docs gates (docstring coverage), the
 # unit/integration suite, the distributed-engine gates, the live
-# service gates, and the columnar-engine speedup/regression gates.
-check: docs-check test bench-distributed bench-service bench-columnar
+# service gates, the columnar-engine speedup/regression gates, and the
+# sparse vertex-universe memory/identity gates.
+check: docs-check test bench-distributed bench-service bench-columnar bench-sparse

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.agm.spanning_forest import AgmSketch
 from repro.graph.graph import Graph
+from repro.graph.vertex_space import VertexSpace, as_vertex_space
 from repro.stream.batching import updates_to_arrays
 from repro.stream.pipeline import StreamingAlgorithm, run_passes
 from repro.stream.stream import DynamicStream
@@ -34,11 +35,27 @@ __all__ = ["ConnectivityChecker", "BipartitenessChecker", "KConnectivityCertific
 
 
 class ConnectivityChecker(StreamingAlgorithm):
-    """One-pass connected components of a dynamic stream."""
+    """One-pass connected components of a dynamic stream.
 
-    def __init__(self, num_vertices: int, seed: int | str):
-        self.num_vertices = num_vertices
-        self._sketch = AgmSketch(num_vertices, derive_seed(seed, "connectivity"))
+    ``num_vertices`` may be a plain int (dense universe) or a
+    :class:`~repro.graph.vertex_space.VertexSpace`; lazy spaces keep
+    resident sketch rows proportional to touched vertices and answer
+    component queries over the touched subgraph.  ``rounds`` forwards to
+    :class:`~repro.agm.spanning_forest.AgmSketch` for sessions that know
+    their touched count is far below the universe.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int | VertexSpace,
+        seed: int | str,
+        rounds: int | None = None,
+    ):
+        self.space = as_vertex_space(num_vertices)
+        self.num_vertices = self.space.universe_size
+        self._sketch = AgmSketch(
+            self.space, derive_seed(seed, "connectivity"), rounds=rounds
+        )
 
     @property
     def passes_required(self) -> int:
@@ -90,12 +107,25 @@ class ConnectivityChecker(StreamingAlgorithm):
     def clone(self) -> "ConnectivityChecker":
         """Cheap structural copy: the AGM sketch stack is cloned."""
         clone = object.__new__(ConnectivityChecker)
+        clone.space = self.space
         clone.num_vertices = self.num_vertices
         clone._sketch = self._sketch.clone()
         return clone
 
     def space_words(self) -> int:
         return self._sketch.space_words()
+
+    def space_report(self):
+        """Resident vs dense-universe words of the AGM sketch stacks."""
+        from repro.stream.space import SpaceReport
+
+        report = SpaceReport()
+        report.add(
+            "agm vertex samplers",
+            self._sketch.space_words(),
+            universe_words=self._sketch.universe_space_words(),
+        )
+        return report
 
 
 class BipartitenessChecker(StreamingAlgorithm):
@@ -108,10 +138,18 @@ class BipartitenessChecker(StreamingAlgorithm):
     ``cc(double cover) = 2 * cc(G)``.
     """
 
-    def __init__(self, num_vertices: int, seed: int | str):
-        self.num_vertices = num_vertices
-        self._base = AgmSketch(num_vertices, derive_seed(seed, "bipartite-base"))
-        self._cover = AgmSketch(2 * num_vertices, derive_seed(seed, "bipartite-cover"))
+    def __init__(self, num_vertices: int | VertexSpace, seed: int | str):
+        self.space = as_vertex_space(num_vertices)
+        self.num_vertices = self.space.universe_size
+        base_space = (
+            self.space
+            if not self.space.is_interned
+            else VertexSpace(self.num_vertices, ids=None, lazy=True)
+        )
+        self._base = AgmSketch(base_space, derive_seed(seed, "bipartite-base"))
+        self._cover = AgmSketch(
+            self.space.doubled(), derive_seed(seed, "bipartite-cover")
+        )
 
     @property
     def passes_required(self) -> int:
@@ -145,14 +183,16 @@ class BipartitenessChecker(StreamingAlgorithm):
         return run_passes(stream, self, batch_size=batch_size)
 
     def shard_state_ints(self, pass_index: int) -> list[int]:
-        """Shardable entry point: base-sketch state then cover-sketch state."""
+        """Shardable entry point: base-sketch state then cover-sketch state
+        (both blocks are self-delimiting sparse-row sequences)."""
         return self._base.state_ints() + self._cover.state_ints()
 
     def load_shard_state_ints(self, pass_index: int, values: list[int]) -> None:
         """Shardable entry point: inverse of :meth:`shard_state_ints`."""
-        split = self._base.state_len()
-        self._base.from_state_ints(values[:split])
-        self._cover.from_state_ints(values[split:])
+        cursor = self._base.load_state_ints(values, 0)
+        cursor = self._cover.load_state_ints(values, cursor)
+        if cursor != len(values):
+            raise ValueError(f"expected {cursor} state ints, got {len(values)}")
 
     def merge_shard(self, other: "BipartitenessChecker", pass_index: int) -> None:
         """Shardable entry point: sum a shard's sketches into ours."""
@@ -162,6 +202,7 @@ class BipartitenessChecker(StreamingAlgorithm):
     def clone(self) -> "BipartitenessChecker":
         """Cheap structural copy: both sketch stacks are cloned."""
         clone = object.__new__(BipartitenessChecker)
+        clone.space = self.space
         clone.num_vertices = self.num_vertices
         clone._base = self._base.clone()
         clone._cover = self._cover.clone()
@@ -181,13 +222,14 @@ class KConnectivityCertificate(StreamingAlgorithm):
     ``k (n-1)`` edges and preserves every edge cut up to value ``k``.
     """
 
-    def __init__(self, num_vertices: int, k: int, seed: int | str):
+    def __init__(self, num_vertices: int | VertexSpace, k: int, seed: int | str):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        self.num_vertices = num_vertices
+        self.space = as_vertex_space(num_vertices)
+        self.num_vertices = self.space.universe_size
         self.k = k
         self._stacks = [
-            AgmSketch(num_vertices, derive_seed(seed, "certificate", i)) for i in range(k)
+            AgmSketch(self.space, derive_seed(seed, "certificate", i)) for i in range(k)
         ]
 
     @property
@@ -232,12 +274,11 @@ class KConnectivityCertificate(StreamingAlgorithm):
         return flat
 
     def load_shard_state_ints(self, pass_index: int, values: list[int]) -> None:
-        """Shardable entry point: inverse of :meth:`shard_state_ints`."""
+        """Shardable entry point: inverse of :meth:`shard_state_ints`
+        (each stack's block is self-delimiting)."""
         cursor = 0
         for stack in self._stacks:
-            need = stack.state_len()
-            stack.from_state_ints(values[cursor : cursor + need])
-            cursor += need
+            cursor = stack.load_state_ints(values, cursor)
         if cursor != len(values):
             raise ValueError(f"expected {cursor} state ints, got {len(values)}")
 
@@ -254,6 +295,7 @@ class KConnectivityCertificate(StreamingAlgorithm):
         snapshot query must never finalize the live instance.
         """
         clone = object.__new__(KConnectivityCertificate)
+        clone.space = self.space
         clone.num_vertices = self.num_vertices
         clone.k = self.k
         clone._stacks = [stack.clone() for stack in self._stacks]

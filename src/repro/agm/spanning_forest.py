@@ -35,12 +35,13 @@ import math
 import numpy as np
 
 from repro.agm.incidence import decode_edge, incidence_updates
+from repro.graph.vertex_space import VertexSpace, as_vertex_space
 from repro.sketch.columnar import L0SamplerStack
 from repro.sketch.l0sampler import L0Sampler
 from repro.stream.batching import aggregate_updates
 from repro.util.rng import derive_seed
 
-__all__ = ["AgmSketch", "DisjointSets"]
+__all__ = ["AgmSketch", "DisjointSets", "SparseDisjointSets"]
 
 #: Below this many updates the batched path's fixed numpy cost exceeds
 #: the scalar loop's (the stacks amortize over distinct coordinates, so
@@ -80,31 +81,85 @@ class DisjointSets:
         return sum(1 for x in range(len(self.parent)) if self.find(x) == x)
 
 
+class SparseDisjointSets:
+    """Union-find over arbitrary int elements, allocated on first touch.
+
+    The sparse-universe Borůvka runs over *touched* vertices only; a
+    dense ``parent`` array over a ``10^7``-id universe would cost more
+    than the sketches.  Elements register lazily via :meth:`add` (or on
+    first ``find``/``union``), so space is proportional to the elements
+    actually seen.
+    """
+
+    __slots__ = ("parent", "size")
+
+    def __init__(self, elements=()):
+        self.parent: dict[int, int] = {}
+        self.size: dict[int, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, x: int) -> None:
+        """Register ``x`` as a singleton if unseen."""
+        if x not in self.parent:
+            self.parent[x] = x
+            self.size[x] = 1
+
+    def find(self, x: int) -> int:
+        """Root of ``x``'s set (registers ``x`` if unseen)."""
+        self.add(x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of ``x`` and ``y``; False if already merged."""
+        root_x, root_y = self.find(x), self.find(y)
+        if root_x == root_y:
+            return False
+        if self.size[root_x] < self.size[root_y]:
+            root_x, root_y = root_y, root_x
+        self.parent[root_y] = root_x
+        self.size[root_x] += self.size[root_y]
+        return True
+
+
 class AgmSketch:
     """Per-vertex incidence samplers supporting spanning-forest extraction.
 
     Parameters
     ----------
     num_vertices:
-        Graph size ``n``.
+        The vertex universe: a plain int (the historical dense engine
+        over ``range(n)``) or a :class:`~repro.graph.vertex_space.VertexSpace`
+        — a lazy space materializes per-vertex rows on first touch, so
+        resident state tracks *touched* vertices while seeds and edge
+        coordinates stay pure functions of the universe size (dense and
+        lazy sketches over equal universes are summable and
+        bit-identical on the touched subset).
     seed:
         Randomness name; sketches with equal seeds/shape are summable.
     rounds:
         Borůvka rounds (default ``ceil(log2 n) + 2``); each consumes one
         independent sampler per vertex, the standard AGM requirement.
+        Sparse sessions whose expected touched count is far below the
+        universe can pass a smaller explicit value.
     budget:
         Per-level sparse-recovery budget inside each L0-sampler.
     """
 
     def __init__(
         self,
-        num_vertices: int,
+        num_vertices: int | VertexSpace,
         seed: int | str,
         rounds: int | None = None,
         budget: int = 4,
     ):
-        if num_vertices <= 0:
-            raise ValueError(f"num_vertices must be positive, got {num_vertices}")
+        self.space = as_vertex_space(num_vertices)
+        num_vertices = self.space.universe_size
         self.num_vertices = num_vertices
         if rounds is None:
             rounds = max(2, math.ceil(math.log2(max(num_vertices, 2)))) + 2
@@ -116,7 +171,11 @@ class AgmSketch:
         # are meaningful; rounds are independent.
         self._round_stacks = [
             L0SamplerStack(
-                num_vertices, domain, derive_seed(self._seed_key, "round", r), budget=budget
+                num_vertices,
+                domain,
+                derive_seed(self._seed_key, "round", r),
+                budget=budget,
+                lazy=self.space.lazy,
             )
             for r in range(rounds)
         ]
@@ -199,6 +258,7 @@ class AgmSketch:
         unaffected by further updates to the original.
         """
         clone = object.__new__(AgmSketch)
+        clone.space = self.space
         clone.num_vertices = self.num_vertices
         clone.rounds = self.rounds
         clone._seed_key = self._seed_key
@@ -233,36 +293,50 @@ class AgmSketch:
         Returns
         -------
         Edges of the original graph forming a spanning forest of the
-        (possibly contracted) graph, as ``(u, v)`` pairs.
+        (possibly contracted) graph, as ``(u, v)`` pairs.  Over a lazy
+        space, Borůvka runs on *touched* vertices only — untouched
+        vertices are isolated, hold exactly-zero samplers, and can never
+        contribute an edge, so the forest is identical to the dense
+        engine's on the same stream.
         """
-        if supernodes is None:
-            groups = list(range(self.num_vertices))
+        if self.space.lazy:
+            if supernodes is not None:
+                raise ValueError(
+                    "supernode collapsing needs a dense per-vertex group map; "
+                    "lazy vertex spaces do not support it"
+                )
+            vertices: list[int] = self._round_stacks[0].touched_row_ids()
+            dsu: DisjointSets | SparseDisjointSets = SparseDisjointSets(vertices)
         else:
-            if len(supernodes) != self.num_vertices:
-                raise ValueError("supernodes must assign a group to every vertex")
-            groups = list(supernodes)
-
-        # Union-find over vertices; pre-merge supernode groups.
-        dsu = DisjointSets(self.num_vertices)
-        first_of_group: dict[int, int] = {}
-        for vertex, group in enumerate(groups):
-            if group in first_of_group:
-                dsu.union(first_of_group[group], vertex)
+            vertices = list(range(self.num_vertices))
+            if supernodes is None:
+                groups = vertices
             else:
-                first_of_group[group] = vertex
+                if len(supernodes) != self.num_vertices:
+                    raise ValueError("supernodes must assign a group to every vertex")
+                groups = list(supernodes)
+
+            # Union-find over vertices; pre-merge supernode groups.
+            dsu = DisjointSets(self.num_vertices)
+            first_of_group: dict[int, int] = {}
+            for vertex, group in enumerate(groups):
+                if group in first_of_group:
+                    dsu.union(first_of_group[group], vertex)
+                else:
+                    first_of_group[group] = vertex
 
         forest: list[tuple[int, int]] = []
         for r in range(self.rounds):
             members: dict[int, list[int]] = {}
-            for vertex in range(self.num_vertices):
+            for vertex in vertices:
                 members.setdefault(dsu.find(vertex), []).append(vertex)
             if len(members) <= 1:
                 break
             merged_any = False
-            for root, vertices in members.items():
+            for root, component in members.items():
                 # The component sum, as one column reduction over the
                 # round's stack (identical to pairwise combines).
-                combined = self._round_stacks[r].rows_sum_sampler(vertices)
+                combined = self._round_stacks[r].rows_sum_sampler(component)
                 sampled = combined.sample()
                 if sampled is None:
                     continue
@@ -275,9 +349,32 @@ class AgmSketch:
                 break
         return forest
 
+    def touched_vertices(self) -> list[int]:
+        """Sorted vertex ids holding resident sketch rows.
+
+        Every update reaches every round's level-0 stack, so round 0
+        carries the complete touched set; for a dense space this is all
+        of ``range(n)``.
+        """
+        return self._round_stacks[0].touched_row_ids()
+
     def connected_components(self, supernodes: list[int] | None = None) -> list[set[int]]:
-        """Vertex components implied by the extracted spanning forest."""
+        """Vertex components implied by the extracted spanning forest.
+
+        Dense spaces enumerate the whole universe (isolated vertices are
+        singleton components, the historical behavior); lazy spaces
+        return components of the *touched* vertices only — the
+        untouched rest of a huge universe is implicitly isolated.
+        """
         forest = self.spanning_forest(supernodes)
+        if self.space.lazy:
+            sparse_dsu = SparseDisjointSets(self.touched_vertices())
+            for a, b in forest:
+                sparse_dsu.union(a, b)
+            components: dict[int, set[int]] = {}
+            for vertex in sparse_dsu.parent:
+                components.setdefault(sparse_dsu.find(vertex), set()).add(vertex)
+            return list(components.values())
         dsu = DisjointSets(self.num_vertices)
         if supernodes is not None:
             first_of_group: dict[int, int] = {}
@@ -288,27 +385,40 @@ class AgmSketch:
                     first_of_group[group] = vertex
         for a, b in forest:
             dsu.union(a, b)
-        components: dict[int, set[int]] = {}
+        dense_components: dict[int, set[int]] = {}
         for vertex in range(self.num_vertices):
-            components.setdefault(dsu.find(vertex), set()).add(vertex)
-        return list(components.values())
+            dense_components.setdefault(dsu.find(vertex), set()).add(vertex)
+        return list(dense_components.values())
 
     def state_ints(self) -> list[int]:
         """Dynamic state as a flat int sequence (for serialization).
 
-        Vertex-major, then round — the layout predates the columnar
-        storage and is preserved so checkpoints and shard messages stay
-        compatible across engine versions.
+        Round-major sparse blocks: every round stack ships, per
+        geometric level, its *nonzero* rows tagged with their logical
+        vertex ids (:meth:`~repro.sketch.columnar.SketchStack.sparse_state_ints`).
+        Nonzero-ness is a pure function of the summarized vectors, so
+        dense and lazy engines fed the same stream emit byte-identical
+        sequences — which is what lets their checkpoints and shard
+        messages round-trip interchangeably.
         """
         flat: list[int] = []
-        for vertex in range(self.num_vertices):
-            for stack in self._round_stacks:
-                flat.extend(stack.row_state_ints(vertex))
+        for stack in self._round_stacks:
+            flat.extend(stack.sparse_state_ints())
         return flat
 
-    def state_len(self) -> int:
-        """Length of :meth:`state_ints`, without materializing it."""
-        return self.num_vertices * self.rounds * self._round_stacks[0].row_state_len()
+    def load_state_ints(self, values: list[int], cursor: int = 0) -> int:
+        """Consume one serialized sketch from ``values`` at ``cursor``;
+        returns the new cursor (the format is self-delimiting, so
+        multi-sketch wires concatenate without length prefixes).
+
+        The wire names nonzero rows only, so the sketch is reset to
+        all-zero first — loading genuinely *overwrites* the dynamic
+        state even on a non-fresh target.
+        """
+        for stack in self._round_stacks:
+            stack.reset_state()
+            cursor = stack.load_sparse_state(values, cursor)
+        return cursor
 
     def from_state_ints(self, values: list[int]) -> "AgmSketch":
         """Overwrite the dynamic state from a :meth:`state_ints` sequence.
@@ -316,21 +426,22 @@ class AgmSketch:
         Exact inverse of :meth:`state_ints` on a same-seed/same-shape
         sketch; returns ``self``.  This is what lets a coordinator
         rebuild a server's shipped sketch before summing (the
-        distributed setting of :mod:`repro.stream.distributed`).
+        distributed setting of :mod:`repro.stream.distributed`) — and a
+        lazy coordinator materializes exactly the rows the wire names.
         """
-        per_sampler = self._round_stacks[0].row_state_len()
-        expected = self.num_vertices * self.rounds * per_sampler
-        if len(values) != expected:
-            raise ValueError(f"expected {expected} state ints, got {len(values)}")
-        cursor = 0
-        for vertex in range(self.num_vertices):
-            for stack in self._round_stacks:
-                stack.load_row_state(vertex, values[cursor : cursor + per_sampler])
-                cursor += per_sampler
+        cursor = self.load_state_ints(values, 0)
+        if cursor != len(values):
+            raise ValueError(f"expected {cursor} state ints, got {len(values)}")
         return self
 
     def space_words(self) -> int:
-        """Persistent state, in machine words."""
-        return sum(
-            stack.row_space_words() * self.num_vertices for stack in self._round_stacks
-        )
+        """Resident persistent state, in machine words (lazy spaces count
+        materialized rows only; dense spaces count every row, matching
+        the historical accounting)."""
+        return sum(stack.resident_space_words() for stack in self._round_stacks)
+
+    def universe_space_words(self) -> int:
+        """Words a fully dense allocation over the universe would hold —
+        the paper's ``O(n polylog n)`` reference the resident number is
+        audited against."""
+        return sum(stack.universe_space_words() for stack in self._round_stacks)

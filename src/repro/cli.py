@@ -229,15 +229,20 @@ def build_parser() -> argparse.ArgumentParser:
             "queries, drives it into a live GraphSession (the sketch-store\n"
             "service of repro.service) and prints throughput plus per-kind\n"
             "query latencies.  Scenarios: mixed (steady churn), query-heavy\n"
-            "(the epoch cache's regime), bursty-deletes (delete storms).\n"
-            "The session's components are verified against the exact ledger\n"
-            "graph at the end; exit code 0 means they matched.\n\n"
+            "(the epoch cache's regime), bursty-deletes (delete storms),\n"
+            "sparse-universe (a huge --universe id space of which only\n"
+            "--touched sampled ids ever appear; the session runs the lazy\n"
+            "vertex-space engine and reports resident vs dense-universe\n"
+            "sketch words).  The session's components are verified against\n"
+            "the exact ledger at the end; exit code 0 means they matched.\n\n"
             "example: python -m repro workload --scenario query-heavy --n 24\n"
-            "         python -m repro workload --scenario bursty-deletes --weighted"
+            "         python -m repro workload --scenario sparse-universe \\\n"
+            "             --universe 10000000 --touched 256 --updates 3000"
         ),
     )
     workload.add_argument(
-        "--scenario", choices=["mixed", "query-heavy", "bursty-deletes"],
+        "--scenario",
+        choices=["mixed", "query-heavy", "bursty-deletes", "sparse-universe"],
         default="mixed", help="workload shape (see repro.service.workload)",
     )
     workload.add_argument("--n", type=_positive_int, default=24, help="number of vertices")
@@ -255,6 +260,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="checkpoint the session every N ingested updates")
     workload.add_argument("--state-dir", default=None,
                           help="directory for checkpoints (default: a temp dir)")
+    workload.add_argument("--universe", type=_positive_int, default=10_000_000,
+                          help="sparse-universe scenario: logical vertex-id space size")
+    workload.add_argument("--touched", type=_positive_int, default=None,
+                          help="sparse-universe scenario: distinct ids the stream touches "
+                               "(default: updates/12)")
 
     serve = subparsers.add_parser(
         "serve",
@@ -463,18 +473,60 @@ def _service_session(args):
     )
 
 
+def _sparse_service_session(args, touched: int):
+    """A lazy-universe GraphSession sized for the sparse CLI scenario."""
+    import math
+
+    from repro.core import SparsifierParams, SpannerParams
+    from repro.graph import VertexSpace
+    from repro.service import GraphSession
+
+    params = SparsifierParams(
+        estimate_reps_factor=0.01, estimate_levels=1, sampling_levels=1,
+        sampling_rounds_factor=0.001,
+    )
+    return GraphSession(
+        VertexSpace.sparse(args.universe),
+        args.seed,
+        k=args.k,
+        enable_sparsifier=not args.no_sparsifier,
+        sparsifier_k=1,
+        sparsifier_params=params,
+        spanner_params=SpannerParams(table_stacks=1, table_capacity_factor=0.75),
+        weight_bounds=(1.0, 8.0) if getattr(args, "weighted", False) else None,
+        agm_rounds=max(4, math.ceil(math.log2(max(touched, 2)))) + 2,
+    )
+
+
 def _cmd_workload(args) -> int:
     import tempfile
 
-    from repro.service import WorkloadDriver, scenario_ops
+    from repro.service import (
+        SCENARIOS,
+        WorkloadDriver,
+        components_match_ledger,
+        scenario_ops,
+    )
 
-    session = _service_session(args)
+    sparse = args.scenario == "sparse-universe"
+    if sparse:
+        divisor = SCENARIOS["sparse-universe"]["touched_divisor"]
+        touched = args.touched or min(
+            args.universe, max(2, args.updates // divisor)
+        )
+        session = _sparse_service_session(args, touched)
+        num_vertices = args.universe
+    else:
+        touched = None
+        session = _service_session(args)
+        num_vertices = args.n
     ops = scenario_ops(
         args.scenario,
-        args.n,
+        num_vertices,
         args.updates,
         args.seed,
         weights=(1.0, 8.0) if args.weighted else None,
+        touched=touched,
     )
     with tempfile.TemporaryDirectory() as tempdir:
         driver = WorkloadDriver(
@@ -484,9 +536,12 @@ def _cmd_workload(args) -> int:
         )
         report = driver.run(ops, scenario=args.scenario)
     print(report.table())
-    truth = sorted(map(sorted, session.live_graph().connected_components()))
-    mine = sorted(map(sorted, session.components()))
-    ok = mine == truth
+    if sparse:
+        stats = session.stats()
+        print(f"universe  : {args.universe:,} ids, {stats.touched_vertices:,} touched")
+        print(f"resident  : {stats.space_words:,} sketch words "
+              f"(dense universe would hold {stats.universe_space_words:,})")
+    ok = components_match_ledger(session)
     print(f"verified  : components {'OK' if ok else 'MISMATCH'} vs exact ledger graph")
     return 0 if ok else 1
 

@@ -74,15 +74,19 @@ class ClusterForest:
         return {root: self.subtree_vertices(root) for root in self.terminals}
 
     def trees_containing(self) -> dict[int, list[Copy]]:
-        """For each vertex, the terminal roots whose tree contains it.
+        """For each vertex *in some tree*, the terminal roots whose tree
+        contains it.
 
-        Every vertex belongs to at least one tree (its level-0 copy) and
-        in expectation to ``1 + o(1)`` trees (one per level membership).
+        Every registered vertex belongs to at least one tree (its
+        level-0 copy) and in expectation to ``1 + o(1)`` trees (one per
+        level membership).  The map covers registered (touched) vertices
+        only — over a huge sparse universe a dense ``{v: [] for v in
+        range(n)}`` would dominate the sketches themselves.
         """
-        result: dict[int, list[Copy]] = {v: [] for v in range(self.num_vertices)}
+        result: dict[int, list[Copy]] = {}
         for root, vertices in self.terminal_trees().items():
             for vertex in vertices:
-                result[vertex].append(root)
+                result.setdefault(vertex, []).append(root)
         return result
 
     def witness_edges(self) -> set[tuple[int, int]]:

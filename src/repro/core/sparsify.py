@@ -42,6 +42,7 @@ from repro.core.parameters import SpannerParams, SparsifierParams
 from repro.core.sample_spanner import SpannerSampleLevels
 from repro.core.two_pass_spanner import TwoPassSpannerBuilder
 from repro.graph.graph import Graph
+from repro.graph.vertex_space import VertexSpace, as_vertex_space
 from repro.stream.batching import aggregate_updates, updates_to_arrays
 from repro.stream.pipeline import StreamingAlgorithm, run_passes
 from repro.stream.space import SpaceReport
@@ -72,13 +73,15 @@ class _PipelineCore:
 
     def __init__(
         self,
-        num_vertices: int,
+        num_vertices: int | VertexSpace,
         seed: int | str,
         k: int,
         params: SparsifierParams | None,
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        self.space = as_vertex_space(num_vertices)
+        num_vertices = self.space.universe_size
         self.num_vertices = num_vertices
         self.k = k
         self.stretch = 2 ** k
@@ -102,6 +105,7 @@ class _PipelineCore:
         must attach to its own core or it would pollute the live one.
         """
         clone = object.__new__(_PipelineCore)
+        clone.space = self.space
         clone.num_vertices = self.num_vertices
         clone.k = self.k
         clone.stretch = self.stretch
@@ -203,7 +207,7 @@ class StreamingSparsifier(StreamingAlgorithm):
 
     def __init__(
         self,
-        num_vertices: int,
+        num_vertices: int | VertexSpace,
         seed: int | str,
         k: int = 2,
         params: SparsifierParams | None = None,
@@ -214,7 +218,7 @@ class StreamingSparsifier(StreamingAlgorithm):
         core = self.core
         self._oracle_builders = {
             (j, t): TwoPassSpannerBuilder(
-                num_vertices,
+                core.space,
                 k,
                 derive_seed(core.seed, "oracle-builder", j, t),
                 params=sub_params,
@@ -224,7 +228,7 @@ class StreamingSparsifier(StreamingAlgorithm):
         }
         self._sample_builders = {
             (s, j): TwoPassSpannerBuilder(
-                num_vertices,
+                core.space,
                 k,
                 derive_seed(core.seed, "sample-builder", s, j),
                 params=sub_params,
@@ -398,7 +402,7 @@ class StreamingWeightedSparsifier(StreamingAlgorithm):
 
     def __init__(
         self,
-        num_vertices: int,
+        num_vertices: int | VertexSpace,
         seed: int | str,
         w_min: float,
         w_max: float,
@@ -410,6 +414,8 @@ class StreamingWeightedSparsifier(StreamingAlgorithm):
             raise ValueError(f"need 0 < w_min <= w_max, got ({w_min}, {w_max})")
         if class_ratio <= 1.0:
             raise ValueError(f"class_ratio must exceed 1, got {class_ratio}")
+        self.space = as_vertex_space(num_vertices)
+        num_vertices = self.space.universe_size
         self.num_vertices = num_vertices
         self.w_min = w_min
         self.w_max = w_max
@@ -419,7 +425,7 @@ class StreamingWeightedSparsifier(StreamingAlgorithm):
         )
         self._pipelines = [
             StreamingSparsifier(
-                num_vertices, derive_seed(seed, "weighted-class", t), k=k, params=params
+                self.space, derive_seed(seed, "weighted-class", t), k=k, params=params
             )
             for t in range(self.num_classes)
         ]
@@ -479,6 +485,7 @@ class StreamingWeightedSparsifier(StreamingAlgorithm):
     def clone(self) -> "StreamingWeightedSparsifier":
         """Cheap structural copy: every weight-class pipeline is cloned."""
         clone = object.__new__(StreamingWeightedSparsifier)
+        clone.space = self.space
         clone.num_vertices = self.num_vertices
         clone.w_min = self.w_min
         clone.w_max = self.w_max

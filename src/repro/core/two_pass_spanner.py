@@ -55,6 +55,7 @@ from repro.core.levels import LevelSamples
 from repro.core.offline_spanner import SpannerOutput
 from repro.core.parameters import SpannerParams
 from repro.graph.graph import Graph, edge_from_index, edge_index
+from repro.graph.vertex_space import VertexSpace, as_vertex_space
 from repro.sketch.columnar import SketchStack
 from repro.sketch.hashing import NestedSampler
 from repro.sketch.linear_hash_table import NeighborhoodHashTable
@@ -102,15 +103,15 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
 
     def __init__(
         self,
-        num_vertices: int,
+        num_vertices: int | VertexSpace,
         k: int,
         seed: int | str,
         params: SpannerParams | None = None,
         augmented: bool = False,
         edge_filter: Callable[[int, int], bool] | None = None,
     ):
-        if num_vertices <= 0:
-            raise ValueError(f"num_vertices must be positive, got {num_vertices}")
+        self.space = as_vertex_space(num_vertices)
+        num_vertices = self.space.universe_size
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.num_vertices = num_vertices
@@ -132,10 +133,22 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         ]
 
         # Pass-1 columnar stacks, allocated lazily: (r, j) -> stack with
-        # one row per vertex, plus the per-row liveness flags that
-        # reproduce the historical per-(vertex, r, j) lazy allocation.
+        # one (logical) row per vertex, plus the per-row liveness sets
+        # that reproduce the historical per-(vertex, r, j) lazy
+        # allocation.  Every stream endpoint also lands in ``_touched``
+        # (chunking-independent: canceled tokens count too), which is
+        # what the forest registers copies from — the dense engine
+        # registered every universe vertex, but untouched vertices can
+        # only ever form empty singleton trees, so restricting to the
+        # touched set leaves the spanner output unchanged while keeping
+        # the forest/table layout proportional to touched vertices.
         self._cluster_stacks: dict[tuple[int, int], SketchStack] = {}
-        self._cluster_live: dict[tuple[int, int], np.ndarray] = {}
+        self._cluster_live: dict[tuple[int, int], set[int]] = {}
+        self._touched: set[int] = set()
+        # Pass-2 table layout bound: vertex-sample levels actually
+        # allocated, derived from the *touched* count once the forest is
+        # built (== the universe-derived bound when everything is touched).
+        self._active_vertex_levels = self._vertex_levels
         # Per-chunk memo of the (hash-derived) vertex levels.
         self._levels_memo: dict[int, list[int]] = {}
 
@@ -143,8 +156,14 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         self.forest: ClusterForest | None = None
         self._terminal_trees: dict[Copy, set[int]] = {}
         self._trees_of_vertex: dict[int, list[Copy]] = {}
-        # Pass-2 tables: (root, stack, j) -> table.
+        # Pass-2 tables: (root, stack, j) -> table, materialized on first
+        # touch (a root's deep Y_j levels usually never see an inside
+        # vertex, so eager allocation would dominate sparse sessions).
+        # Seeds and capacities are pure functions of (root, stack, j) and
+        # the forest, so lazily allocated tables are bit-identical to
+        # eagerly allocated ones and shards may allocate different sets.
         self._tables: dict[tuple[Copy, int, int], NeighborhoodHashTable] = {}
+        self._table_effective_n: int | None = None
         # Pass-2 repair sketches: per-shape mixed-seed stacks whose rows
         # are terminal roots; root -> (stack index, row).
         self._cut_stacks: list[SketchStack] = []
@@ -259,6 +278,7 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         """
         if other._seed != self._seed:
             raise ValueError("builders must share a seed to merge")
+        self._touched |= other._touched
         for key, stack in other._cluster_stacks.items():
             mine = self._cluster_stacks.get(key)
             if mine is None:
@@ -277,11 +297,13 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         )
 
     def merge_second_pass(self, other: "TwoPassSpannerBuilder") -> None:
-        """Add another same-seeded builder's pass-2 tables into ours."""
+        """Add another same-seeded builder's pass-2 tables into ours
+        (tables the other shard touched but we did not materialize on
+        demand — same seeds, so the sum is exact)."""
         if other._seed != self._seed:
             raise ValueError("builders must share a seed to merge")
-        for key, table in other._tables.items():
-            self._tables[key].combine(table)
+        for (root, stack, j), table in other._tables.items():
+            self._ensure_table(root, stack, j).combine(table)
         for mine, theirs in zip(self._cut_stacks, other._cut_stacks):
             mine.combine(theirs)
 
@@ -298,6 +320,7 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         the original's.
         """
         clone = object.__new__(TwoPassSpannerBuilder)
+        clone.space = self.space
         clone.num_vertices = self.num_vertices
         clone.k = self.k
         clone.params = self.params
@@ -313,8 +336,11 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             key: stack.clone() for key, stack in self._cluster_stacks.items()
         }
         clone._cluster_live = {
-            key: live.copy() for key, live in self._cluster_live.items()
+            key: set(live) for key, live in self._cluster_live.items()
         }
+        clone._touched = set(self._touched)
+        clone._active_vertex_levels = self._active_vertex_levels
+        clone._table_effective_n = self._table_effective_n
         clone._levels_memo = self._levels_memo
         clone.forest = self.forest
         clone._terminal_trees = self._terminal_trees
@@ -336,24 +362,35 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         allocate different key sets, so keys travel with the states
         (the columnar storage reproduces the per-(vertex, r, j)
         allocation exactly, so the wire format is unchanged).
-        Pass 1 ships the hash tables and repair sketches in sorted key
-        order; their layout is determined by the (broadcast) forest, so
-        only the cell values travel.
+        Pass 1 ships the *materialized* hash tables key-tagged in sorted
+        order (lazy allocation means different shards touch different
+        table sets), then the repair sketches — whose layout is
+        determined by the (broadcast) forest, so only cell values travel.
         """
         if pass_index == 0:
             keys: list[tuple[int, int, int]] = []
             for (r, j), live in self._cluster_live.items():
-                for vertex in np.flatnonzero(live):
+                for vertex in live:
                     keys.append((int(vertex), r, j))
             keys.sort()
-            flat: list[int] = [len(keys)]
+            touched = sorted(self._touched)
+            flat: list[int] = [len(touched)]
+            flat.extend(touched)
+            flat.append(len(keys))
             for vertex, r, j in keys:
                 flat.extend((vertex, r, j))
                 flat.extend(self._cluster_stacks[(r, j)].row_state_ints(vertex))
             return flat
-        flat = []
-        for key in sorted(self._tables):
-            flat.extend(self._tables[key].state_ints())
+        # Nonzero tables only: materialization depends on chunk
+        # boundaries (canceled-in-chunk tokens), nonzero-ness does not —
+        # so every engine and chunking emits the identical wire.
+        live_keys = [
+            key for key in sorted(self._tables) if not self._tables[key].is_zero()
+        ]
+        flat = [len(live_keys)]
+        for (root, stack, j) in live_keys:
+            flat.extend((root[0], root[1], stack, j))
+            flat.extend(self._tables[(root, stack, j)].state_ints())
         for root in sorted(self._cut_rows):
             stack_index, row = self._cut_rows[root]
             flat.extend(self._cut_stacks[stack_index].row_state_ints(row))
@@ -364,24 +401,33 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         builder (pass 1 additionally requires the adopted forest, which
         fixes the table layout)."""
         if pass_index == 0:
-            count = values[0]
+            touched_count = int(values[0])
             cursor = 1
+            self._touched.update(
+                int(v) for v in values[cursor : cursor + touched_count]
+            )
+            cursor += touched_count
+            count = values[cursor]
+            cursor += 1
             for _ in range(count):
                 vertex, r, j = (int(v) for v in values[cursor : cursor + 3])
                 cursor += 3
                 stack = self._ensure_cluster_stack(r, j)
-                self._cluster_live[(r, j)][vertex] = True
+                self._cluster_live[(r, j)].add(vertex)
                 need = stack.row_state_len()
                 stack.load_row_state(vertex, values[cursor : cursor + need])
                 cursor += need
             if cursor != len(values):
                 raise ValueError(f"expected {cursor} state ints, got {len(values)}")
             return
-        if not self._tables and self.forest is None:
+        if self.forest is None:
             raise RuntimeError("adopt the coordinator forest before loading pass-2 state")
-        cursor = 0
-        for key in sorted(self._tables):
-            table = self._tables[key]
+        table_count = int(values[0])
+        cursor = 1
+        for _ in range(table_count):
+            vertex, level, stack_id, j = (int(v) for v in values[cursor : cursor + 4])
+            cursor += 4
+            table = self._ensure_table((vertex, level), stack_id, j)
             need = table.state_len()
             table.from_state_ints(values[cursor : cursor + need])
             cursor += need
@@ -417,7 +463,11 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         self.forest = forest
         self._terminal_trees = terminal_trees
         self._trees_of_vertex = trees_of_vertex
-        if not self._tables:
+        # Idempotence keyed on the layout marker, not on the (lazily
+        # populated, possibly still empty) table dict: a repeated
+        # broadcast must not re-run _allocate_tables and duplicate the
+        # cut-sketch stacks.
+        if self._table_effective_n is None:
             self._allocate_tables()
 
     # ------------------------------------------------------------------
@@ -437,9 +487,10 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
                 self.params.cluster_budget,
                 derive_seed(self._seed, "cluster-sketch", r, j),
                 rows=self.params.cluster_rows,
+                lazy=self.space.lazy,
             )
             self._cluster_stacks[key] = stack
-            self._cluster_live[key] = np.zeros(self.num_vertices, dtype=bool)
+            self._cluster_live[key] = set()
         return stack
 
     def _vertex_levels_of(self, vertex: int) -> list[int]:
@@ -452,12 +503,14 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
 
     def _process_first_pass(self, update: EdgeUpdate) -> None:
         pair = edge_index(update.u, update.v, self.num_vertices)
+        self._touched.add(update.u)
+        self._touched.add(update.v)
         deepest_j = min(self._edge_sampler.level(pair), self._edge_levels)
         for endpoint, other in ((update.u, update.v), (update.v, update.u)):
             for r in self._vertex_levels_of(other):
                 for j in range(deepest_j + 1):
                     stack = self._ensure_cluster_stack(r, j)
-                    self._cluster_live[(r, j)][endpoint] = True
+                    self._cluster_live[(r, j)].add(endpoint)
                     stack.update_row(endpoint, pair, update.sign)
 
     def _first_pass_pairs(
@@ -476,6 +529,8 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         """
         if pairs.size == 0:
             return
+        self._touched.update(us.tolist())
+        self._touched.update(vs.tolist())
         deepest = np.minimum(
             self._edge_sampler.level_array(pairs), self._edge_levels
         )
@@ -498,27 +553,41 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             for j in range(int(group_deepest.max()) + 1):
                 surviving = group_deepest >= j
                 stack = self._ensure_cluster_stack(r, j)
-                self._cluster_live[(r, j)][rows[surviving]] = True
+                self._cluster_live[(r, j)].update(rows[surviving].tolist())
                 stack.scatter(
                     rows[surviving], group_pairs[surviving], group_deltas[surviving]
                 )
 
     def _build_forest(self) -> None:
-        """Between-pass forest construction (lines 8-20 of Algorithm 1)."""
+        """Between-pass forest construction (lines 8-20 of Algorithm 1).
+
+        Copies are registered for *touched* vertices only (stream
+        endpoints, canceled tokens included): an untouched vertex holds
+        zero sketches, can never attach anywhere, and would only produce
+        an empty singleton tree whose pass-2 tables decode nothing — so
+        dropping it leaves the spanner identical while keeping forest
+        and table state proportional to the touched count (the sparse
+        vertex-universe regime).
+        """
         forest = ClusterForest(self.num_vertices, self.k)
+        touched = sorted(self._touched)
+        members_of = {
+            level: [v for v in touched if self.levels.contains(v, level)]
+            for level in range(self.k)
+        }
         for level in range(self.k):
-            for vertex in self.levels.members(level):
+            for vertex in members_of[level]:
                 forest.register_copy((vertex, level))
 
         for level in range(self.k - 1):
             target = level + 1
-            for vertex in self.levels.members(level):
+            for vertex in members_of[level]:
                 copy: Copy = (vertex, level)
                 tree = forest.subtree_vertices(copy)
                 attached = self._attach_via_sketches(forest, copy, tree, target)
                 if not attached:
                     forest.mark_terminal(copy)
-        for vertex in self.levels.members(self.k - 1):
+        for vertex in members_of[self.k - 1]:
             forest.mark_terminal((vertex, self.k - 1))
 
         forest.validate()
@@ -536,7 +605,7 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             if stack is None:
                 continue
             live = self._cluster_live[(target, j)]
-            members = [v for v in tree if live[v]]
+            members = [v for v in tree if v in live]
             if not members:
                 continue  # no member saw any edge at this level
             combined = stack.rows_sum_sketch(members)
@@ -571,18 +640,49 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
     # Pass 2: neighborhood hash tables
     # ------------------------------------------------------------------
 
+    def _effective_n(self) -> int:
+        """Table-sizing vertex count: vertices registered in the forest.
+
+        Equal to ``num_vertices`` when every universe vertex is touched
+        (the historical dense regime), and to the touched count over a
+        sparse universe — capacities and ``Y_j`` depth then track the
+        graph that actually arrived, not the id space it lives in.
+        Derived from the (broadcast) forest, so every builder that
+        adopted the same forest allocates the identical layout.
+        """
+        return max(1, len(self._trees_of_vertex))
+
+    def _ensure_table(self, root: Copy, stack: int, j: int) -> NeighborhoodHashTable:
+        """The ``H^root_j`` table of one ``Y_j`` stack, materialized on
+        first touch (seed and capacity are pure functions of the key and
+        the forest, never of allocation order)."""
+        key = (root, stack, j)
+        table = self._tables.get(key)
+        if table is None:
+            if self._table_effective_n is None:
+                raise RuntimeError("table layout requested before the forest was built")
+            capacity = self.params.table_capacity(
+                self._table_effective_n, root[1], self.k
+            )
+            table = NeighborhoodHashTable(
+                self.num_vertices,
+                capacity,
+                derive_seed(self._seed, "table", root[0], root[1], stack, j),
+                rows=self.params.table_rows,
+                bucket_factor=self.params.table_bucket_factor,
+            )
+            self._tables[key] = table
+        return table
+
     def _allocate_tables(self) -> None:
-        for root in self._terminal_trees:
-            capacity = self.params.table_capacity(self.num_vertices, root[1], self.k)
-            for stack in range(self.params.table_stacks):
-                for j in range(self._vertex_levels + 1):
-                    self._tables[(root, stack, j)] = NeighborhoodHashTable(
-                        self.num_vertices,
-                        capacity,
-                        derive_seed(self._seed, "table", root[0], root[1], stack, j),
-                        rows=self.params.table_rows,
-                        bucket_factor=self.params.table_bucket_factor,
-                    )
+        """Fix the pass-2 layout (capacities, ``Y_j`` depth, cut-sketch
+        stacks) from the built forest; the tables themselves materialize
+        lazily as pass-2 updates touch them."""
+        effective_n = self._effective_n()
+        self._table_effective_n = effective_n
+        self._active_vertex_levels = min(
+            self._vertex_levels, self.params.vertex_levels(effective_n)
+        )
         if self.params.repair_budget_factor > 0:
             # Group the per-root cut sketches into mixed-seed stacks by
             # shape (the budget depends only on the root's level); the
@@ -591,7 +691,7 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             by_budget: dict[int, list[Copy]] = {}
             for root in sorted(self._terminal_trees):
                 capacity = self.params.table_capacity(
-                    self.num_vertices, root[1], self.k
+                    effective_n, root[1], self.k
                 )
                 budget = max(8, math.ceil(self.params.repair_budget_factor * capacity))
                 by_budget.setdefault(budget, []).append(root)
@@ -617,7 +717,7 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             raise RuntimeError("second pass before the forest was built")
         pair = edge_index(update.u, update.v, self.num_vertices)
         for inside, outside in ((update.u, update.v), (update.v, update.u)):
-            for root in self._trees_of_vertex[inside]:
+            for root in self._trees_of_vertex.get(inside, ()):
                 if outside in self._terminal_trees[root]:
                     continue
                 cut_entry = self._cut_rows.get(root)
@@ -625,9 +725,9 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
                     stack_index, row = cut_entry
                     self._cut_stacks[stack_index].update_row(row, pair, update.sign)
                 for stack, sampler in enumerate(self._y_samplers):
-                    deepest = min(sampler.level(inside), self._vertex_levels)
+                    deepest = min(sampler.level(inside), self._active_vertex_levels)
                     for j in range(deepest + 1):
-                        self._tables[(root, stack, j)].add_neighbor(
+                        self._ensure_table(root, stack, j).add_neighbor(
                             key=outside, neighbor=inside, delta=update.sign
                         )
 
@@ -660,7 +760,7 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             pair = int(pairs[position])
             delta = int(deltas[position])
             for inside, outside in ((u, v), (v, u)):
-                for root in self._trees_of_vertex[inside]:
+                for root in self._trees_of_vertex.get(inside, ()):
                     if outside in self._terminal_trees[root]:
                         continue
                     cut_entry = self._cut_rows.get(root)
@@ -670,7 +770,7 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
                     for stack, sampler in enumerate(self._y_samplers):
                         deepest = y_levels[stack].get(inside)
                         if deepest is None:
-                            deepest = min(sampler.level(inside), self._vertex_levels)
+                            deepest = min(sampler.level(inside), self._active_vertex_levels)
                             y_levels[stack][inside] = deepest
                         table_groups[(root, stack)].append(
                             (outside, inside, delta, deepest)
@@ -688,7 +788,7 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             values = np.array([entry[2] for entry in entries], dtype=np.int64)
             for j in range(int(deepest.max()) + 1):
                 surviving = deepest >= j
-                self._tables[(root, stack, j)].add_neighbors_batch(
+                self._ensure_table(root, stack, j).add_neighbors_batch(
                     keys[surviving], neighbors[surviving], values[surviving]
                 )
 
@@ -708,8 +808,10 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         for root, tree in self._terminal_trees.items():
             decoded_tables = {}
             for stack in range(self.params.table_stacks):
-                for j in range(self._vertex_levels, -1, -1):
-                    table = self._tables[(root, stack, j)]
+                for j in range(self._active_vertex_levels, -1, -1):
+                    table = self._tables.get((root, stack, j))
+                    if table is None:
+                        continue  # never touched: decodes to nothing
                     decoded = table.decode_neighbors()
                     if decoded is None:
                         self.diagnostics["pass2_table_overflows"] += 1
@@ -721,7 +823,7 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
             uncovered = []
             for v in sorted(keys):
                 covered = False
-                for j in range(self._vertex_levels, -1, -1):
+                for j in range(self._active_vertex_levels, -1, -1):
                     for stack in range(self.params.table_stacks):
                         result = decoded_tables.get((stack, j), {}).get(v)
                         if result is None or result.status is not DecodeStatus.ONE_SPARSE:
@@ -808,8 +910,12 @@ class TwoPassSpannerBuilder(StreamingAlgorithm):
         for sampler in self._y_samplers:
             report.add("vertex-sample seeds", sampler.space_words())
         for key, stack in self._cluster_stacks.items():
-            live_rows = int(np.count_nonzero(self._cluster_live[key]))
-            report.add("pass1 cluster sketches", live_rows * stack.row_space_words())
+            live_rows = len(self._cluster_live[key])
+            report.add(
+                "pass1 cluster sketches",
+                live_rows * stack.row_space_words(),
+                universe_words=self.num_vertices * stack.row_space_words(),
+            )
         for table in self._tables.values():
             report.add("pass2 hash tables", table.space_words())
         for root, (stack_index, _) in self._cut_rows.items():

@@ -14,6 +14,7 @@ from repro.graph.distances import (
     evaluate_multiplicative_stretch,
 )
 from repro.graph.graph import Graph, edge_from_index, edge_index
+from repro.graph.vertex_space import MAX_UNIVERSE, VertexSpace, as_vertex_space
 from repro.graph.metrics import (
     DegreeSummary,
     degree_summary,
@@ -46,6 +47,9 @@ __all__ = [
     "Graph",
     "edge_index",
     "edge_from_index",
+    "VertexSpace",
+    "as_vertex_space",
+    "MAX_UNIVERSE",
     "bfs_distances",
     "dijkstra_distances",
     "distance",

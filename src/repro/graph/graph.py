@@ -59,7 +59,11 @@ class Graph:
         if num_vertices <= 0:
             raise ValueError(f"num_vertices must be positive, got {num_vertices}")
         self.num_vertices = num_vertices
-        self._adjacency: list[dict[int, float]] = [dict() for _ in range(num_vertices)]
+        # Adjacency is keyed by vertex and allocated on first touch, so a
+        # Graph over a huge sparse universe (the lazy VertexSpace regime)
+        # costs O(edges), not O(num_vertices) — vertices without entries
+        # simply have no neighbors.
+        self._adjacency: dict[int, dict[int, float]] = {}
         self._num_edges = 0
 
     # ------------------------------------------------------------------
@@ -71,10 +75,11 @@ class Graph:
         self._check_pair(u, v)
         if weight <= 0:
             raise ValueError(f"edge weight must be positive, got {weight}")
-        if v not in self._adjacency[u]:
+        row = self._adjacency.setdefault(u, {})
+        if v not in row:
             self._num_edges += 1
-        self._adjacency[u][v] = weight
-        self._adjacency[v][u] = weight
+        row[v] = weight
+        self._adjacency.setdefault(v, {})[u] = weight
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete edge ``{u, v}``; raises ``KeyError`` if absent."""
@@ -90,7 +95,7 @@ class Graph:
     def has_edge(self, u: int, v: int) -> bool:
         """Whether edge ``{u, v}`` is present."""
         self._check_pair(u, v)
-        return v in self._adjacency[u]
+        return v in self._adjacency.get(u, ())
 
     def weight(self, u: int, v: int) -> float:
         """Weight of edge ``{u, v}``; raises ``KeyError`` if absent."""
@@ -98,15 +103,19 @@ class Graph:
 
     def degree(self, u: int) -> int:
         """Number of edges incident on ``u``."""
-        return len(self._adjacency[u])
+        self._check_vertex(u)
+        return len(self._adjacency.get(u, ()))
 
     def neighbors(self, u: int) -> Iterator[int]:
         """Iterate over the neighbors of ``u``."""
-        return iter(self._adjacency[u])
+        self._check_vertex(u)
+        return iter(self._adjacency.get(u, ()))
 
     def neighbor_weights(self, u: int) -> Iterator[tuple[int, float]]:
         """Iterate over ``(neighbor, weight)`` pairs of ``u``."""
-        return iter(self._adjacency[u].items())
+        self._check_vertex(u)
+        row = self._adjacency.get(u)
+        return iter(row.items()) if row else iter(())
 
     def num_edges(self) -> int:
         """Number of edges."""
@@ -114,7 +123,7 @@ class Graph:
 
     def edges(self) -> Iterator[tuple[int, int, float]]:
         """Iterate over edges as ``(u, v, weight)`` with ``u < v``."""
-        for u in range(self.num_vertices):
+        for u in sorted(self._adjacency):
             for v, weight in self._adjacency[u].items():
                 if u < v:
                     yield (u, v, weight)
@@ -135,7 +144,7 @@ class Graph:
         frontier = [0]
         while frontier:
             u = frontier.pop()
-            for v in self._adjacency[u]:
+            for v in self._adjacency.get(u, ()):
                 if v not in seen:
                     seen.add(v)
                     frontier.append(v)
@@ -152,7 +161,7 @@ class Graph:
             frontier = [start]
             while frontier:
                 u = frontier.pop()
-                for v in self._adjacency[u]:
+                for v in self._adjacency.get(u, ()):
                     if v not in component:
                         component.add(v)
                         frontier.append(v)
@@ -193,6 +202,10 @@ class Graph:
                 u, v, weight = edge  # type: ignore[misc]
                 graph.add_edge(u, v, weight)
         return graph
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < self.num_vertices:
+            raise ValueError(f"vertex {u} out of range [0, {self.num_vertices})")
 
     def _check_pair(self, u: int, v: int) -> None:
         if u == v:

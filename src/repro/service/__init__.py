@@ -35,6 +35,7 @@ Quick tour::
 from repro.service.checkpoint import CheckpointError, load_session, save_session
 from repro.service.session import GraphSession, SessionStats
 from repro.service.workload import (
+    components_match_ledger,
     SCENARIOS,
     LatencySummary,
     WorkloadDriver,
@@ -52,5 +53,6 @@ __all__ = [
     "WorkloadReport",
     "LatencySummary",
     "SCENARIOS",
+    "components_match_ledger",
     "scenario_ops",
 ]

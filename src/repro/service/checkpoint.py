@@ -3,10 +3,12 @@
 A checkpoint is everything a :class:`~repro.service.session.GraphSession`
 cannot re-derive from its seed:
 
-* a JSON header with the session *configuration* (size, seed, enabled
-  slots, parameter dataclasses, weight bounds) and counters (epoch,
-  updates ingested) — configuration re-derives every hash family, so no
-  randomness is ever written;
+* a JSON header with the session *configuration* (vertex space, seed,
+  enabled slots, parameter dataclasses, weight bounds, AGM rounds) and
+  counters (epoch, updates ingested) — configuration re-derives every
+  hash family, so no randomness is ever written.  Interned spaces also
+  persist their external-id table in logical order, so a restored
+  session re-derives the identical id assignment;
 * the *ledger* (live-edge multiplicities and exact float64 weight bits);
 * every enabled algorithm's pass-0 dynamic state through the same
   ``shard_state_ints`` / varint protocol the distributed runner ships
@@ -33,13 +35,20 @@ import struct
 from pathlib import Path
 
 from repro.core.parameters import SpannerParams, SparsifierParams
+from repro.graph.vertex_space import VertexSpace
 from repro.service.session import GraphSession
 from repro.sketch.serialize import pack_ints, unpack_ints
 
 __all__ = ["CheckpointError", "save_session", "load_session"]
 
 #: File magic; bump the suffix on incompatible layout changes.
-MAGIC = b"repro-sketchstore-v1\n"
+#: v2: sparse vertex-universe engine — algorithm blocks carry logical
+#: row ids (nonzero/live rows only) and the header carries the vertex
+#: space configuration plus any interned external-id table.
+MAGIC = b"repro-sketchstore-v2\n"
+
+#: Previous layouts, recognized only to fail with a pointed message.
+_STALE_MAGICS = (b"repro-sketchstore-v1\n",)
 
 
 class CheckpointError(RuntimeError):
@@ -63,6 +72,9 @@ def _params_dict(params) -> dict | None:
 def _header(session: GraphSession) -> dict:
     return {
         "num_vertices": session.num_vertices,
+        "space": session.space.config(),
+        "externals": session.space.externals(),
+        "agm_rounds": session.agm_rounds,
         "seed": session.seed,
         "k": session.k,
         "enable_spanner": session.enable_spanner,
@@ -129,6 +141,13 @@ def load_session(path) -> GraphSession:
     except OSError as error:
         raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
     if not data.startswith(MAGIC):
+        for stale in _STALE_MAGICS:
+            if data.startswith(stale):
+                raise CheckpointError(
+                    f"{path} is a {stale[:-1].decode()} checkpoint; the sparse "
+                    "vertex-universe engine changed the state layout — "
+                    "re-create the session and take a fresh checkpoint"
+                )
         raise CheckpointError(f"{path} is not a sketch-store checkpoint")
     body = data[len(MAGIC):]
     newline = body.find(b"\n")
@@ -145,8 +164,11 @@ def load_session(path) -> GraphSession:
         weight_bounds = (_bits_float(weight_bounds[0]), _bits_float(weight_bounds[1]))
     sparsifier_params = header["sparsifier_params"]
     spanner_params = header["spanner_params"]
+    space = VertexSpace.from_config(header["space"])
+    if space.is_interned:
+        space.load_externals(header["externals"])
     session = GraphSession(
-        header["num_vertices"],
+        space,
         header["seed"],
         k=header["k"],
         enable_spanner=header["enable_spanner"],
@@ -159,6 +181,7 @@ def load_session(path) -> GraphSession:
             None if spanner_params is None else SpannerParams(**spanner_params)
         ),
         weight_bounds=weight_bounds,
+        agm_rounds=header["agm_rounds"],
     )
 
     cursor = 0

@@ -45,17 +45,20 @@ distributed runner ships over the wire;
 from __future__ import annotations
 
 import math
+import operator
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.agm.connectivity import ConnectivityChecker
-from repro.agm.spanning_forest import DisjointSets
+from repro.agm.spanning_forest import DisjointSets, SparseDisjointSets
 from repro.core.parameters import SpannerParams, SparsifierParams
 from repro.core.sparsify import StreamingSparsifier, StreamingWeightedSparsifier
 from repro.core.two_pass_spanner import TwoPassSpannerBuilder
 from repro.graph.cuts import cut_value
 from repro.graph.distances import bfs_distances
 from repro.graph.graph import Graph
+from repro.graph.vertex_space import VertexSpace, as_vertex_space
+from repro.stream.space import SpaceReport
 from repro.stream.updates import EdgeUpdate
 from repro.util.rng import derive_seed
 
@@ -76,6 +79,12 @@ class SessionStats:
     cache_hits: int
     cache_misses: int
     space_words: int
+    #: What a dense allocation over the full vertex universe would hold;
+    #: equals ``space_words`` for dense sessions, and dwarfs it for lazy
+    #: sparse-universe sessions (resident state tracks touched vertices).
+    universe_space_words: int
+    #: Vertices holding resident sketch rows (dense: the universe size).
+    touched_vertices: int
 
 
 class _EpochCache:
@@ -112,7 +121,14 @@ class GraphSession:
     Parameters
     ----------
     num_vertices:
-        Graph size ``n`` (fixed for the session's lifetime).
+        The vertex universe (fixed for the session's lifetime): a plain
+        int for the historical dense engine, or a
+        :class:`~repro.graph.vertex_space.VertexSpace` — sparse spaces
+        (``VertexSpace.sparse(10**7)``) keep resident sketch rows
+        proportional to *touched* vertices, and interned spaces
+        (``VertexSpace.interned(capacity, ids="strings")``) let ingest
+        and queries speak external ids (strings, or arbitrary 32-bit
+        ints) that are interned to stable logical ids on first sight.
     seed:
         Master randomness name; sessions built from equal
         ``(num_vertices, seed, config)`` hold summable sketches — and a
@@ -130,11 +146,16 @@ class GraphSession:
         the sparsifier slot to the weighted weight-class pipeline
         (Section 6's reduction) and lets ingest carry arbitrary weights
         in the declared range.
+    agm_rounds:
+        Optional explicit Borůvka round count for the connectivity
+        sketch.  Sparse-universe sessions whose touched count is far
+        below the universe size can pass ``~log2(expected touched) + 2``
+        instead of paying the universe-derived default.
     """
 
     def __init__(
         self,
-        num_vertices: int,
+        num_vertices: int | VertexSpace,
         seed: int | str,
         k: int = 2,
         enable_spanner: bool = True,
@@ -143,9 +164,8 @@ class GraphSession:
         sparsifier_params: SparsifierParams | None = None,
         spanner_params: SpannerParams | None = None,
         weight_bounds: tuple[float, float] | None = None,
+        agm_rounds: int | None = None,
     ):
-        if num_vertices <= 0:
-            raise ValueError(f"num_vertices must be positive, got {num_vertices}")
         if not isinstance(seed, (int, str)):
             raise TypeError(
                 "seed must be an int or str — checkpoint headers JSON-round-trip "
@@ -153,7 +173,8 @@ class GraphSession:
             )
         if weight_bounds is not None and not 0 < weight_bounds[0] <= weight_bounds[1]:
             raise ValueError(f"need 0 < w_min <= w_max, got {weight_bounds}")
-        self.num_vertices = num_vertices
+        self.space = as_vertex_space(num_vertices)
+        self.num_vertices = self.space.universe_size
         self.seed = seed
         self.k = k
         self.enable_spanner = enable_spanner
@@ -162,14 +183,17 @@ class GraphSession:
         self.sparsifier_params = sparsifier_params
         self.spanner_params = spanner_params
         self.weight_bounds = weight_bounds
+        self.agm_rounds = agm_rounds
 
         self._connectivity = ConnectivityChecker(
-            num_vertices, derive_seed(seed, "session", "connectivity")
+            self.space,
+            derive_seed(seed, "session", "connectivity"),
+            rounds=agm_rounds,
         )
         self._spanner: TwoPassSpannerBuilder | None = None
         if enable_spanner:
             self._spanner = TwoPassSpannerBuilder(
-                num_vertices,
+                self.space,
                 k,
                 derive_seed(seed, "session", "spanner"),
                 params=spanner_params,
@@ -178,14 +202,14 @@ class GraphSession:
         if enable_sparsifier:
             if weight_bounds is None:
                 self._sparsifier = StreamingSparsifier(
-                    num_vertices,
+                    self.space,
                     derive_seed(seed, "session", "sparsifier"),
                     k=sparsifier_k,
                     params=sparsifier_params,
                 )
             else:
                 self._sparsifier = StreamingWeightedSparsifier(
-                    num_vertices,
+                    self.space,
                     derive_seed(seed, "session", "sparsifier"),
                     weight_bounds[0],
                     weight_bounds[1],
@@ -204,6 +228,39 @@ class GraphSession:
         self.epoch = 0
         self.updates_ingested = 0
         self._cache = _EpochCache()
+
+    # ------------------------------------------------------------------
+    # External ids (interned spaces)
+    # ------------------------------------------------------------------
+
+    def _lookup_vertex(self, vertex) -> int | None:
+        """Logical id of a query-side vertex (no interning on queries).
+
+        Identity spaces accept anything integer-like (``operator.index``
+        covers numpy ids taken straight from edge arrays); interned
+        spaces resolve external ids, unseen ones to ``None``.
+        """
+        if self.space.is_interned:
+            return self.space.lookup(vertex)
+        try:
+            logical = operator.index(vertex)
+        except TypeError:
+            return None
+        return logical if 0 <= logical < self.num_vertices else None
+
+    def external_update(self, u, v, sign: int = 1, weight: float = 1.0) -> EdgeUpdate:
+        """Build a logical :class:`EdgeUpdate` from external vertex ids.
+
+        Interned spaces assign logical ids on first sight here; identity
+        spaces validate the ints.  The returned token feeds
+        :meth:`ingest` / :meth:`ingest_batch` unchanged.
+        """
+        return EdgeUpdate(self.space.intern(u), self.space.intern(v), sign, weight)
+
+    def ingest_external(self, tokens) -> None:
+        """Ingest ``(u, v, sign)`` / ``(u, v, sign, weight)`` tuples of
+        external ids (convenience wrapper over :meth:`external_update`)."""
+        self.ingest_batch([self.external_update(*token) for token in tokens])
 
     # ------------------------------------------------------------------
     # Ingest
@@ -331,43 +388,81 @@ class GraphSession:
     # Snapshot queries
     # ------------------------------------------------------------------
 
-    def _forest_snapshot(self) -> tuple[list[tuple[int, int]], list[int]]:
-        """(forest edges, vertex -> component id), one decode per epoch."""
+    def _forest_snapshot(self):
+        """(forest edges, vertex -> component label), one decode per epoch.
+
+        Dense sessions label every universe vertex (a list); lazy
+        sessions label touched vertices only (a dict) — any untouched
+        vertex of a huge universe is implicitly its own singleton.
+        """
 
         def compute():
             # No clone here: AGM forest extraction is read-only by
             # construction (Boruvka copies samplers before combining), so
             # the snapshot discipline costs nothing on this hot path.
             forest = self._connectivity.spanning_forest()
-            dsu = DisjointSets(self.num_vertices)
-            for a, b in forest:
-                dsu.union(a, b)
-            labels = [dsu.find(v) for v in range(self.num_vertices)]
+            if self.space.lazy:
+                sparse_dsu = SparseDisjointSets(
+                    self._connectivity._sketch.touched_vertices()
+                )
+                for a, b in forest:
+                    sparse_dsu.union(a, b)
+                labels: dict[int, int] | list[int] = {
+                    vertex: sparse_dsu.find(vertex) for vertex in sparse_dsu.parent
+                }
+            else:
+                dsu = DisjointSets(self.num_vertices)
+                for a, b in forest:
+                    dsu.union(a, b)
+                labels = [dsu.find(v) for v in range(self.num_vertices)]
             return (forest, labels)
 
         return self._cache.get_or_compute("forest", self.epoch, compute)
 
     def spanning_forest(self) -> list[tuple[int, int]]:
-        """A spanning forest of the current graph (whp), snapshot-decoded."""
+        """A spanning forest of the current graph (whp), snapshot-decoded
+        (logical vertex ids; see :meth:`spanning_forest_external`)."""
         return self._forest_snapshot()[0]
 
+    def spanning_forest_external(self) -> list[tuple]:
+        """The forest with external vertex labels (interned spaces)."""
+        return [
+            (self.space.label(a), self.space.label(b))
+            for a, b in self.spanning_forest()
+        ]
+
     def components(self) -> list[set[int]]:
-        """Connected components of the current graph (whp)."""
+        """Connected components of the current graph (whp).
+
+        Dense sessions enumerate every vertex (isolated universe
+        vertices are singletons, the historical behavior); lazy sessions
+        return components of *touched* vertices only.
+        """
         _, labels = self._forest_snapshot()
         groups: dict[int, set[int]] = {}
-        for vertex, label in enumerate(labels):
+        items = labels.items() if isinstance(labels, dict) else enumerate(labels)
+        for vertex, label in items:
             groups.setdefault(label, set()).add(vertex)
         return list(groups.values())
 
-    def connected(self, u: int, v: int) -> bool:
+    def connected(self, u, v) -> bool:
         """Whether ``u`` and ``v`` are connected in the current graph (whp).
 
-        First call per epoch pays one forest decode; subsequent calls are
-        cache hits (O(1))."""
-        if not 0 <= u < self.num_vertices or not 0 <= v < self.num_vertices:
+        Accepts logical ids (identity spaces) or external ids (interned
+        spaces; an id the session never saw is trivially isolated).
+        First call per epoch pays one forest decode; subsequent calls
+        are cache hits (O(1))."""
+        lu, lv = self._lookup_vertex(u), self._lookup_vertex(v)
+        if not self.space.is_interned and (lu is None or lv is None):
             raise ValueError(f"vertices ({u}, {v}) outside [0, {self.num_vertices})")
+        if lu is None or lv is None:
+            return u == v
+        if lu == lv:
+            return True
         _, labels = self._forest_snapshot()
-        return labels[u] == labels[v]
+        if isinstance(labels, dict):
+            return labels.get(lu, ("isolated", lu)) == labels.get(lv, ("isolated", lv))
+        return labels[lu] == labels[lv]
 
     def _require(self, slot, name: str):
         if slot is None:
@@ -412,10 +507,14 @@ class GraphSession:
         source vertex, so query bursts against a quiet graph are cheap.
         Returns ``inf`` for pairs the spanner does not connect.
         """
-        if not 0 <= u < self.num_vertices or not 0 <= v < self.num_vertices:
+        lu, lv = self._lookup_vertex(u), self._lookup_vertex(v)
+        if not self.space.is_interned and (lu is None or lv is None):
             raise ValueError(f"vertices ({u}, {v}) outside [0, {self.num_vertices})")
-        if u == v:
+        if u == v or (lu is not None and lu == lv):
             return 0.0
+        if lu is None or lv is None:
+            return math.inf
+        u, v = lu, lv
         output = self.spanner_snapshot()
 
         def compute():
@@ -450,8 +549,16 @@ class GraphSession:
         side_set = frozenset(side)
         if not side_set:
             raise ValueError("cut side must be nonempty")
-        if not all(0 <= v < self.num_vertices for v in side_set):
-            raise ValueError(f"cut side leaves [0, {self.num_vertices})")
+        if self.space.is_interned:
+            logical = {self._lookup_vertex(v) for v in side_set}
+            side_set = frozenset(v for v in logical if v is not None)
+            if not side_set:
+                return 0.0  # only never-seen ids: an isolated side cuts nothing
+        else:
+            logical = {self._lookup_vertex(v) for v in side_set}
+            if None in logical:
+                raise ValueError(f"cut side leaves [0, {self.num_vertices})")
+            side_set = frozenset(logical)
         return cut_value(self.sparsifier_snapshot(), side_set)
 
     # ------------------------------------------------------------------
@@ -460,14 +567,37 @@ class GraphSession:
 
     def stats(self) -> SessionStats:
         """Current counters: epoch, ingest volume, cache traffic, space."""
+        report = self.space_report()
         return SessionStats(
             epoch=self.epoch,
             updates_ingested=self.updates_ingested,
             live_edges=self.num_live_edges(),
             cache_hits=self._cache.hits,
             cache_misses=self._cache.misses,
-            space_words=self.space_words(),
+            space_words=report.total_words(),
+            universe_space_words=report.universe_words(),
+            touched_vertices=self.touched_vertices(),
         )
+
+    def touched_vertices(self) -> int:
+        """Vertices holding resident sketch rows (dense: the universe)."""
+        return len(self._connectivity._sketch.touched_vertices())
+
+    def space_report(self) -> "SpaceReport":
+        """Resident vs dense-universe words for every enabled slot.
+
+        This is the audit behind the sparse-universe claim: resident
+        words track touched vertices while the universe column shows
+        what eager allocation over the full id range would cost.
+        """
+        report = self._connectivity.space_report()
+        if self._spanner is not None:
+            report = report.merged(self._spanner.space_report())
+        if self._sparsifier is not None:
+            sparsifier = SpaceReport()
+            sparsifier.add("sparsifier pipeline", self._sparsifier.space_words())
+            report = report.merged(sparsifier)
+        return report
 
     def space_words(self) -> int:
         """Persistent sketch state in machine words (ledger excluded —

@@ -16,10 +16,14 @@ about (:func:`scenario_ops`):
 * ``query-heavy`` — few updates between queries, the regime the epoch
   cache exists for;
 * ``bursty-deletes`` — delete storms between queries, the dynamic-stream
-  regime where insertion-only state would be garbage.
+  regime where insertion-only state would be garbage;
+* ``sparse-universe`` — a huge id space (``--universe``, default
+  ``10^7``) of which only a sampled sliver is ever touched: the lazy
+  vertex-space engine's regime, where resident sketch rows must track
+  touched vertices, not the universe.
 
-``python -m repro workload`` and ``benchmarks/bench_service.py`` are
-thin wrappers over this module.
+``python -m repro workload`` and ``benchmarks/bench_sparse_universe.py``
+/ ``benchmarks/bench_service.py`` are thin wrappers over this module.
 """
 
 from __future__ import annotations
@@ -29,8 +33,9 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.agm.spanning_forest import SparseDisjointSets
 from repro.service.session import GraphSession
-from repro.stream.generators import mixed_session_ops
+from repro.stream.generators import mixed_session_ops, sparse_session_ops
 
 __all__ = [
     "SCENARIOS",
@@ -38,6 +43,7 @@ __all__ = [
     "WorkloadReport",
     "WorkloadDriver",
     "scenario_ops",
+    "components_match_ledger",
 ]
 
 #: Scenario name -> knobs for :func:`repro.stream.generators.mixed_session_ops`.
@@ -54,6 +60,12 @@ SCENARIOS = {
         "query_repeats": 2,
         "burst_divisor": 10,
     },
+    "sparse-universe": {
+        "delete_fraction": 0.3,
+        "query_divisor": 8,
+        "query_repeats": 2,
+        "touched_divisor": 12,
+    },
 }
 
 
@@ -64,8 +76,14 @@ def scenario_ops(
     seed: int | str,
     weights: tuple[float, float] | None = None,
     query_kinds: tuple[str, ...] = ("connected", "forest", "spanner_distance", "cut"),
+    touched: int | None = None,
 ) -> list[tuple]:
-    """Seeded op stream for a named scenario (see module docstring)."""
+    """Seeded op stream for a named scenario (see module docstring).
+
+    For ``sparse-universe``, ``num_vertices`` is the (huge) universe and
+    ``touched`` caps how many distinct ids the stream visits (default
+    ``updates // touched_divisor``); other scenarios ignore ``touched``.
+    """
     if name not in SCENARIOS:
         raise ValueError(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
     knobs = SCENARIOS[name]
@@ -76,10 +94,44 @@ def scenario_ops(
         "query_kinds": query_kinds,
         "query_repeats": knobs["query_repeats"],
     }
+    if name == "sparse-universe":
+        if touched is None:
+            touched = max(2, updates // knobs["touched_divisor"])
+        touched = min(touched, num_vertices)
+        return sparse_session_ops(num_vertices, touched, updates, seed, **kwargs)
     if "burst_divisor" in knobs:
         kwargs["burst_every"] = max(64, updates // knobs["burst_divisor"])
         kwargs["burst_length"] = max(32, updates // (2 * knobs["burst_divisor"]))
     return mixed_session_ops(num_vertices, updates, seed, **kwargs)
+
+
+def components_match_ledger(session: GraphSession) -> bool:
+    """Whether the session's decoded components match its exact ledger.
+
+    Dense sessions compare the full partition against the ledger
+    graph's.  Lazy (sparse-universe) sessions compare the non-singleton
+    partition of touched vertices against a union-find over the live
+    ledger edges — enumerating a ``10^7``-id universe to list trivial
+    singletons would defeat the engine being verified.
+    """
+    if not session.space.lazy:
+        truth = sorted(
+            map(sorted, session.live_graph().connected_components())
+        )
+        return sorted(map(sorted, session.components())) == truth
+    dsu = SparseDisjointSets()
+    for u, v, _ in session.live_graph().edges():
+        dsu.union(u, v)
+    truth_groups: dict[int, set[int]] = {}
+    for vertex in dsu.parent:
+        truth_groups.setdefault(dsu.find(vertex), set()).add(vertex)
+    truth_sets = sorted(
+        map(sorted, (group for group in truth_groups.values() if len(group) > 1))
+    )
+    mine = sorted(
+        map(sorted, (group for group in session.components() if len(group) > 1))
+    )
+    return mine == truth_sets
 
 
 @dataclass

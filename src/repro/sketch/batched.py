@@ -45,11 +45,14 @@ __all__ = [
     "as_delta_array",
     "fits_int64_products",
     "max_abs_int64",
+    "build_pow_table",
     "mulmod61",
     "polyhash61",
+    "polyhash61_multi",
     "polyhash61_rows",
     "powmod61",
     "powmod61_bases",
+    "powmod61_windowed",
     "prepare_batch",
     "scatter_sum_mod61",
     "submod61",
@@ -255,6 +258,70 @@ def polyhash61_rows(coeff_matrix: np.ndarray, row_ids: np.ndarray, xs: np.ndarra
     for t in range(1, coeff_matrix.shape[1]):
         acc = addmod61(mulmod61(acc, xs), coeff_matrix[row_ids, t])
     return acc
+
+
+def polyhash61_multi(coeff_matrix: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Horner evaluation of ``d`` polynomials over one key batch at once.
+
+    ``coeff_matrix`` has shape ``(d, k)`` (``uint64``, reduced mod
+    ``p``); the result has shape ``(d, len(xs))`` with row ``r`` equal to
+    ``polyhash61(coeff_matrix[r], xs)``.  One broadcasted pass replaces
+    ``d`` separate evaluations — the sketch stacks use it to hash a
+    chunk's coordinates with every bucket row in one go.  Bit-identical
+    to the scalar hash element-wise.
+    """
+    xs = np.asarray(xs)
+    if xs.dtype != np.uint64:
+        xs = np.remainder(xs, MERSENNE_61).astype(np.uint64)
+    else:
+        xs = np.where(xs >= _M61, xs - _M61, xs)
+    acc = np.broadcast_to(coeff_matrix[:, :1], (coeff_matrix.shape[0], xs.shape[0])).copy()
+    for t in range(1, coeff_matrix.shape[1]):
+        acc = addmod61(mulmod61(acc, xs), coeff_matrix[:, t : t + 1])
+    return acc
+
+
+def build_pow_table(base: int, max_exponent: int) -> np.ndarray:
+    """Byte-windowed power table for :func:`powmod61_windowed`.
+
+    ``table[i][j] = base^(j * 256^i) mod p`` for every byte value ``j``
+    and every byte position of ``max_exponent``.  Built once per
+    fingerprint base (a few hundred scalar multiplications) and reused
+    for every batch — the square-and-multiply loop of :func:`powmod61`
+    costs ``bit_length(max exponent)`` vectorized rounds per call, which
+    dominates huge-coordinate domains (``n^2 ~ 10^14`` exponents), while
+    the windowed form costs one table gather plus one multiply per byte.
+    """
+    windows = max(1, (max(max_exponent, 1).bit_length() + 7) // 8)
+    table = np.empty((windows, 256), dtype=np.uint64)
+    for i in range(windows):
+        step = pow(base % MERSENNE_61, 256 ** i, MERSENNE_61)
+        value = 1
+        row = table[i]
+        for j in range(256):
+            row[j] = value
+            value = value * step % MERSENNE_61
+    return table
+
+
+def powmod61_windowed(exponents: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Vectorized ``pow(base, e, p)`` through a precomputed byte table.
+
+    Exactly :func:`powmod61` in value (integer-exact, so downstream
+    sketch cells are bit-identical), at one gather + one
+    :func:`mulmod61` per exponent byte instead of one masked multiply
+    per exponent *bit*.
+    """
+    exponents = np.asarray(exponents)
+    if np.any(exponents < 0):
+        raise ValueError("exponents must be non-negative")
+    exp = exponents.astype(np.uint64)
+    result = table[0][exp & np.uint64(0xFF)]
+    for i in range(1, table.shape[0]):
+        window = (exp >> np.uint64(8 * i)) & np.uint64(0xFF)
+        if window.any():  # base^0 = 1: all-zero windows multiply by one
+            result = mulmod61(result, table[i][window])
+    return result
 
 
 def powmod61(base: int, exponents: np.ndarray) -> np.ndarray:

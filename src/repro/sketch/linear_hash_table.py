@@ -148,6 +148,10 @@ class LinearHashTable:
         clone._sketch = self._sketch.copy()
         return clone
 
+    def is_zero(self) -> bool:
+        """Whether the table summarizes the all-zero map (whp)."""
+        return self._sketch.is_zero()
+
     def state_ints(self) -> list[int]:
         """Dynamic state as a flat int sequence (for serialization).
 
@@ -284,6 +288,10 @@ class NeighborhoodHashTable:
         clone._payload_template = self._payload_template
         clone._table = self._table.clone()
         return clone
+
+    def is_zero(self) -> bool:
+        """Whether the table summarizes the all-zero map (whp)."""
+        return self._table.is_zero()
 
     def state_ints(self) -> list[int]:
         """Dynamic state as a flat int sequence (for serialization).

@@ -10,6 +10,9 @@ from repro.stream.generators import (
     adversarial_churn_stream,
     mixed_session_ops,
     mixed_workload_stream,
+    power_law_universe_stream,
+    sparse_session_ops,
+    sparse_touch_stream,
     stream_from_graph,
 )
 from repro.stream.batching import aggregate_updates, updates_to_arrays
@@ -31,6 +34,9 @@ __all__ = [
     "adversarial_churn_stream",
     "mixed_workload_stream",
     "mixed_session_ops",
+    "sparse_touch_stream",
+    "power_law_universe_stream",
+    "sparse_session_ops",
     "shard_round_robin",
     "shard_by_edge",
     "ShardedRunner",

@@ -10,6 +10,8 @@ which is precisely the regime the paper's linearity arguments address
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from repro.graph.graph import Graph
 from repro.stream.stream import DynamicStream
 from repro.stream.updates import EdgeUpdate
@@ -20,6 +22,9 @@ __all__ = [
     "adversarial_churn_stream",
     "mixed_workload_stream",
     "mixed_session_ops",
+    "sparse_touch_stream",
+    "power_law_universe_stream",
+    "sparse_session_ops",
 ]
 
 
@@ -237,6 +242,195 @@ def mixed_session_ops(
             side = frozenset(
                 v for v in range(num_vertices) if rng.random() < 0.5
             ) or frozenset({0})
+            args = (side,)
+        else:
+            args = ()
+        ops.extend([("query", kind, args)] * query_repeats)
+        next_query += query_every
+    flush_until(len(tokens))
+    return ops
+
+
+def _touched_ids(universe_size: int, touched: int, rng) -> list[int]:
+    """``touched`` distinct vertex ids spread across a huge universe."""
+    if not 0 < touched <= universe_size:
+        raise ValueError(
+            f"touched must be in [1, universe_size], got {touched} of {universe_size}"
+        )
+    return sorted(rng.sample(range(universe_size), touched))
+
+
+def _mixed_stream_over_ids(
+    universe_size: int,
+    ids: list[int],
+    length: int,
+    rng,
+    delete_fraction: float,
+    weights: tuple[float, float] | None,
+    pick,
+) -> DynamicStream:
+    """Model-valid mixed insert/delete stream whose endpoints come from
+    ``pick`` (a seeded chooser over ``ids``); shared core of the
+    sparse-universe generators."""
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ValueError(f"delete_fraction must be in [0, 1), got {delete_fraction}")
+    if weights is not None and not 0 < weights[0] <= weights[1]:
+        raise ValueError(f"need 0 < w_min <= w_max, got {weights}")
+    if len(ids) < 2 and length > 0:
+        raise ValueError("a nonempty stream needs at least 2 touched vertices")
+    stream = DynamicStream(universe_size)
+    live: list[tuple[int, int]] = []
+    live_set: set[tuple[int, int]] = set()
+    stalled = 0
+    while len(stream) < length:
+        if stalled > 10_000:
+            raise ValueError(
+                f"cannot generate more tokens over {len(ids)} touched ids "
+                f"with delete_fraction={delete_fraction} (all pairs live?)"
+            )
+        if live and rng.random() < delete_fraction:
+            position = rng.randrange(len(live))
+            live[position], live[-1] = live[-1], live[position]
+            pair = live.pop()
+            live_set.discard(pair)
+            stream.delete(*pair)
+            stalled = 0
+            continue
+        u, v = pick(), pick()
+        if u == v:
+            stalled += 1
+            continue
+        pair = (min(u, v), max(u, v))
+        if pair in live_set:
+            stalled += 1
+            continue
+        live.append(pair)
+        live_set.add(pair)
+        weight = rng.uniform(*weights) if weights else 1.0
+        stream.insert(pair[0], pair[1], weight)
+        stalled = 0
+    return stream
+
+
+def sparse_touch_stream(
+    universe_size: int,
+    touched: int,
+    length: int,
+    seed: int | str,
+    delete_fraction: float = 0.3,
+    weights: tuple[float, float] | None = None,
+) -> DynamicStream:
+    """A mixed insert/delete stream touching a tiny slice of a huge universe.
+
+    ``touched`` distinct vertex ids are sampled (seeded) from
+    ``[0, universe_size)`` and all edges fall among them, uniformly —
+    the workload shape the sparse vertex-universe engine exists for: the
+    id space is enormous (``10^7`` and beyond) but resident sketch state
+    must track only the ids that actually appear.  Token mix follows
+    :func:`mixed_workload_stream`'s model rules (deletions always target
+    a live edge; weighted mode restates insertion weights).
+    """
+    rng = rng_from_seed(seed, "sparse-touch")
+    ids = _touched_ids(universe_size, touched, rng)
+    pick = lambda: ids[rng.randrange(len(ids))]  # noqa: E731
+    return _mixed_stream_over_ids(
+        universe_size, ids, length, rng, delete_fraction, weights, pick
+    )
+
+
+def power_law_universe_stream(
+    universe_size: int,
+    touched: int,
+    length: int,
+    seed: int | str,
+    exponent: float = 1.5,
+    delete_fraction: float = 0.2,
+    weights: tuple[float, float] | None = None,
+) -> DynamicStream:
+    """A sparse-universe stream with power-law endpoint popularity.
+
+    Like :func:`sparse_touch_stream`, but endpoint ranks are drawn with
+    probability proportional to ``(rank + 1)^-exponent`` — the
+    social-graph regime where a few hub ids dominate the traffic while
+    the long tail keeps materializing fresh sketch rows.
+    """
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    rng = rng_from_seed(seed, "power-law-universe")
+    ids = _touched_ids(universe_size, touched, rng)
+    cumulative: list[float] = []
+    total = 0.0
+    for rank in range(len(ids)):
+        total += (rank + 1) ** -exponent
+        cumulative.append(total)
+
+    def pick() -> int:
+        return ids[bisect_left(cumulative, rng.random() * total)]
+
+    return _mixed_stream_over_ids(
+        universe_size, ids, length, rng, delete_fraction, weights, pick
+    )
+
+
+def sparse_session_ops(
+    universe_size: int,
+    touched: int,
+    length: int,
+    seed: int | str,
+    query_every: int = 0,
+    query_kinds: tuple[str, ...] = ("connected", "forest", "spanner_distance", "cut"),
+    ingest_chunk: int = 4096,
+    query_repeats: int = 1,
+    power_law: bool = False,
+    **stream_kwargs,
+) -> list[tuple]:
+    """Sparse-universe analogue of :func:`mixed_session_ops`.
+
+    Ingest chunks come from :func:`sparse_touch_stream` (or the
+    power-law variant); query arguments are drawn from the *touched* id
+    sample — asking a ``10^7``-id session about uniformly random
+    universe ids would only ever probe untouched singletons.
+    """
+    if query_every < 0:
+        raise ValueError(f"query_every must be >= 0, got {query_every}")
+    if query_repeats < 1:
+        raise ValueError(f"query_repeats must be >= 1, got {query_repeats}")
+    if ingest_chunk < 1:
+        raise ValueError(f"ingest_chunk must be positive, got {ingest_chunk}")
+    if query_every > 0 and not query_kinds:
+        raise ValueError("query_every > 0 needs at least one query kind")
+    generator = power_law_universe_stream if power_law else sparse_touch_stream
+    stream = generator(universe_size, touched, length, seed, **stream_kwargs)
+    touched_pool = sorted({v for update in stream for v in update.pair})
+    rng = rng_from_seed(seed, "sparse-queries")
+    tokens = list(stream)
+    ops: list[tuple] = []
+    kind_index = 0
+    pending_start = 0
+
+    def flush_until(stop: int) -> None:
+        nonlocal pending_start
+        for start in range(pending_start, stop, ingest_chunk):
+            ops.append(("ingest", tokens[start : min(start + ingest_chunk, stop)]))
+        pending_start = stop
+
+    next_query = query_every if query_every > 0 else len(tokens) + 1
+    while next_query <= len(tokens):
+        flush_until(next_query)
+        kind = query_kinds[kind_index % len(query_kinds)]
+        kind_index += 1
+        if kind in ("connected", "spanner_distance"):
+            u = touched_pool[rng.randrange(len(touched_pool))]
+            v = touched_pool[rng.randrange(len(touched_pool))]
+            while v == u and len(touched_pool) > 1:
+                v = touched_pool[rng.randrange(len(touched_pool))]
+            args: tuple = (u, v)
+        elif kind == "cut":
+            side = frozenset(
+                v for v in touched_pool if rng.random() < 0.5
+            ) or frozenset({touched_pool[0]})
             args = (side,)
         else:
             args = ()

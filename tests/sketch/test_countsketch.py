@@ -133,17 +133,24 @@ class TestSpaceTradeoff:
     )
 )
 def test_point_query_property(entries):
-    """Property: point queries on <=6-sparse vectors are exact.
+    """Property: point queries on <=6-sparse vectors are exact whp.
 
-    The guarantee is whp over the *seed* for any fixed input, so the
-    seed is derived from the input (otherwise the example search can
-    adversarially construct collisions against one fixed hash function).
+    The guarantee is "with high probability over the *seed*" for any
+    fixed input, so it is tested in that form: across several
+    independently seeded sketches (seeds derived from the input, so the
+    example search cannot adversarially target one fixed hash function),
+    a strong majority must answer every point query exactly.  A single
+    seed would make the test a coin with a tiny but real failure mass
+    that a long-running example database eventually finds.
     """
     from repro.util.rng import derive_seed
 
-    seed = derive_seed("cs-property", tuple(sorted(entries.items())))
-    sketch = CountSketch(1000, 6, seed=seed, depth=7, width_factor=8.0)
-    for index, value in entries.items():
-        sketch.update(index, value)
-    for index, value in entries.items():
-        assert sketch.estimate(index) == value
+    trials, exact = 5, 0
+    for trial in range(trials):
+        seed = derive_seed("cs-property", trial, tuple(sorted(entries.items())))
+        sketch = CountSketch(1000, 6, seed=seed, depth=7, width_factor=8.0)
+        for index, value in entries.items():
+            sketch.update(index, value)
+        if all(sketch.estimate(index) == value for index, value in entries.items()):
+            exact += 1
+    assert exact >= trials - 1, f"only {exact}/{trials} seeds were exact"

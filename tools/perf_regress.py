@@ -1,26 +1,32 @@
 #!/usr/bin/env python
-"""Fail the build when the columnar engine regresses past tolerance.
+"""Fail the build when a measured engine rate regresses past tolerance.
 
-``benchmarks/bench_columnar.py`` writes every measured throughput to
-``benchmarks/results/BENCH_columnar.json``; this tool compares that
-fresh measurement against the committed conservative baseline
-(``benchmarks/baselines/BENCH_columnar.json``) and exits nonzero when
-any rate falls more than ``TOLERANCE`` below its baseline — a
-machine-readable perf gate, wired into ``make bench-columnar`` (and so
-``make check``).
+Each performance bench writes its measured throughputs to
+``benchmarks/results/BENCH_<name>.json``; this tool compares every fresh
+measurement against its committed conservative baseline under
+``benchmarks/baselines/`` and exits nonzero when any rate falls more
+than ``TOLERANCE`` below its floor — a machine-readable perf gate.
+Gated benches:
 
-The committed baseline is deliberately set well *below* the reference
+* ``BENCH_columnar`` — the columnar stacked-sketch engine
+  (``make bench-columnar``);
+* ``BENCH_sparse`` — the sparse vertex-universe engine
+  (``make bench-sparse``).
+
+The committed baselines are deliberately set well *below* the reference
 container's measured rates (about half), so the gate trips on genuine
 order-of-magnitude regressions — a vectorized path silently falling back
-to scalar loops — rather than on scheduler noise or modest hardware
-differences.  Regenerate it with ``--update-baseline`` after an
-intentional performance change (and commit the result).
+to scalar loops, a lazy engine accidentally walking its universe —
+rather than on scheduler noise or modest hardware differences.
+Regenerate them with ``--update-baseline`` after an intentional
+performance change (and commit the result).
 
 Usage::
 
-    python tools/perf_regress.py                  # compare, exit 1 on regression
-    python tools/perf_regress.py --update-baseline  # rewrite the baseline at
-                                                    # 50% of the fresh rates
+    python tools/perf_regress.py                    # compare all, exit 1 on regression
+    python tools/perf_regress.py columnar           # compare one suite
+    python tools/perf_regress.py --update-baseline  # rewrite baselines at 50%
+                                                    # of the fresh rates
 """
 
 from __future__ import annotations
@@ -30,8 +36,22 @@ import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-FRESH = REPO_ROOT / "benchmarks" / "results" / "BENCH_columnar.json"
-BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_columnar.json"
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+BASELINES = REPO_ROOT / "benchmarks" / "baselines"
+
+#: Suite name -> (fresh results file, committed baseline file, bench target).
+SUITES: dict[str, tuple[pathlib.Path, pathlib.Path, str]] = {
+    "columnar": (
+        RESULTS / "BENCH_columnar.json",
+        BASELINES / "BENCH_columnar.json",
+        "make bench-columnar",
+    ),
+    "sparse": (
+        RESULTS / "BENCH_sparse.json",
+        BASELINES / "BENCH_sparse.json",
+        "make bench-sparse",
+    ),
+}
 
 #: A fresh rate may fall at most this fraction below its baseline.
 TOLERANCE = 0.20
@@ -40,52 +60,57 @@ TOLERANCE = 0.20
 BASELINE_FRACTION = 0.50
 
 
-def load(path: pathlib.Path) -> dict:
+def load(path: pathlib.Path, target: str) -> dict:
     """Parse one measurement file, failing with a pointed message."""
     try:
         return json.loads(path.read_text())
     except FileNotFoundError:
         sys.exit(
             f"perf_regress: {path} is missing — run "
-            "`make bench-columnar` (or commit the baseline) first"
+            f"`{target}` (or commit the baseline) first"
         )
     except ValueError as error:
         sys.exit(f"perf_regress: {path} is not valid JSON: {error}")
 
 
-def update_baseline() -> int:
-    fresh = load(FRESH)
+def update_baseline(suite: str) -> None:
+    fresh_path, baseline_path, target = SUITES[suite]
+    fresh = load(fresh_path, target)
     baseline = {
         "note": (
-            "Conservative columnar-throughput floors: "
+            f"Conservative {suite}-engine throughput floors: "
             f"{BASELINE_FRACTION:.0%} of a reference-container run of "
-            "benchmarks/bench_columnar.py.  Compared by tools/perf_regress.py "
-            f"with {TOLERANCE:.0%} tolerance; regenerate with "
+            f"`{target}`.  Compared by tools/perf_regress.py with "
+            f"{TOLERANCE:.0%} tolerance; regenerate with "
             "`python tools/perf_regress.py --update-baseline`."
         ),
-        "stream_updates": fresh["stream_updates"],
-        "batch_size": fresh["batch_size"],
         "updates_per_second": {
             name: round(rate * BASELINE_FRACTION, 1)
             for name, rate in fresh["updates_per_second"].items()
         },
     }
-    BASELINE.parent.mkdir(exist_ok=True)
-    BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
-    print(f"perf_regress: baseline rewritten at {BASELINE}")
-    return 0
+    for key in ("stream_updates", "batch_size", "universe"):
+        if key in fresh:
+            baseline[key] = fresh[key]
+    BASELINES.mkdir(exist_ok=True)
+    baseline_path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(f"perf_regress: {suite} baseline rewritten at {baseline_path}")
 
 
-def compare() -> int:
-    fresh = load(FRESH)["updates_per_second"]
-    baseline = load(BASELINE)["updates_per_second"]
+def compare(suite: str) -> list[str]:
+    fresh_path, baseline_path, target = SUITES[suite]
+    fresh = load(fresh_path, target)["updates_per_second"]
+    baseline = load(baseline_path, target)["updates_per_second"]
     failures: list[str] = []
     width = max(len(name) for name in baseline)
-    print(f"perf_regress: fresh rates vs committed floors ({TOLERANCE:.0%} tolerance)")
+    print(
+        f"perf_regress[{suite}]: fresh rates vs committed floors "
+        f"({TOLERANCE:.0%} tolerance)"
+    )
     for name, floor in sorted(baseline.items()):
         rate = fresh.get(name)
         if rate is None:
-            failures.append(f"{name}: missing from the fresh measurement")
+            failures.append(f"{suite}/{name}: missing from the fresh measurement")
             continue
         allowed = floor * (1.0 - TOLERANCE)
         verdict = "ok" if rate >= allowed else "REGRESSION"
@@ -95,11 +120,30 @@ def compare() -> int:
         )
         if rate < allowed:
             failures.append(
-                f"{name}: {rate:,.0f} updates/s is more than {TOLERANCE:.0%} "
-                f"below the baseline floor {floor:,.0f}"
+                f"{suite}/{name}: {rate:,.0f} updates/s is more than "
+                f"{TOLERANCE:.0%} below the baseline floor {floor:,.0f}"
             )
     for name in sorted(set(fresh) - set(baseline)):
         print(f"  {name:<{width}} {fresh[name]:>12,.0f} up/s  (no baseline yet)")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry: compare (default) or ``--update-baseline``; an optional
+    suite name restricts the run to one bench."""
+    update = "--update-baseline" in argv
+    names = [arg for arg in argv if not arg.startswith("--")]
+    unknown = [name for name in names if name not in SUITES]
+    if unknown:
+        sys.exit(f"perf_regress: unknown suite(s) {unknown}; choose from {sorted(SUITES)}")
+    suites = names or sorted(SUITES)
+    if update:
+        for suite in suites:
+            update_baseline(suite)
+        return 0
+    failures: list[str] = []
+    for suite in suites:
+        failures.extend(compare(suite))
     if failures:
         print("perf_regress: FAILED")
         for failure in failures:
@@ -107,13 +151,6 @@ def compare() -> int:
         return 1
     print("perf_regress: all rates within tolerance")
     return 0
-
-
-def main(argv: list[str]) -> int:
-    """CLI entry: compare (default) or ``--update-baseline``."""
-    if "--update-baseline" in argv:
-        return update_baseline()
-    return compare()
 
 
 if __name__ == "__main__":
