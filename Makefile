@@ -4,11 +4,23 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-engine bench-distributed bench-service bench-columnar bench-sparse docs-check check
+.PHONY: test test-sanitize lint bench bench-engine bench-distributed bench-service bench-columnar bench-sparse docs-check check
 
 # Tier-1 verification: the full unit/integration suite, fail-fast.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The sketch/service suites with the runtime sanitizer armed: kernels
+# assert canonical-range preconditions, snapshots assert clone
+# independence (see src/repro/util/sanitize.py and docs/invariants.md).
+test-sanitize:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest tests/sketch tests/service -x -q
+
+# Repo-native static analysis: the sketch contract, field-arithmetic,
+# determinism, and wire-format invariants (docs/invariants.md catalogues
+# every SLNNN code).
+lint:
+	$(PYTHON) -m tools.sketchlint src/
 
 # Paper-claim experiments E1-E8 plus the batch-engine gate; tables are
 # printed and written to benchmarks/results/.
@@ -54,13 +66,14 @@ bench-sparse:
 # README promises must exist.
 docs-check:
 	$(PYTHON) tools/check_docstrings.py
-	@for f in README.md docs/paper_map.md docs/performance.md; do \
+	@for f in README.md docs/paper_map.md docs/performance.md docs/invariants.md; do \
 		test -f $$f || { echo "missing $$f"; exit 1; }; \
 	done
-	@echo "docs OK: README.md, docs/paper_map.md, docs/performance.md present"
+	@echo "docs OK: README.md, docs/paper_map.md, docs/performance.md, docs/invariants.md present"
 
-# Everything a PR should pass: docs gates (docstring coverage), the
-# unit/integration suite, the distributed-engine gates, the live
-# service gates, the columnar-engine speedup/regression gates, and the
-# sparse vertex-universe memory/identity gates.
-check: docs-check test bench-distributed bench-service bench-columnar bench-sparse
+# Everything a PR should pass: the sketchlint invariants, docs gates
+# (docstring coverage), the unit/integration suite (plus the
+# sanitizer-armed sketch/service subset), the distributed-engine gates,
+# the live service gates, the columnar-engine speedup/regression gates,
+# and the sparse vertex-universe memory/identity gates.
+check: lint docs-check test test-sanitize bench-distributed bench-service bench-columnar bench-sparse

@@ -202,6 +202,45 @@ class AdditiveSpannerBuilder(StreamingAlgorithm):
         flat.extend(self._agm.state_ints())
         return flat
 
+    def load_state_ints(self, values: list[int], cursor: int = 0) -> int:
+        """Consume one serialized builder state from ``values`` at
+        ``cursor``; returns the new cursor.
+
+        Exact inverse of :meth:`state_ints` on a same-seed/same-shape
+        builder (Bob's side of the Theorem 4 game): the per-vertex
+        components are fixed-length (their ``state_len()``), the AGM
+        tail is self-delimiting, so the whole sequence concatenates
+        without length prefixes.
+        """
+        for sketch in self._neighborhoods:
+            step = sketch.state_len()
+            sketch.from_state_ints(values[cursor : cursor + step])
+            cursor += step
+        for sampler in self._parent_samplers:
+            step = sampler.state_len()
+            sampler.from_state_ints(values[cursor : cursor + step])
+            cursor += step
+        for sketch in self._degree_sketches:
+            step = sketch.state_len()
+            sketch.from_state_ints(values[cursor : cursor + step])
+            cursor += step
+        return self._agm.load_state_ints(values, cursor)
+
+    def from_state_ints(self, values: list[int]) -> "AdditiveSpannerBuilder":
+        """Overwrite the dynamic state from a :meth:`state_ints` sequence.
+
+        Returns ``self``; raises if the sequence's length does not match
+        exactly (a truncated or over-long wire is corruption, never
+        silently tolerated).
+        """
+        try:
+            cursor = self.load_state_ints(values, 0)
+        except IndexError as exc:
+            raise ValueError("truncated state sequence") from exc
+        if cursor != len(values):
+            raise ValueError(f"expected {cursor} state ints, got {len(values)}")
+        return self
+
     def space_report(self) -> SpaceReport:
         """Measured words held by every sketch component."""
         report = SpaceReport()

@@ -60,6 +60,7 @@ from repro.graph.graph import Graph
 from repro.graph.vertex_space import VertexSpace, as_vertex_space
 from repro.stream.space import SpaceReport
 from repro.stream.updates import EdgeUpdate
+from repro.util import sanitize as _sanitize
 from repro.util.rng import derive_seed
 
 __all__ = ["GraphSession", "SessionStats"]
@@ -495,6 +496,8 @@ class GraphSession:
 
         def compute():
             clone = spanner.clone()
+            if _sanitize.ENABLED:
+                _sanitize.check_clone_independent(spanner, clone)
             self._replay_second_pass(clone)
             return clone.finalize()
 
@@ -534,6 +537,8 @@ class GraphSession:
 
         def compute():
             clone = sparsifier.clone()
+            if _sanitize.ENABLED:
+                _sanitize.check_clone_independent(sparsifier, clone)
             self._replay_second_pass(clone)
             return clone.finalize()
 

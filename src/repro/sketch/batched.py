@@ -28,7 +28,14 @@ Key entry points
 :func:`fits_int64_products`
     the guard the sketches use to decide whether a batch can ride the
     ``int64`` scatter fast path or must fall back to exact Python loops
-    (arbitrary-precision payloads, e.g. serialized inner sketches).
+    (arbitrary-precision payloads, e.g. serialized inner sketches);
+:func:`as_field_array`
+    the one blessed coercion from signed (or arbitrary-precision) delta
+    batches to canonical field residues in ``[0, p)`` — sketchlint's
+    ``SL202`` bans hand-rolled copies of it outside this module.
+
+With ``REPRO_SANITIZE=1`` (see :mod:`repro.util.sanitize`) the kernels
+additionally assert their canonical-range preconditions at runtime.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sketch.hashing import MERSENNE_61
+from repro.util import sanitize as _sanitize
 
 __all__ = [
     "MASK32",
@@ -43,6 +51,7 @@ __all__ = [
     "addmod61",
     "as_index_array",
     "as_delta_array",
+    "as_field_array",
     "fits_int64_products",
     "max_abs_int64",
     "build_pow_table",
@@ -153,6 +162,21 @@ def prepare_batch(
     return "vector", idx, values, fits
 
 
+def as_field_array(values) -> np.ndarray:
+    """Canonical field residues of a delta batch: ``uint64`` in ``[0, p)``.
+
+    The one blessed coercion from signed/arbitrary-precision deltas to
+    field elements.  ``int64``-representable batches reduce vectorized;
+    arbitrary-precision payloads (lists of exact Python ints, e.g. the
+    linear hash tables' ~``2^61``-sized serialized values) reduce
+    element-wise in exact Python integers — both land on identical
+    canonical residues.
+    """
+    if isinstance(values, np.ndarray) and values.dtype != object:
+        return np.remainder(values, MERSENNE_61).astype(np.uint64)
+    return np.array([int(delta) % MERSENNE_61 for delta in values], dtype=np.uint64)
+
+
 def max_abs_int64(values: np.ndarray) -> int:
     """Exact ``max(|values|)`` of a nonempty ``int64`` array.
 
@@ -184,11 +208,17 @@ def _fold61(values: np.ndarray) -> np.ndarray:
 
 def addmod61(a: np.ndarray, b) -> np.ndarray:
     """Element-wise ``(a + b) mod p`` for operands already in ``[0, p)``."""
+    if _sanitize.ENABLED:
+        _sanitize.require_canonical(a, MERSENNE_61, "addmod61 lhs")
+        _sanitize.require_canonical(b, MERSENNE_61, "addmod61 rhs")
     return _fold61(a + b)
 
 
 def submod61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Element-wise ``(a - b) mod p`` for operands already in ``[0, p)``."""
+    if _sanitize.ENABLED:
+        _sanitize.require_canonical(a, MERSENNE_61, "submod61 lhs")
+        _sanitize.require_canonical(b, MERSENNE_61, "submod61 rhs")
     return _fold61(a + np.where(b == _ZERO, _ZERO, _M61 - b))
 
 
@@ -200,6 +230,9 @@ def mulmod61(a, b) -> np.ndarray:
     """
     a = np.asarray(a, dtype=np.uint64)
     b = np.asarray(b, dtype=np.uint64)
+    if _sanitize.ENABLED:
+        _sanitize.require_canonical(a, MERSENNE_61, "mulmod61 lhs")
+        _sanitize.require_canonical(b, MERSENNE_61, "mulmod61 rhs")
     a_hi, a_lo = a >> np.uint64(32), a & MASK32
     b_hi, b_lo = b >> np.uint64(32), b & MASK32
     # a*b = hi*2^64 + mid*2^32 + lo with hi < 2^58, mid < 2^62, lo < 2^64.
@@ -386,6 +419,8 @@ def sum_mod61(terms: np.ndarray) -> int:
     """
     if terms.size == 0:
         return 0
+    if _sanitize.ENABLED:
+        _sanitize.require_canonical(terms, MERSENNE_61, "sum_mod61 terms")
     lo = int(np.sum(terms & MASK32, dtype=np.uint64))
     hi = int(np.sum(terms >> np.uint64(32), dtype=np.uint64))
     return (lo + (hi << 32)) % MERSENNE_61
@@ -399,6 +434,9 @@ def scatter_sum_mod61(cells: int, positions: np.ndarray, terms: np.ndarray) -> n
     exact sum mod ``p``.  Limb-split so ``np.add.at`` cannot overflow
     even if every term lands in one cell (safe to ``2^31`` terms).
     """
+    if _sanitize.ENABLED:
+        _sanitize.require_positions(positions, cells)
+        _sanitize.require_canonical(terms, MERSENNE_61, "scatter_sum_mod61 terms")
     lo = np.zeros(cells, dtype=np.uint64)
     hi = np.zeros(cells, dtype=np.uint64)
     np.add.at(lo, positions, terms & MASK32)

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.sketch.batched import (
     SMALL_BATCH,
+    as_field_array,
     mulmod61,
     powmod61,
     prepare_batch,
@@ -97,7 +98,7 @@ class DistinctElementsSketch:
         ``l`` feeds every row ``j <= l``, exactly as the scalar loop
         does).  Bit-identical to the scalar :meth:`update` sequence.
         """
-        route, idx, values, fits = prepare_batch(
+        route, idx, values, _ = prepare_batch(
             indices, deltas, domain_size=self.domain_size, small_batch=SMALL_BATCH
         )
         if route == "empty":
@@ -106,12 +107,7 @@ class DistinctElementsSketch:
             for index, delta in zip(idx, values):
                 self.update(int(index), int(delta))
             return
-        if fits:
-            residues = np.remainder(values, MERSENNE_61).astype(np.uint64)
-        else:
-            residues = np.array(
-                [delta % MERSENNE_61 for delta in values], dtype=np.uint64
-            )
+        residues = as_field_array(values)
         for rep in range(self.reps):
             levels = self._samplers[rep].level_array(idx)
             terms = mulmod61(residues, powmod61(self._bases[rep], idx))

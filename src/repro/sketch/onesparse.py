@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.sketch.batched import (
     SMALL_BATCH,
+    as_field_array,
     fits_int64_products,
     max_abs_int64,
     mulmod61,
@@ -119,7 +120,7 @@ class OneSparseDetector:
             return
         self.total += int(values.sum())
         self.index_sum += int((idx * values).sum())
-        residues = np.remainder(values, MERSENNE_61).astype(np.uint64)
+        residues = as_field_array(values)
         terms = mulmod61(residues, powmod61(self._z, idx))
         self.fingerprint = (self.fingerprint + sum_mod61(terms)) % MERSENNE_61
 

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.sketch.batched import (
     SMALL_BATCH,
+    as_field_array,
     fits_int64_products,
     max_abs_int64,
     mulmod61,
@@ -158,14 +159,12 @@ class SparseRecoverySketch:
             for index, delta in zip(idx, values):
                 self.update(int(index), int(delta))
             return
-        if fits:
-            residues = np.remainder(values, MERSENNE_61).astype(np.uint64)
-            fast = fits_int64_products(idx.size, max_abs_int64(values), int(idx.max()))
-        else:
-            residues = np.array(
-                [delta % MERSENNE_61 for delta in values], dtype=np.uint64
-            )
-            fast = False
+        residues = as_field_array(values)
+        fast = (
+            fits_int64_products(idx.size, max_abs_int64(values), int(idx.max()))
+            if fits
+            else False
+        )
         terms = mulmod61(residues, powmod61(self._z, idx))
         if fast:
             products = idx * values

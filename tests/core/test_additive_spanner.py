@@ -120,3 +120,24 @@ class TestSizeOfSpanner:
         graph = complete_graph(64)
         _, spanner = build(graph, 2, seed=94)
         assert spanner.num_edges() < graph.num_edges() / 2
+
+
+class TestWireState:
+    def test_state_ints_round_trip(self):
+        graph = connected_gnp(24, 0.2, seed=7)
+        stream = stream_from_graph(graph, seed=41, churn=0.3)
+        source = AdditiveSpannerBuilder(24, 2, seed=41)
+        for update in stream:
+            source.process(update, pass_index=0)
+        wire = source.state_ints()
+
+        target = AdditiveSpannerBuilder(24, 2, seed=41)
+        target.from_state_ints(wire)
+        assert target.state_ints() == wire
+
+    def test_from_state_ints_rejects_truncated_wire(self):
+        source = AdditiveSpannerBuilder(16, 2, seed=3)
+        wire = source.state_ints()
+        target = AdditiveSpannerBuilder(16, 2, seed=3)
+        with pytest.raises(ValueError):
+            target.from_state_ints(wire[:-1])

@@ -178,11 +178,28 @@ class TestReliability:
     )
 )
 def test_recovery_property(entries):
-    """Property: any <=6-sparse vector round-trips through a budget-6 sketch."""
-    sketch = SparseRecoverySketch(1000, 6, seed=555)
-    for index, value in entries.items():
-        sketch.update(index, value)
-    assert sketch.decode() == entries
+    """Property: decode is never *wrong*, and a <=6-sparse vector
+    round-trips for at least one of three independently seeded sketches.
+
+    The seeds are derived from the drawn entries: with one fixed seed
+    the hash functions are fixed, and an adversarial input search (which
+    is exactly what Hypothesis does) can always find a pair colliding in
+    every row — recovery is a whp guarantee over the seed, not a
+    worst-case one.  Soundness (no incorrect decode) *is* worst-case and
+    is asserted on every trial.
+    """
+    entry_key = ",".join(f"{i}:{v}" for i, v in sorted(entries.items()))
+    recovered = False
+    for trial in range(3):
+        sketch = SparseRecoverySketch(1000, 6, seed=f"recovery-{trial}-{entry_key}")
+        for index, value in entries.items():
+            sketch.update(index, value)
+        decoded = sketch.decode()
+        assert decoded is None or decoded == entries
+        if decoded is not None:
+            recovered = True
+            break
+    assert recovered, "recovery failed under three independent seeds"
 
 
 @settings(max_examples=60, deadline=None)

@@ -1,0 +1,13 @@
+"""Put the repo root on ``sys.path`` so ``import tools.*`` resolves.
+
+The product package rides ``PYTHONPATH=src``; the ``tools`` package
+lives at the repo root and is normally imported via ``python -m`` from
+there.
+"""
+
+import pathlib
+import sys
+
+_REPO_ROOT = str(pathlib.Path(__file__).resolve().parents[2])
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)

@@ -1,0 +1,16 @@
+"""Repo-native developer tooling.
+
+Stdlib-only scripts and packages that gate the build:
+
+* :mod:`tools.check_docstrings` — public-API docstring coverage
+  (``make docs-check``);
+* :mod:`tools.perf_regress` — machine-readable throughput floors
+  (``make bench-columnar`` / ``bench-sparse``);
+* :mod:`tools.sketchlint` — the sketch-contract / field-arithmetic /
+  determinism static analyzer (``make lint``);
+* :mod:`tools._repo` — the shared repo-layout helper the above build on
+  (single source of truth for "what counts as source / a bench suite").
+
+Everything runs from the repo root with no installation:
+``python -m tools.sketchlint src/``, ``python tools/check_docstrings.py``.
+"""

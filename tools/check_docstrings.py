@@ -1,7 +1,9 @@
 #!/usr/bin/env python
 """Docstring-coverage gate for the public API.
 
-Walks every module under ``src/repro`` and requires a docstring on:
+Walks every module under ``src/repro`` (via the shared
+:mod:`tools._repo` walk — the same file set :mod:`tools.sketchlint`
+analyzes) and requires a docstring on:
 
 * the module itself,
 * every public class and function (name not starting with ``_``),
@@ -14,8 +16,9 @@ A method that *overrides* a documented method of a repo base class
 exempt — interface docs live on the interface, once.
 
 Exit code 1 lists the offenders — so new public APIs can't land
-undocumented (wired into ``make docs-check``).  Pure stdlib; no
-third-party dependencies.
+undocumented (wired into ``make docs-check``); exit code 2 means the
+tree itself is malformed (a promised sub-package is missing).  Pure
+stdlib; no third-party dependencies.
 """
 
 from __future__ import annotations
@@ -24,23 +27,10 @@ import ast
 import pathlib
 import sys
 
-SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+if __package__ in (None, ""):  # run as a script: put the repo root on sys.path
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-#: Sub-packages the repository promises; a rename or accidental deletion
-#: fails the gate instead of silently shrinking coverage.  New
-#: subsystems (e.g. the ``service`` sketch store) must be listed here so
-#: their public APIs are provably walked.
-EXPECTED_PACKAGES = (
-    "agm",
-    "baselines",
-    "core",
-    "graph",
-    "lowerbound",
-    "service",
-    "sketch",
-    "stream",
-    "util",
-)
+from tools import _repo
 
 
 def _public(name: str) -> bool:
@@ -113,7 +103,7 @@ def check_module(
     path: pathlib.Path, tree: ast.Module, classes: dict[str, tuple[list[str], set[str]]]
 ) -> list[str]:
     """Missing-docstring entries for one parsed module."""
-    module = str(path.relative_to(SRC.parent.parent))
+    module = str(path.relative_to(_repo.REPO_ROOT))
     missing = []
     if ast.get_docstring(tree) is None:
         missing.append(f"{module}:1 <module>")
@@ -130,17 +120,18 @@ def check_module(
 
 
 def main() -> int:
-    missing_packages = [
-        name for name in EXPECTED_PACKAGES
-        if not (SRC / name / "__init__.py").is_file()
-    ]
-    if missing_packages:
-        print(f"expected packages missing under {SRC}: "
-              f"{', '.join(missing_packages)}", file=sys.stderr)
+    """Walk the source tree and report undocumented public APIs."""
+    absent = _repo.missing_packages()
+    if absent:
+        print(
+            f"expected packages missing under {_repo.PACKAGE_DIR}: "
+            f"{', '.join(absent)}",
+            file=sys.stderr,
+        )
         return 2
-    modules = sorted(SRC.rglob("*.py"))
+    modules = _repo.iter_source_files()
     if not modules:
-        print(f"no modules found under {SRC}", file=sys.stderr)
+        print(f"no modules found under {_repo.PACKAGE_DIR}", file=sys.stderr)
         return 2
     trees = [ast.parse(path.read_text(encoding="utf-8")) for path in modules]
     classes = _collect_classes(trees)

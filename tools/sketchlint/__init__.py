@@ -1,0 +1,40 @@
+"""sketchlint — the repo-native static-analysis suite.
+
+The correctness story of this reproduction — sketch linearity by the AGM
+decomposition, exact mod-``(2^61 - 1)`` arithmetic, and bit-identical
+checkpoint/restore — rests on invariants no generic linter knows about.
+``sketchlint`` enforces them at the AST level (stdlib ``ast``, no new
+dependencies) with four checker families:
+
+* **protocol conformance** (``SL1xx``) — every sketch and
+  ``StreamingAlgorithm`` class implements the full clone/wire/shard
+  contract, so a new class can never silently ship shard-incompatible;
+* **field/dtype discipline** (``SL2xx``) — mod-``p`` array arithmetic
+  stays inside the audited kernel modules, with exact integer dtypes
+  and guarded accumulations;
+* **determinism** (``SL3xx``) — no unseeded randomness or wall-clock in
+  any module reachable from the checkpoint/wire/state seams (the
+  invariant behind every bit-identity test);
+* **wire-format pairing** (``SL4xx``) — every ``*state_ints`` writer
+  has a matching reader and self-delimiting or length-exposing framing.
+
+Usage::
+
+    python -m tools.sketchlint src/            # human-readable diagnostics
+    python -m tools.sketchlint src/ --json     # machine-readable output
+    python -m tools.sketchlint --list-checkers
+
+Diagnostics print as ``file:line: SLNNN message``.  A true positive is
+fixed; a reviewed false positive is silenced *in place, with a reason*::
+
+    risky_line()  # sketchlint: disable=SL204 sums are bounded by the ledger
+
+(see :mod:`tools.sketchlint.suppress`).  The catalogue of codes, the
+invariant each enforces, and the bug that motivated it live in
+``docs/invariants.md``.
+"""
+
+from tools.sketchlint.cli import main, run_paths
+from tools.sketchlint.diagnostics import Diagnostic
+
+__all__ = ["Diagnostic", "main", "run_paths"]

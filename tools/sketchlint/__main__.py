@@ -1,0 +1,5 @@
+"""``python -m tools.sketchlint`` entry point."""
+
+from tools.sketchlint.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Checker families — importing this package registers them all.
+
+* :mod:`tools.sketchlint.checkers.protocol` — ``SL1xx`` sketch/algorithm
+  contract conformance;
+* :mod:`tools.sketchlint.checkers.field` — ``SL2xx`` field-arithmetic and
+  dtype discipline;
+* :mod:`tools.sketchlint.checkers.determinism` — ``SL3xx`` seam-reachable
+  randomness/wall-clock bans;
+* :mod:`tools.sketchlint.checkers.wire` — ``SL4xx`` wire-format
+  writer/reader pairing and framing.
+"""
+
+from tools.sketchlint.checkers import determinism, field, protocol, wire
+
+__all__ = ["determinism", "field", "protocol", "wire"]

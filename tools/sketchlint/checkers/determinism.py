@@ -1,0 +1,133 @@
+"""SL3xx — determinism on the checkpoint/wire/state seams.
+
+Checkpoint/restore bit-identity — the property every crash-recovery and
+shard-identity test pins down — holds only if nothing on a state path
+consumes unseeded randomness or wall-clock.  The seam modules are listed
+explicitly in :class:`tools.sketchlint.config.Config` (not guessed), and
+the ban covers everything they transitively import:
+
+* ``SL301`` — a ``random``-module call other than constructing a seeded
+  ``random.Random(seed...)``: process-global randomness makes restored
+  state diverge from the original run.  Derive randomness with
+  ``repro.util.rng.derive_seed`` / ``rng_from_seed``.
+* ``SL302`` — any ``np.random`` / ``numpy.random`` use: even "seeded"
+  global numpy state is shared across the process and ordering-
+  dependent.  Seeded per-component generators via ``derive_seed`` only.
+* ``SL303`` — wall-clock reads (``time.time``/``monotonic``/
+  ``perf_counter``/``time_ns``/``process_time``, ``datetime.now``/
+  ``utcnow``/``today``): state derived from the clock can never
+  round-trip a checkpoint bit-for-bit.
+* ``SL304`` — the builtin ``hash()``: string hashing is salted per
+  process (``PYTHONHASHSEED``), so anything it touches differs between
+  the run that wrote a checkpoint and the run that restores it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.sketchlint.diagnostics import Diagnostic
+from tools.sketchlint.model import RepoIndex, SourceFile
+from tools.sketchlint.registry import register
+
+__all__ = ["check_determinism"]
+
+_CLOCK_ATTRS = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+             "perf_counter_ns", "process_time", "process_time_ns"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+
+def _diag(source: SourceFile, node: ast.AST, code: str, message: str) -> Diagnostic:
+    return Diagnostic(
+        path=source.display_path, line=node.lineno, code=code,
+        message=message, checker="determinism",
+    )
+
+
+def _attr_root(node: ast.Attribute) -> str | None:
+    """Leftmost name of a dotted attribute chain (``np.random.rand`` -> ``np``)."""
+    current: ast.AST = node
+    while isinstance(current, ast.Attribute):
+        current = current.value
+    return current.id if isinstance(current, ast.Name) else None
+
+
+def _is_np_random(node: ast.Attribute) -> bool:
+    # np.random.<x> / numpy.random.<x>, or bare np.random as a value.
+    chain: list[str] = []
+    current: ast.AST = node
+    while isinstance(current, ast.Attribute):
+        chain.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        chain.append(current.id)
+    chain.reverse()
+    return (
+        len(chain) >= 2
+        and chain[0] in ("np", "numpy", "_np")
+        and chain[1] == "random"
+    )
+
+
+def _check_file(source: SourceFile) -> Iterable[Diagnostic]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            # SL301 — random.<fn>(...), except a seeded random.Random(seed).
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+            ):
+                seeded_ctor = func.attr == "Random" and (node.args or node.keywords)
+                if not seeded_ctor:
+                    yield _diag(
+                        source, node, "SL301",
+                        f"random.{func.attr}(...) on a checkpoint/wire/state "
+                        f"path; derive seeded randomness via "
+                        f"repro.util.rng instead",
+                    )
+            # SL304 — builtin hash() (PYTHONHASHSEED-salted for strings).
+            if isinstance(func, ast.Name) and func.id == "hash":
+                yield _diag(
+                    source, node, "SL304",
+                    "builtin hash() is process-salted (PYTHONHASHSEED); "
+                    "state derived from it cannot round-trip a checkpoint",
+                )
+            # SL303 — wall-clock reads.
+            if isinstance(func, ast.Attribute):
+                owner = func.value
+                owner_name = (
+                    owner.id if isinstance(owner, ast.Name)
+                    else owner.attr if isinstance(owner, ast.Attribute)
+                    else None
+                )
+                banned = _CLOCK_ATTRS.get(owner_name or "", ())
+                if func.attr in banned:
+                    yield _diag(
+                        source, node, "SL303",
+                        f"wall-clock read {owner_name}.{func.attr}() on a "
+                        f"checkpoint/wire/state path breaks bit-identity",
+                    )
+        # SL302 — any np.random usage (call, attribute, alias).
+        if isinstance(node, ast.Attribute) and node.attr != "random":
+            if isinstance(node.value, ast.Attribute) and _is_np_random(node):
+                yield _diag(
+                    source, node, "SL302",
+                    f"np.random.{node.attr} on a checkpoint/wire/state path; "
+                    f"use per-component generators seeded via "
+                    f"repro.util.rng.derive_seed",
+                )
+
+
+@register("determinism", codes=("SL301", "SL302", "SL303", "SL304"))
+def check_determinism(index: RepoIndex) -> Iterable[Diagnostic]:
+    """Seam-reachable randomness / wall-clock bans (SL3xx)."""
+    closure = index.seam_closure()
+    for source in index.files:
+        if source.module in closure:
+            yield from _check_file(source)

@@ -1,0 +1,135 @@
+"""SL4xx — wire-format pairing and self-delimiting framing.
+
+Every serialized form must be deserializable *by code in this repo*:
+a writer with no reader is state that can be checkpointed but never
+restored, which is exactly the failure mode crash-recovery tests exist
+to prevent.  The writer -> accepted-reader table lives in
+:class:`tools.sketchlint.config.Config.wire_pairs`.
+
+* ``SL401`` — a class defines a wire writer (``state_ints``,
+  ``shard_state_ints``, ``sparse_state_ints``, ``row_state_ints``) but
+  no accepted reader anywhere along its concrete base chain.
+* ``SL402`` — the mirror image: a reader with no corresponding writer,
+  i.e. dead restore code that will drift out of sync with the format it
+  claims to parse.
+* ``SL403`` — a cursor-consuming reader (``load_sparse_state``,
+  ``load_state_ints``) that does not take a ``cursor`` parameter or does
+  not return a value on every path: these readers parse a shared flat
+  int sequence, so the advanced cursor IS the framing — swallowing it
+  desynchronizes every record that follows.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from tools.sketchlint.diagnostics import Diagnostic
+from tools.sketchlint.model import ClassInfo, RepoIndex
+from tools.sketchlint.registry import register
+
+__all__ = ["check_wire"]
+
+
+def _diag(info: ClassInfo, line: int, code: str, message: str) -> Diagnostic:
+    return Diagnostic(
+        path=info.path, line=line, code=code, message=message, checker="wire",
+    )
+
+
+def _concrete_defined(index: RepoIndex, info: ClassInfo) -> set[str]:
+    """Method names defined along the chain, excluding abstract roots.
+
+    The abstract root's raising defaults exist so the *call site* fails
+    cleanly; they do not count as an implementation for pairing.
+    """
+    return {
+        name
+        for link in index.mro_chain(info)
+        if link.name not in index.config.abstract_roots
+        for name in link.methods
+    }
+
+
+def _walk_function(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    queue = list(ast.iter_child_nodes(fn))
+    while queue:
+        node = queue.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            queue.extend(ast.iter_child_nodes(node))
+
+
+def _always_raises(fn: ast.FunctionDef) -> bool:
+    """A raising stub: the body's last statement is a bare ``raise``."""
+    body = [stmt for stmt in fn.body if not _is_docstring(stmt)]
+    return bool(body) and isinstance(body[-1], ast.Raise)
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and isinstance(stmt.value.value, str)
+    )
+
+
+def _check_pairing(index: RepoIndex, info: ClassInfo) -> Iterable[Diagnostic]:
+    config = index.config
+    defined = _concrete_defined(index, info)
+    readers_of: dict[str, tuple[str, ...]] = config.wire_pairs
+    for writer, readers in readers_of.items():
+        if info.has_method(writer) and not any(r in defined for r in readers):
+            yield _diag(
+                info, info.methods[writer].lineno, "SL401",
+                f"{info.name}.{writer}() has no reader "
+                f"({' or '.join(readers)}): this state can be written but "
+                f"never restored",
+            )
+    for writer, readers in readers_of.items():
+        for reader in readers:
+            if info.has_method(reader) and writer not in defined:
+                yield _diag(
+                    info, info.methods[reader].lineno, "SL402",
+                    f"{info.name}.{reader}() has no writer ({writer}): dead "
+                    f"restore code drifts out of sync with the format it "
+                    f"claims to parse",
+                )
+
+
+def _check_cursor_reader(info: ClassInfo, fn: ast.FunctionDef) -> Iterable[Diagnostic]:
+    args = fn.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+    if "cursor" not in names:
+        yield _diag(
+            info, fn.lineno, "SL403",
+            f"cursor reader {info.name}.{fn.name}() takes no 'cursor' "
+            f"parameter: it cannot participate in self-delimiting framing",
+        )
+    if _always_raises(fn):
+        return
+    returns = [
+        node for node in _walk_function(fn) if isinstance(node, ast.Return)
+    ]
+    bare = [node for node in returns if node.value is None]
+    if bare or not returns:
+        line = bare[0].lineno if bare else fn.lineno
+        yield _diag(
+            info, line, "SL403",
+            f"cursor reader {info.name}.{fn.name}() does not return the "
+            f"advanced cursor on every path: the cursor IS the framing; "
+            f"swallowing it desynchronizes every record that follows",
+        )
+
+
+@register("wire", codes=("SL401", "SL402", "SL403"))
+def check_wire(index: RepoIndex) -> Iterable[Diagnostic]:
+    """Wire writer/reader pairing and cursor framing (SL4xx)."""
+    for info in index.classes:
+        if info.name.startswith("_") or info.name in index.config.abstract_roots:
+            continue
+        yield from _check_pairing(index, info)
+        for name in index.config.cursor_readers:
+            if info.has_method(name):
+                yield from _check_cursor_reader(info, info.methods[name])

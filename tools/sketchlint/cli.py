@@ -1,0 +1,178 @@
+"""The sketchlint front end: ``python -m tools.sketchlint src/``.
+
+Human output is one ``file:line: SLNNN message`` per finding (paths
+relative to the repo root); ``--json`` emits the pinned machine schema::
+
+    {
+      "version": 1,
+      "diagnostics": [{"file", "line", "code", "message", "checker"}, ...],
+      "counts": {"SL202": 3, ...},
+      "checkers": [{"name", "codes", "description"}, ...],
+      "inventory": {"sketch_classes": [...], "streaming_algorithms": [...]}
+    }
+
+Exit codes: ``0`` clean, ``1`` findings (or unparseable targets), ``2``
+usage error.  :func:`run_paths` is the library entry point the test
+suite drives with fixture-sized configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass, field
+
+if __package__ in (None, ""):  # pragma: no cover - script-mode fallback
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent.parent))
+
+from tools import _repo
+from tools.sketchlint.config import DEFAULT_CONFIG, Config
+from tools.sketchlint.diagnostics import Diagnostic
+from tools.sketchlint.model import RepoIndex, load_paths
+from tools.sketchlint.registry import all_checkers
+from tools.sketchlint.suppress import MALFORMED_CODE
+
+__all__ = ["LintResult", "run_paths", "main"]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    diagnostics: list[Diagnostic]
+    errors: list[str] = field(default_factory=list)
+    index: RepoIndex | None = None
+
+    @property
+    def clean(self) -> bool:
+        """No findings and every target parsed."""
+        return not self.diagnostics and not self.errors
+
+
+def run_paths(
+    paths: list[pathlib.Path | str], config: Config = DEFAULT_CONFIG
+) -> LintResult:
+    """Lint ``paths``: run every registered checker, apply suppressions.
+
+    Suppressed findings are dropped; malformed suppression comments come
+    back as :data:`~tools.sketchlint.suppress.MALFORMED_CODE`
+    diagnostics (which cannot themselves be suppressed).
+    """
+    index, errors = load_paths(paths, config)
+    raw: list[Diagnostic] = []
+    for checker in all_checkers():
+        raw.extend(checker.run(index))
+
+    by_path = {source.display_path: source for source in index.files}
+    kept: list[Diagnostic] = []
+    for diagnostic in raw:
+        source = by_path.get(diagnostic.path)
+        if source is not None and source.suppressions.match(
+            diagnostic.line, diagnostic.code
+        ):
+            continue
+        kept.append(diagnostic)
+    for source in index.files:
+        for line, problem in source.suppressions.malformed:
+            kept.append(
+                Diagnostic(
+                    path=source.display_path,
+                    line=line,
+                    code=MALFORMED_CODE,
+                    message=problem,
+                    checker="suppress",
+                )
+            )
+    return LintResult(diagnostics=sorted(set(kept)), errors=errors, index=index)
+
+
+def _relative(path: str) -> str:
+    try:
+        return str(pathlib.Path(path).resolve().relative_to(_repo.REPO_ROOT))
+    except ValueError:
+        return path
+
+
+def _json_payload(result: LintResult) -> dict:
+    from tools.sketchlint.checkers import protocol
+
+    counts: dict[str, int] = {}
+    for diagnostic in result.diagnostics:
+        counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+    inventory = {"sketch_classes": [], "streaming_algorithms": []}
+    if result.index is not None:
+        registry = protocol.discover(result.index)
+        inventory = {
+            "sketch_classes": sorted(c.name for c in registry["sketches"]),
+            "streaming_algorithms": sorted(c.name for c in registry["algorithms"]),
+        }
+    diagnostics = [
+        {**d.to_json(), "file": _relative(d.path)} for d in result.diagnostics
+    ]
+    return {
+        "version": 1,
+        "diagnostics": diagnostics,
+        "counts": counts,
+        "errors": result.errors,
+        "checkers": [
+            {"name": c.name, "codes": list(c.codes), "description": c.description}
+            for c in all_checkers()
+        ],
+        "inventory": inventory,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sketchlint",
+        description="Repo-native static analysis for the sketch contract, "
+        "field arithmetic, determinism, and wire-format invariants.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (e.g. src/)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the pinned JSON schema"
+    )
+    parser.add_argument(
+        "--list-checkers", action="store_true",
+        help="list registered checker families and exit",
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_checkers:
+        for checker in all_checkers():
+            print(f"{checker.name}: {', '.join(checker.codes)} — "
+                  f"{checker.description}")
+        return 0
+    if not options.paths:
+        parser.error("at least one path is required (e.g. src/)")
+
+    result = run_paths(options.paths)
+    if options.json:
+        print(json.dumps(_json_payload(result), indent=2, sort_keys=True))
+    else:
+        for error in result.errors:
+            print(error, file=sys.stderr)
+        for diagnostic in result.diagnostics:
+            print(diagnostic.format(root=_repo.REPO_ROOT))
+        files = len(result.index.files) if result.index else 0
+        classes = len(result.index.classes) if result.index else 0
+        if result.clean:
+            print(
+                f"sketchlint: clean ({files} files, {classes} classes)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"sketchlint: {len(result.diagnostics)} finding(s), "
+                f"{len(result.errors)} error(s)",
+                file=sys.stderr,
+            )
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

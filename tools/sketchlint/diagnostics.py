@@ -1,0 +1,45 @@
+"""Diagnostic records and their rendering.
+
+A :class:`Diagnostic` is one finding: a file, a line, an ``SLNNN`` code,
+and a message.  The ``file:line: SLNNN message`` rendering is the
+grep-able, editor-clickable format every sketchlint front end emits.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One sketchlint finding, sortable into stable output order."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+    checker: str = ""
+
+    def format(self, root: pathlib.Path | None = None) -> str:
+        """Render as ``file:line: SLNNN message`` (path relative to
+        ``root`` when given and applicable)."""
+        path = self.path
+        if root is not None:
+            try:
+                path = str(pathlib.Path(path).resolve().relative_to(root))
+            except ValueError:
+                pass
+        return f"{path}:{self.line}: {self.code} {self.message}"
+
+    def to_json(self) -> dict:
+        """The pinned machine-readable form (schema: see ``--json``)."""
+        return {
+            "file": self.path,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+            "checker": self.checker,
+        }

@@ -1,0 +1,218 @@
+"""Source loading and the cross-file index the checkers consume.
+
+:func:`load_paths` parses every target file once; :class:`RepoIndex`
+exposes the parsed modules, a class index with repo-local base
+resolution, and the repo-local import graph (for seam-closure
+computations).  Checkers never re-read or re-parse files.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+
+from tools import _repo
+from tools.sketchlint.config import Config
+from tools.sketchlint.suppress import FileSuppressions
+
+__all__ = ["ClassInfo", "SourceFile", "RepoIndex", "load_paths"]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: its AST, methods, and resolved repo bases."""
+
+    name: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    base_names: list[str]
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    @property
+    def line(self) -> int:
+        """Definition line of the class."""
+        return self.node.lineno
+
+    def has_method(self, name: str) -> bool:
+        """Whether the class body defines ``name`` (directly)."""
+        return name in self.methods
+
+
+@dataclass
+class SourceFile:
+    """One parsed module: text, AST, suppressions, dotted name."""
+
+    path: pathlib.Path
+    module: str
+    text: str
+    tree: ast.Module
+    suppressions: FileSuppressions
+
+    @property
+    def display_path(self) -> str:
+        """Path string used in diagnostics."""
+        return str(self.path)
+
+
+class RepoIndex:
+    """Everything the checkers need, computed once per run."""
+
+    def __init__(self, files: list[SourceFile], config: Config):
+        self.files = files
+        self.config = config
+        self.by_module: dict[str, SourceFile] = {f.module: f for f in files}
+        #: Every class across the analyzed files, in definition order.
+        self.classes: list[ClassInfo] = []
+        for source in files:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    self.classes.append(_class_info(node, source))
+        self._by_class_name: dict[str, ClassInfo] = {}
+        for info in self.classes:
+            # Last definition wins (class names are unique in this repo;
+            # fixtures may shadow, which is fine for base resolution).
+            self._by_class_name[info.name] = info
+        self._imports: dict[str, set[str]] | None = None
+
+    def class_named(self, name: str) -> ClassInfo | None:
+        """Repo-local class by bare name (best effort)."""
+        return self._by_class_name.get(name)
+
+    def mro_chain(self, info: ClassInfo) -> list[ClassInfo]:
+        """``info`` plus every transitively reachable repo-local base."""
+        chain: list[ClassInfo] = []
+        queue = [info]
+        seen: set[str] = set()
+        while queue:
+            current = queue.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            chain.append(current)
+            for base in current.base_names:
+                resolved = self.class_named(base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return chain
+
+    def resolves_method(self, info: ClassInfo, name: str) -> bool:
+        """Whether ``name`` is defined anywhere along the repo-local chain."""
+        return any(link.has_method(name) for link in self.mro_chain(info))
+
+    def subclasses_of(self, root_name: str) -> list[ClassInfo]:
+        """Classes transitively deriving from ``root_name`` (excluded)."""
+        return [
+            info
+            for info in self.classes
+            if info.name != root_name
+            and any(
+                link.name == root_name or root_name in link.base_names
+                for link in self.mro_chain(info)
+            )
+        ]
+
+    # -- repo-local import graph ---------------------------------------
+
+    def local_imports(self, module: str) -> set[str]:
+        """Repo-local modules ``module`` imports directly."""
+        if self._imports is None:
+            self._imports = {
+                source.module: _local_imports(source.tree, self.config.local_prefix)
+                for source in self.files
+            }
+        return self._imports.get(module, set())
+
+    def seam_closure(self) -> set[str]:
+        """The seam modules plus everything they transitively import.
+
+        Only analyzed modules are expanded (imports of files outside the
+        run's target set still appear in the closure by name, they just
+        have no edges of their own).
+        """
+        closure: set[str] = set()
+        queue = list(self.config.seam_modules)
+        while queue:
+            module = queue.pop()
+            if module in closure:
+                continue
+            closure.add(module)
+            queue.extend(self.local_imports(module))
+        return closure
+
+
+def _class_info(node: ast.ClassDef, source: SourceFile) -> ClassInfo:
+    bases: list[str] = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            bases.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            bases.append(base.attr)
+    methods = {
+        item.name: item
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    return ClassInfo(
+        name=node.name,
+        module=source.module,
+        path=source.display_path,
+        node=node,
+        base_names=bases,
+        methods=methods,
+    )
+
+
+def _local_imports(tree: ast.Module, prefix: str) -> set[str]:
+    found: set[str] = set()
+    dotted = prefix + "."
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == prefix or alias.name.startswith(dotted):
+                    found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == prefix or module.startswith(dotted):
+                found.add(module)
+    return found
+
+
+def load_paths(
+    paths: list[pathlib.Path | str], config: Config
+) -> tuple[RepoIndex, list[str]]:
+    """Parse every ``.py`` under ``paths`` into a :class:`RepoIndex`.
+
+    Returns ``(index, errors)`` where ``errors`` are human-readable
+    strings for unparseable targets (syntax errors, missing files).
+    """
+    files: list[SourceFile] = []
+    errors: list[str] = []
+    seen: set[pathlib.Path] = set()
+    for target in paths:
+        target = pathlib.Path(target)
+        if not target.exists():
+            errors.append(f"{target}: no such file or directory")
+            continue
+        for path in _repo.iter_source_files(target):
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            text = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(text, filename=str(path))
+            except SyntaxError as error:
+                errors.append(f"{path}:{error.lineno}: syntax error: {error.msg}")
+                continue
+            files.append(
+                SourceFile(
+                    path=path,
+                    module=_repo.module_name(path),
+                    text=text,
+                    tree=tree,
+                    suppressions=FileSuppressions(text.splitlines()),
+                )
+            )
+    return RepoIndex(files, config), errors

@@ -1,0 +1,59 @@
+"""The pluggable checker registry.
+
+A checker is a function ``(RepoIndex) -> Iterable[Diagnostic]``
+registered under a family name with the codes it may emit::
+
+    @register("field", codes=("SL201", "SL202"))
+    def check_field(index):
+        ...
+
+Importing :mod:`tools.sketchlint.checkers` populates the registry; the
+CLI runs every registered checker and merges the diagnostics.  New
+invariants plug in by adding a module under ``checkers/`` and importing
+it from the package ``__init__`` — no runner changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from tools.sketchlint.diagnostics import Diagnostic
+from tools.sketchlint.model import RepoIndex
+
+__all__ = ["Checker", "register", "all_checkers"]
+
+CheckFn = Callable[[RepoIndex], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Checker:
+    """A registered checker: its family name, codes, and entry point."""
+
+    name: str
+    codes: tuple[str, ...]
+    run: CheckFn
+    description: str
+
+
+_REGISTRY: dict[str, Checker] = {}
+
+
+def register(name: str, codes: tuple[str, ...]) -> Callable[[CheckFn], CheckFn]:
+    """Class-decorator factory: add a checker function to the registry."""
+
+    def wrap(fn: CheckFn) -> CheckFn:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate checker name {name!r}")
+        description = (fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else ""
+        _REGISTRY[name] = Checker(name=name, codes=codes, run=fn, description=description)
+        return fn
+
+    return wrap
+
+
+def all_checkers() -> list[Checker]:
+    """Every registered checker, in registration order."""
+    import tools.sketchlint.checkers  # noqa: F401  (side effect: registration)
+
+    return list(_REGISTRY.values())

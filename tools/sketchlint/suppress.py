@@ -1,0 +1,77 @@
+"""Inline suppression syntax: ``# sketchlint: disable=SLNNN <reason>``.
+
+A finding the team has reviewed and accepted is silenced *at the
+offending line*, never globally, and always with a reason::
+
+    bits[key] = rng.random() < 0.5  # sketchlint: disable=SL301 seeded Theorem-4 instance rng
+
+The comment may ride the flagged line itself or stand alone on the line
+directly above it.  Several codes may be listed comma-separated.  The
+reason is **mandatory** — a bare ``disable=SL301`` is itself reported as
+``SL001`` (malformed suppression), so a blanket, unexplained disable can
+never land.  Unknown code shapes (anything not ``SL`` + 3 digits) are
+also ``SL001``.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["FileSuppressions", "MALFORMED_CODE"]
+
+#: Code reported for a syntactically broken or reason-less suppression.
+MALFORMED_CODE = "SL001"
+
+_MARKER = re.compile(r"#\s*sketchlint:\s*(?P<body>.*)$")
+_DISABLE = re.compile(r"disable=(?P<codes>[A-Za-z0-9,]+)\s*(?P<reason>.*)$")
+_CODE = re.compile(r"^SL\d{3}$")
+
+
+class FileSuppressions:
+    """Parsed suppressions of one source file.
+
+    ``match(line, code)`` answers whether a diagnostic at ``line`` with
+    ``code`` is suppressed; ``malformed`` lists ``(line, problem)``
+    pairs the runner reports as :data:`MALFORMED_CODE` diagnostics.
+    """
+
+    def __init__(self, lines: list[str]):
+        #: line number -> set of suppressed codes *at that line*.
+        self._at_line: dict[int, set[str]] = {}
+        self.malformed: list[tuple[int, str]] = []
+        for lineno, text in enumerate(lines, start=1):
+            marker = _MARKER.search(text)
+            if marker is None:
+                continue
+            body = marker.group("body").strip()
+            disable = _DISABLE.match(body)
+            if disable is None:
+                self.malformed.append(
+                    (lineno, f"unrecognized sketchlint directive {body!r}; "
+                             f"expected 'disable=SLNNN <reason>'")
+                )
+                continue
+            codes = [c for c in disable.group("codes").split(",") if c]
+            bad = [c for c in codes if not _CODE.match(c)]
+            if bad:
+                self.malformed.append(
+                    (lineno, f"malformed suppression code(s) {', '.join(bad)}")
+                )
+                continue
+            if not disable.group("reason").strip():
+                self.malformed.append(
+                    (lineno,
+                     f"suppression of {', '.join(codes)} lacks a reason — "
+                     f"write '# sketchlint: disable={','.join(codes)} <why>'")
+                )
+                continue
+            targets = {lineno}
+            # A standalone suppression comment covers the next line.
+            if text.lstrip().startswith("#"):
+                targets.add(lineno + 1)
+            for target in targets:
+                self._at_line.setdefault(target, set()).update(codes)
+
+    def match(self, line: int, code: str) -> bool:
+        """Whether ``code`` is suppressed at ``line``."""
+        return code in self._at_line.get(line, ())
