@@ -39,10 +39,13 @@ bench-distributed:
 
 # The live sketch-store gates: a 10^6-update session ingests above the
 # throughput floor, answers queries mid-stream, kill/restore from a
-# checkpoint is bit-identical, and the epoch cache is >=10x.  No
-# parallel-speedup gate (host may expose 1 CPU).
+# checkpoint is bit-identical, the epoch cache is >=10x, and disabled
+# telemetry stays within 3% of the floor.  Then the regression check of
+# the fresh phase-attributed BENCH_service_phases.json against the
+# committed floors.  No parallel-speedup gate (host may expose 1 CPU).
 bench-service:
 	$(PYTHON) -m pytest benchmarks/bench_service.py -q
+	$(PYTHON) tools/perf_regress.py service_phases
 
 # The columnar-engine gates: >=3x algorithm-level columnar-vs-scalar
 # speedup with bit-identical state on 10^5-update streams (single-core
@@ -66,10 +69,10 @@ bench-sparse:
 # README promises must exist.
 docs-check:
 	$(PYTHON) tools/check_docstrings.py
-	@for f in README.md docs/paper_map.md docs/performance.md docs/invariants.md; do \
+	@for f in README.md docs/paper_map.md docs/performance.md docs/invariants.md docs/observability.md; do \
 		test -f $$f || { echo "missing $$f"; exit 1; }; \
 	done
-	@echo "docs OK: README.md, docs/paper_map.md, docs/performance.md, docs/invariants.md present"
+	@echo "docs OK: README.md, docs/paper_map.md, docs/performance.md, docs/invariants.md, docs/observability.md present"
 
 # Everything a PR should pass: the sketchlint invariants, docs gates
 # (docstring coverage), the unit/integration suite (plus the

@@ -8,6 +8,8 @@ Usage examples::
     python -m repro connectivity --n 48 --p 0.1
     python -m repro game --blocks 4 --block-size 16 --budget 8
     python -m repro workload --scenario query-heavy --n 24 --updates 4000
+    python -m repro trace --scenario mixed --out trace.jsonl
+    python -m repro stats --scenario query-heavy --live
     python -m repro serve --n 24 --updates 8000 --checkpoint-every 2000
     python -m repro info
 
@@ -72,6 +74,37 @@ def _run_distributed(args, stream, factory):
     for line in result.communication.summary().splitlines():
         print(f"comm     : {line}")
     return result.output
+
+
+def _add_workload_flags(subparser) -> None:
+    """Attach the shared workload-scenario knobs (used by ``workload``,
+    ``trace`` and ``stats``, so the three commands drive identical runs)."""
+    subparser.add_argument(
+        "--scenario",
+        choices=["mixed", "query-heavy", "bursty-deletes", "sparse-universe"],
+        default="mixed", help="workload shape (see repro.service.workload)",
+    )
+    subparser.add_argument("--n", type=_positive_int, default=24,
+                           help="number of vertices")
+    subparser.add_argument("--updates", type=_positive_int, default=4000,
+                           help="stream length to generate")
+    subparser.add_argument("--k", type=_positive_int, default=2,
+                           help="spanner stretch parameter (stretch 2^k)")
+    subparser.add_argument("--seed", type=int, default=7)
+    subparser.add_argument("--weighted", action="store_true",
+                           help="weighted stream (weights in [1, 8))")
+    subparser.add_argument("--no-sparsifier", action="store_true",
+                           help="disable the sparsifier slot (skips cut queries)")
+    subparser.add_argument("--checkpoint-every", type=_non_negative_int, default=0,
+                           metavar="N",
+                           help="checkpoint the session every N ingested updates")
+    subparser.add_argument("--state-dir", default=None,
+                           help="directory for checkpoints (default: a temp dir)")
+    subparser.add_argument("--universe", type=_positive_int, default=10_000_000,
+                           help="sparse-universe scenario: logical vertex-id space size")
+    subparser.add_argument("--touched", type=_positive_int, default=None,
+                           help="sparse-universe scenario: distinct ids the stream "
+                                "touches (default: updates/12)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -240,31 +273,43 @@ def build_parser() -> argparse.ArgumentParser:
             "             --universe 10000000 --touched 256 --updates 3000"
         ),
     )
-    workload.add_argument(
-        "--scenario",
-        choices=["mixed", "query-heavy", "bursty-deletes", "sparse-universe"],
-        default="mixed", help="workload shape (see repro.service.workload)",
+    _add_workload_flags(workload)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run a workload scenario with tracing armed; emit a JSONL trace",
+        formatter_class=fmt,
+        epilog=(
+            "Same machinery as `repro workload`, but with the telemetry\n"
+            "layer (repro.obs) armed for the run: every instrumented seam\n"
+            "(session ingest/query/cache, sketch scatter/spill/decode,\n"
+            "checkpoint bytes, workload phases) streams span records into\n"
+            "a JSONL trace (--out), and the terminal gets the phase tree\n"
+            "plus counter/histogram tables.  Schema: docs/observability.md.\n\n"
+            "example: python -m repro trace --scenario mixed --updates 4000\n"
+            "         python -m repro trace --scenario query-heavy --out q.jsonl"
+        ),
     )
-    workload.add_argument("--n", type=_positive_int, default=24, help="number of vertices")
-    workload.add_argument("--updates", type=_positive_int, default=4000,
-                          help="stream length to generate")
-    workload.add_argument("--k", type=_positive_int, default=2,
-                          help="spanner stretch parameter (stretch 2^k)")
-    workload.add_argument("--seed", type=int, default=7)
-    workload.add_argument("--weighted", action="store_true",
-                          help="weighted stream (weights in [1, 8))")
-    workload.add_argument("--no-sparsifier", action="store_true",
-                          help="disable the sparsifier slot (skips cut queries)")
-    workload.add_argument("--checkpoint-every", type=_non_negative_int, default=0,
-                          metavar="N",
-                          help="checkpoint the session every N ingested updates")
-    workload.add_argument("--state-dir", default=None,
-                          help="directory for checkpoints (default: a temp dir)")
-    workload.add_argument("--universe", type=_positive_int, default=10_000_000,
-                          help="sparse-universe scenario: logical vertex-id space size")
-    workload.add_argument("--touched", type=_positive_int, default=None,
-                          help="sparse-universe scenario: distinct ids the stream touches "
-                               "(default: updates/12)")
+    _add_workload_flags(trace)
+    trace.add_argument("--out", default="repro-trace.jsonl",
+                       help="JSONL trace output path (default: repro-trace.jsonl)")
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="run a workload scenario and print the session's stats block",
+        formatter_class=fmt,
+        epilog=(
+            "Drives a scenario into a live GraphSession and prints the\n"
+            "resulting SessionStats (epoch, updates, cache hit/miss/prune/\n"
+            "eviction traffic, resident sketch words).  --live additionally\n"
+            "arms a telemetry tracer for the run and prints the live phase\n"
+            "tree and counters gathered from the instrumented seams.\n\n"
+            "example: python -m repro stats --scenario query-heavy --live"
+        ),
+    )
+    _add_workload_flags(stats)
+    stats.add_argument("--live", action="store_true",
+                       help="collect and print live telemetry (spans + counters)")
 
     serve = subparsers.add_parser(
         "serve",
@@ -498,15 +543,13 @@ def _sparse_service_session(args, touched: int):
     )
 
 
-def _cmd_workload(args) -> int:
+def _run_workload(args, tracer=None):
+    """Build the scenario's session + ops, run the driver; shared by the
+    ``workload``, ``trace`` and ``stats`` commands.  Returns
+    ``(report, session, sparse)``."""
     import tempfile
 
-    from repro.service import (
-        SCENARIOS,
-        WorkloadDriver,
-        components_match_ledger,
-        scenario_ops,
-    )
+    from repro.service import SCENARIOS, WorkloadDriver, scenario_ops
 
     sparse = args.scenario == "sparse-universe"
     if sparse:
@@ -533,8 +576,17 @@ def _cmd_workload(args) -> int:
             session,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.state_dir or tempdir,
+            tracer=tracer,
         )
         report = driver.run(ops, scenario=args.scenario)
+    return report, session, sparse
+
+
+def _print_workload_outcome(args, report, session, sparse) -> bool:
+    """Shared tail of the workload-family commands: report table, sparse
+    residency lines, ledger verification.  Returns the verification bit."""
+    from repro.service import components_match_ledger
+
     print(report.table())
     if sparse:
         stats = session.stats()
@@ -543,7 +595,65 @@ def _cmd_workload(args) -> int:
               f"(dense universe would hold {stats.universe_space_words:,})")
     ok = components_match_ledger(session)
     print(f"verified  : components {'OK' if ok else 'MISMATCH'} vs exact ledger graph")
+    return ok
+
+
+def _cmd_workload(args) -> int:
+    from repro import obs
+
+    report, session, sparse = _run_workload(args)
+    ok = _print_workload_outcome(args, report, session, sparse)
+    if obs.TRACER.enabled:
+        # REPRO_TRACE armed the process-wide tracer: the run above fed
+        # it, so surface the phase tree alongside the report.
+        print()
+        print(obs.phase_tree(obs.TRACER))
+        print(f"trace     : {obs.trace_path_from_env()}")
     return 0 if ok else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+
+    tracer = obs.Tracer(sink=obs.JsonlSink(args.out))
+    previous = obs.set_tracer(tracer)
+    try:
+        report, session, sparse = _run_workload(args, tracer=tracer)
+    finally:
+        obs.set_tracer(previous)
+    ok = _print_workload_outcome(args, report, session, sparse)
+    print()
+    print(obs.render_summary(tracer))
+    tracer.close()
+    print(f"trace     : {args.out}")
+    return 0 if ok else 1
+
+
+def _cmd_stats(args) -> int:
+    import dataclasses
+
+    from repro import obs
+
+    tracer = None
+    previous = None
+    if args.live:
+        tracer = obs.Tracer()
+        previous = obs.set_tracer(tracer)
+    try:
+        report, session, sparse = _run_workload(args, tracer=tracer)
+    finally:
+        if previous is not None:
+            obs.set_tracer(previous)
+    stats = session.stats()
+    print(f"scenario  : {args.scenario} ({report.updates:,} updates, "
+          f"{report.queries} queries)")
+    for name, value in dataclasses.asdict(stats).items():
+        rendered = f"{value:,}" if isinstance(value, int) else value
+        print(f"{name:<22}: {rendered}")
+    if args.live:
+        print()
+        print(obs.render_summary(tracer))
+    return 0
 
 
 def _cmd_serve(args) -> int:
@@ -622,6 +732,8 @@ _COMMANDS = {
     "connectivity": _cmd_connectivity,
     "game": _cmd_game,
     "workload": _cmd_workload,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
     "serve": _cmd_serve,
     "info": _cmd_info,
 }

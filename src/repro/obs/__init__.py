@@ -1,0 +1,125 @@
+"""Unified telemetry: spans, counters, and phase-attributed profiles.
+
+The live pipeline (columnar sketches → :class:`~repro.service.session.GraphSession`
+→ :class:`~repro.stream.distributed.ShardedRunner`) measures itself
+through this package instead of scattering ``time.perf_counter`` pairs:
+ingest batches, query snapshots, cache traffic, checkpoint bytes,
+scatter batch sizes, spill events, decode/peeling work and per-round
+shard communication all land in one :class:`~repro.obs.tracer.Tracer`
+as nested spans, counters and log2 histograms.  ``repro trace`` and
+``repro stats --live`` surface the result; ``REPRO_TRACE=1`` streams a
+JSONL trace from any entry point (schema in docs/observability.md).
+
+The module-level :data:`TRACER` is the process-wide collector.  It is
+the no-op singleton (:data:`~repro.obs.tracer.NOOP_TRACER`) unless
+``REPRO_TRACE`` was set at import or :func:`set_tracer` installed an
+enabled tracer — the same read-once-at-import pattern as
+:mod:`repro.util.sanitize`.  Instrumented call sites read it as
+``obs.TRACER`` so a swap takes effect everywhere immediately; the
+disabled path allocates no per-call objects (``span()`` returns one
+shared singleton) and its cost is gated at under 3% of the committed
+ingest floor by ``benchmarks/bench_service.py``.
+
+Usage::
+
+    from repro import obs
+
+    with obs.TRACER.span("session.ingest", updates=len(batch)):
+        ...
+    obs.TRACER.count("session.cache.hit")
+    obs.TRACER.observe("sketch.scatter.batch", batch_len)
+
+``REPRO_TRACE`` accepts ``1`` (trace to ``REPRO_TRACE_FILE``, default
+``repro-trace.jsonl``) or a path ending in ``.jsonl`` / containing a
+separator (trace directly to that path).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+
+from repro.obs.render import (
+    counter_table,
+    histogram_table,
+    phase_tree,
+    render_summary,
+)
+from repro.obs.tracer import (
+    DEFAULT_CLOCK,
+    NOOP_SPAN,
+    NOOP_TRACER,
+    Histogram,
+    JsonlSink,
+    NoopTracer,
+    PhaseStat,
+    Span,
+    Tracer,
+    log2_bucket,
+)
+
+__all__ = [
+    "DEFAULT_CLOCK",
+    "ENABLED",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "TRACER",
+    "Histogram",
+    "JsonlSink",
+    "NoopTracer",
+    "PhaseStat",
+    "Span",
+    "Tracer",
+    "counter_table",
+    "get_tracer",
+    "histogram_table",
+    "log2_bucket",
+    "phase_tree",
+    "render_summary",
+    "set_tracer",
+    "trace_path_from_env",
+]
+
+#: Whether ``REPRO_TRACE`` armed tracing when this package was first
+#: imported (anything but ``""``/``"0"`` arms it).
+ENABLED = os.environ.get("REPRO_TRACE", "0") not in ("", "0")
+
+
+def trace_path_from_env() -> str:
+    """The JSONL path ``REPRO_TRACE`` / ``REPRO_TRACE_FILE`` selects.
+
+    A ``REPRO_TRACE`` value that looks like a path (ends in ``.jsonl``
+    or contains a path separator) is the sink path itself; any other
+    truthy value defers to ``REPRO_TRACE_FILE`` (default
+    ``repro-trace.jsonl`` in the working directory).
+    """
+    raw = os.environ.get("REPRO_TRACE", "")
+    if raw.endswith(".jsonl") or os.sep in raw:
+        return raw
+    return os.environ.get("REPRO_TRACE_FILE", "repro-trace.jsonl")
+
+
+#: The process-wide tracer every instrumented seam reads (``obs.TRACER``).
+TRACER: Tracer | NoopTracer = NOOP_TRACER
+
+if ENABLED:
+    TRACER = Tracer(sink=JsonlSink(trace_path_from_env()))
+    atexit.register(TRACER.close)
+
+
+def get_tracer() -> Tracer | NoopTracer:
+    """The current process-wide tracer (noop unless tracing is armed)."""
+    return TRACER
+
+
+def set_tracer(tracer: Tracer | NoopTracer) -> Tracer | NoopTracer:
+    """Install ``tracer`` process-wide; returns the previous one.
+
+    ``repro trace`` and tests use this for programmatic arming;
+    call sites notice immediately because they read ``obs.TRACER``
+    through the module attribute on every use.
+    """
+    global TRACER
+    previous = TRACER
+    TRACER = tracer
+    return previous

@@ -1,0 +1,83 @@
+"""Terminal rendering of a tracer's aggregates: the phase tree and tables.
+
+``repro trace`` and ``REPRO_TRACE=1 repro workload`` print these after a
+run; the JSONL sink carries the same data machine-readably (one record
+per closed span plus counter/histogram summaries — see
+docs/observability.md for the schema).
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracer import Tracer
+
+__all__ = ["phase_tree", "counter_table", "histogram_table", "render_summary"]
+
+
+def phase_tree(tracer: Tracer) -> str:
+    """The span aggregates as an indented tree, children under parents.
+
+    Each line shows the phase name, total seconds, span count, and its
+    share of the parent phase's time — the at-a-glance attribution the
+    telemetry layer exists for.
+    """
+    phases = tracer.phases
+    if not phases:
+        return "(no spans recorded)"
+    paths = sorted(phases)
+    name_width = max(2 * (len(path) - 1) + len(path[-1]) for path in paths)
+    lines = []
+    for path in paths:
+        stat = phases[path]
+        indent = "  " * (len(path) - 1)
+        label = f"{indent}{path[-1]}"
+        parent = phases.get(path[:-1])
+        share = ""
+        if parent is not None and parent.seconds > 0:
+            share = f"  {100.0 * stat.seconds / parent.seconds:5.1f}% of parent"
+        lines.append(
+            f"{label:<{name_width}}  {stat.seconds:10.4f} s  x{stat.count:<6}{share}"
+        )
+    return "\n".join(lines)
+
+
+def counter_table(tracer: Tracer) -> str:
+    """Counters as ``name value`` lines, sorted (empty string if none)."""
+    if not tracer.counters:
+        return ""
+    width = max(len(name) for name in tracer.counters)
+    return "\n".join(
+        f"{name:<{width}}  {value:>14,}"
+        for name, value in sorted(tracer.counters.items())
+    )
+
+
+def histogram_table(tracer: Tracer) -> str:
+    """Histograms as one line each: count, mean, max, top log2 buckets."""
+    if not tracer.histograms:
+        return ""
+    width = max(len(name) for name in tracer.histograms)
+    lines = []
+    for name, histogram in sorted(tracer.histograms.items()):
+        buckets = ", ".join(
+            f"2^{b}:{n}" for b, n in sorted(histogram.buckets.items())
+        )
+        lines.append(
+            f"{name:<{width}}  x{histogram.count:<8} mean {histogram.mean:12.1f}  "
+            f"max {histogram.max_value:12.1f}  [{buckets}]"
+        )
+    return "\n".join(lines)
+
+
+def render_summary(tracer: Tracer) -> str:
+    """The full terminal summary: phase tree + counters + histograms."""
+    sections = [("phase tree (total seconds per span path)", phase_tree(tracer))]
+    counters = counter_table(tracer)
+    if counters:
+        sections.append(("counters", counters))
+    histograms = histogram_table(tracer)
+    if histograms:
+        sections.append(("histograms (log2 buckets)", histograms))
+    blocks = []
+    for title, body in sections:
+        blocks.append(f"-- {title} --\n{body}")
+    return "\n".join(blocks)

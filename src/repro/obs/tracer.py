@@ -1,0 +1,325 @@
+"""The tracer: nested spans, counters, log2 histograms, a JSONL sink.
+
+One :class:`Tracer` holds everything a process measures about itself:
+
+* **spans** — nested named intervals (``with tracer.span("ingest"):``),
+  aggregated per *path* (the tuple of enclosing span names) into
+  :class:`PhaseStat` totals, and optionally streamed to a JSONL sink as
+  they close;
+* **counters** — monotonically accumulated named integers
+  (``tracer.count("session.cache.hit")``);
+* **histograms** — log2-bucketed distributions of sizes and latencies
+  (``tracer.observe("sketch.scatter.batch", n)``); bucket ``b`` holds
+  values in ``[2^(b-1), 2^b)`` (bucket 0 holds zero), so a histogram of
+  any dynamic range costs a handful of ints.
+
+Clock injection
+---------------
+A tracer never calls a wall-clock function by name: it calls whatever
+``clock`` it was constructed with (default: a monotonic high-resolution
+clock held as a *reference* in :data:`DEFAULT_CLOCK`).  This keeps the
+sketchlint determinism rules (SL3xx — no wall-clock calls on the
+checkpoint/wire/state seam closure) satisfiable even though the service
+and checkpoint modules import this package, and it lets tests drive the
+tracer with a deterministic fake clock.
+
+The disabled path
+-----------------
+:data:`NOOP_TRACER` is a stateless singleton whose ``span`` always
+returns the same :data:`NOOP_SPAN` object and whose ``count`` /
+``observe`` do nothing — instrumented hot paths pay an attribute load
+and a no-op call, nothing more, and allocate no per-call objects (the
+property ``tests/obs/test_tracer.py`` pins by identity).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "DEFAULT_CLOCK",
+    "PhaseStat",
+    "Histogram",
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "JsonlSink",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "log2_bucket",
+]
+
+#: The default span clock — monotonic and high-resolution.  Held as a
+#: function *reference* (never called at module level) so importing the
+#: tracer from a determinism-seam module executes no wall-clock read;
+#: enabled tracers call it through their injected ``clock`` slot.
+DEFAULT_CLOCK = time.perf_counter
+
+
+def log2_bucket(value: float) -> int:
+    """Histogram bucket of a non-negative value: ``0`` for zero, else
+    ``b`` such that ``2^(b-1) <= int(value) < 2^b`` (fractions below 1
+    land in bucket 1 with integer 0 values in bucket 0)."""
+    if value < 0:
+        raise ValueError(f"histogram values must be >= 0, got {value}")
+    integral = int(value)
+    if integral == 0:
+        return 1 if value > 0 else 0
+    return integral.bit_length()
+
+
+@dataclass
+class PhaseStat:
+    """Aggregate of every closed span sharing one path."""
+
+    count: int = 0
+    seconds: float = 0.0
+
+    def add(self, elapsed: float) -> None:
+        """Fold one closed span into the aggregate."""
+        self.count += 1
+        self.seconds += elapsed
+
+
+@dataclass
+class Histogram:
+    """A log2-bucketed distribution (bucket ``b``: ``[2^(b-1), 2^b)``)."""
+
+    count: int = 0
+    total: float = 0.0
+    max_value: float = 0.0
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        bucket = log2_bucket(value)
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_json(self) -> dict:
+        """The pinned machine-readable form (see docs/observability.md)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.max_value,
+            "buckets": {str(b): n for b, n in sorted(self.buckets.items())},
+        }
+
+
+class Span:
+    """One live interval on an enabled tracer (use as a context manager).
+
+    ``elapsed`` is 0.0 while open and the measured duration after exit;
+    callers that need the number (the workload driver folding span times
+    into its report) read it off the span they just closed — one clock,
+    one measurement, no way for trace and report to disagree.
+    """
+
+    __slots__ = ("name", "attrs", "path", "elapsed", "_tracer", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict | None):
+        self.name = name
+        self.attrs = attrs
+        self.path: tuple[str, ...] = ()
+        self.elapsed = 0.0
+        self._tracer = tracer
+        self._start = 0.0
+
+    def annotate(self, **attrs) -> None:
+        """Attach/overwrite attributes on the open span."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._tracer._begin(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._end(self)
+        return False
+
+
+class Tracer:
+    """An enabled telemetry collector (see the module docstring).
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning monotonic seconds; defaults to
+        :data:`DEFAULT_CLOCK`.  Inject a fake for deterministic tests.
+    sink:
+        Optional :class:`JsonlSink`; every closed span is streamed to it
+        and :meth:`close` appends the counter/histogram summary records.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None, sink: "JsonlSink | None" = None):
+        self._clock = DEFAULT_CLOCK if clock is None else clock
+        self.sink = sink
+        self.phases: dict[tuple[str, ...], PhaseStat] = {}
+        self.counters: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self._stack: list[Span] = []
+
+    # -- spans ----------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a nested span (enter it to start the clock)."""
+        return Span(self, name, attrs or None)
+
+    def _begin(self, span: Span) -> None:
+        stack = self._stack
+        span.path = (stack[-1].path + (span.name,)) if stack else (span.name,)
+        stack.append(span)
+        span._start = self._clock()
+
+    def _end(self, span: Span) -> None:
+        span.elapsed = self._clock() - span._start
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # tolerate out-of-order exits rather than corrupting the tree
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        stat = self.phases.get(span.path)
+        if stat is None:
+            stat = self.phases[span.path] = PhaseStat()
+        stat.add(span.elapsed)
+        if self.sink is not None:
+            record = {
+                "type": "span",
+                "path": "/".join(span.path),
+                "name": span.name,
+                "seconds": span.elapsed,
+            }
+            if span.attrs:
+                record["attrs"] = span.attrs
+            self.sink.write(record)
+
+    # -- counters / histograms -----------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Accumulate ``n`` into the named counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one value into the named log2 histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.record(value)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def phase_seconds(self) -> dict[str, float]:
+        """``"a/b" -> total seconds`` for every recorded span path."""
+        return {"/".join(path): stat.seconds for path, stat in self.phases.items()}
+
+    def close(self) -> None:
+        """Flush the summary (counters + histograms) and close the sink."""
+        if self.sink is None:
+            return
+        for name, value in sorted(self.counters.items()):
+            self.sink.write({"type": "counter", "name": name, "value": value})
+        for name, histogram in sorted(self.histograms.items()):
+            self.sink.write(
+                {"type": "histogram", "name": name, **histogram.to_json()}
+            )
+        self.sink.close()
+
+
+class _NoopSpan:
+    """The do-nothing span singleton (one per process, never allocated
+    per call — the disabled path's cost contract)."""
+
+    __slots__ = ()
+    name = ""
+    attrs = None
+    path: tuple[str, ...] = ()
+    elapsed = 0.0
+
+    def annotate(self, **attrs) -> None:
+        """Discard attributes."""
+        return None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The single span object every disabled-path ``span()`` call returns.
+NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: stateless, allocation-free, always off."""
+
+    __slots__ = ()
+    enabled = False
+    sink = None
+
+    def span(self, name: str, **attrs) -> _NoopSpan:
+        """Return the shared no-op span singleton."""
+        return NOOP_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Do nothing."""
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        """Do nothing."""
+        return None
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Nothing was recorded."""
+        return {}
+
+    def close(self) -> None:
+        """Nothing to flush."""
+        return None
+
+
+#: The process-wide disabled tracer (``repro.obs.TRACER`` points here
+#: unless ``REPRO_TRACE`` or ``set_tracer`` installed an enabled one).
+NOOP_TRACER = NoopTracer()
+
+
+class JsonlSink:
+    """Append-mode JSONL writer for trace records (one object per line).
+
+    The file is opened lazily on the first record, so constructing a
+    tracer with a sink costs nothing until something is measured.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = None
+
+    def write(self, record: dict) -> None:
+        """Append one record as a JSON line."""
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

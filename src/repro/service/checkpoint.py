@@ -34,6 +34,7 @@ import os
 import struct
 from pathlib import Path
 
+from repro import obs
 from repro.core.parameters import SpannerParams, SparsifierParams
 from repro.graph.vertex_space import VertexSpace
 from repro.service.session import GraphSession
@@ -99,32 +100,37 @@ def save_session(session: GraphSession, path) -> None:
     sequence holding the ledger followed by one length-prefixed
     ``shard_state_ints(0)`` block per enabled algorithm.
     """
-    flat: list[int] = [len(session._multiplicity)]
-    for pair in sorted(session._multiplicity):
-        flat.extend(
-            (
-                pair[0],
-                pair[1],
-                session._multiplicity[pair],
-                _float_bits(session._weight[pair]),
+    with obs.TRACER.span("checkpoint.save"):
+        flat: list[int] = [len(session._multiplicity)]
+        for pair in sorted(session._multiplicity):
+            flat.extend(
+                (
+                    pair[0],
+                    pair[1],
+                    session._multiplicity[pair],
+                    _float_bits(session._weight[pair]),
+                )
             )
-        )
-    for algorithm in session._algorithms():
-        block = algorithm.shard_state_ints(0)
-        flat.append(len(block))
-        flat.extend(block)
-    payload = pack_ints(flat)
-    header = json.dumps(_header(session), sort_keys=True).encode("utf-8")
+        for algorithm in session._algorithms():
+            block = algorithm.shard_state_ints(0)
+            flat.append(len(block))
+            flat.extend(block)
+        payload = pack_ints(flat)
+        header = json.dumps(_header(session), sort_keys=True).encode("utf-8")
 
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    temp = path.with_name(path.name + ".tmp")
-    with open(temp, "wb") as handle:
-        handle.write(MAGIC)
-        handle.write(header)
-        handle.write(b"\n")
-        handle.write(payload)
-    os.replace(temp, path)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(path.name + ".tmp")
+        with open(temp, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(header)
+            handle.write(b"\n")
+            handle.write(payload)
+        os.replace(temp, path)
+        total = len(MAGIC) + len(header) + 1 + len(payload)
+    obs.TRACER.count("checkpoint.writes")
+    obs.TRACER.count("checkpoint.bytes_written", total)
+    obs.TRACER.observe("checkpoint.bytes", total)
 
 
 def load_session(path) -> GraphSession:
@@ -135,11 +141,18 @@ def load_session(path) -> GraphSession:
     epoch, same counters, same sketch cells — so its future answers
     match an uninterrupted run's.
     """
+    with obs.TRACER.span("checkpoint.load"):
+        return _load_session(path)
+
+
+def _load_session(path) -> GraphSession:
     path = Path(path)
     try:
         data = path.read_bytes()
     except OSError as error:
         raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    obs.TRACER.count("checkpoint.restores")
+    obs.TRACER.count("checkpoint.bytes_read", len(data))
     if not data.startswith(MAGIC):
         for stale in _STALE_MAGICS:
             if data.startswith(stale):

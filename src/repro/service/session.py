@@ -58,6 +58,7 @@ from repro.graph.cuts import cut_value
 from repro.graph.distances import bfs_distances
 from repro.graph.graph import Graph
 from repro.graph.vertex_space import VertexSpace, as_vertex_space
+from repro import obs
 from repro.stream.space import SpaceReport
 from repro.stream.updates import EdgeUpdate
 from repro.util import sanitize as _sanitize
@@ -79,6 +80,13 @@ class SessionStats:
     live_edges: int
     cache_hits: int
     cache_misses: int
+    #: Entries dropped because their epoch went stale (ingest pruning).
+    cache_prunes: int
+    #: Entries dropped to hold the same-epoch entry bound (per-source
+    #: BFS keys would otherwise grow without limit within an epoch).
+    cache_evictions: int
+    #: Memoized query results currently resident.
+    cache_entries: int
     space_words: int
     #: What a dense allocation over the full vertex universe would hold;
     #: equals ``space_words`` for dense sessions, and dwarfs it for lazy
@@ -89,31 +97,60 @@ class SessionStats:
 
 
 class _EpochCache:
-    """Memoized query results, invalidated by epoch mismatch."""
+    """Memoized query results, invalidated by epoch mismatch.
 
-    __slots__ = ("_entries", "hits", "misses")
+    Bounded two ways: :meth:`prune` drops stale-epoch entries on every
+    ingest, and inserts evict the oldest entry once ``max_entries``
+    same-epoch results are resident — a query-heavy session issuing
+    ``("spanner-bfs", u)`` for many sources between updates stays
+    bounded within an epoch too.  Hit/miss/prune/eviction traffic is
+    counted here and mirrored to the tracer (``session.cache.*``).
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_entries", "hits", "misses", "prunes", "evictions", "max_entries")
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._entries: dict = {}
         self.hits = 0
         self.misses = 0
+        self.prunes = 0
+        self.evictions = 0
+        self.max_entries = max_entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
     def get_or_compute(self, key, epoch: int, compute):
         entry = self._entries.get(key)
         if entry is not None and entry[0] == epoch:
             self.hits += 1
+            obs.TRACER.count("session.cache.hit")
             return entry[1]
         self.misses += 1
+        obs.TRACER.count("session.cache.miss")
         value = compute()
+        if entry is None and len(self._entries) >= self.max_entries:
+            # FIFO eviction: dict preserves insertion order, so the
+            # first key is the oldest resident result.
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+            obs.TRACER.count("session.cache.evict")
         self._entries[key] = (epoch, value)
         return value
 
     def prune(self, epoch: int) -> None:
         """Drop entries from earlier epochs (ingest calls this so stale
         per-source BFS maps don't accumulate without bound)."""
+        before = len(self._entries)
         self._entries = {
             key: entry for key, entry in self._entries.items() if entry[0] == epoch
         }
+        dropped = before - len(self._entries)
+        if dropped:
+            self.prunes += dropped
+            obs.TRACER.count("session.cache.prune", dropped)
 
 
 class GraphSession:
@@ -332,22 +369,25 @@ class GraphSession:
         """
         if not updates:
             return
-        self._validate(updates)
-        for update in updates:
-            pair = update.pair
-            updated = self._multiplicity.get(pair, 0) + update.sign
-            if updated == 0:
-                del self._multiplicity[pair]
-                del self._weight[pair]
-            else:
-                self._multiplicity[pair] = updated
-                self._weight[pair] = update.weight
-        for algorithm in self._algorithms():
-            for start in range(0, len(updates), _REPLAY_CHUNK):
-                algorithm.process_batch(updates[start : start + _REPLAY_CHUNK], 0)
-        self.updates_ingested += len(updates)
-        self.epoch += 1
-        self._cache.prune(self.epoch)
+        with obs.TRACER.span("session.ingest"):
+            self._validate(updates)
+            for update in updates:
+                pair = update.pair
+                updated = self._multiplicity.get(pair, 0) + update.sign
+                if updated == 0:
+                    del self._multiplicity[pair]
+                    del self._weight[pair]
+                else:
+                    self._multiplicity[pair] = updated
+                    self._weight[pair] = update.weight
+            for algorithm in self._algorithms():
+                for start in range(0, len(updates), _REPLAY_CHUNK):
+                    algorithm.process_batch(updates[start : start + _REPLAY_CHUNK], 0)
+            self.updates_ingested += len(updates)
+            self.epoch += 1
+            self._cache.prune(self.epoch)
+        obs.TRACER.observe("session.ingest.batch", len(updates))
+        obs.TRACER.count("session.epoch.advance")
 
     # ------------------------------------------------------------------
     # The ledger (exact service-plane state)
@@ -401,6 +441,10 @@ class GraphSession:
             # No clone here: AGM forest extraction is read-only by
             # construction (Boruvka copies samplers before combining), so
             # the snapshot discipline costs nothing on this hot path.
+            with obs.TRACER.span("session.snapshot.forest"):
+                return compute_forest()
+
+        def compute_forest():
             forest = self._connectivity.spanning_forest()
             if self.space.lazy:
                 sparse_dsu = SparseDisjointSets(
@@ -423,7 +467,8 @@ class GraphSession:
     def spanning_forest(self) -> list[tuple[int, int]]:
         """A spanning forest of the current graph (whp), snapshot-decoded
         (logical vertex ids; see :meth:`spanning_forest_external`)."""
-        return self._forest_snapshot()[0]
+        with obs.TRACER.span("session.query.forest"):
+            return self._forest_snapshot()[0]
 
     def spanning_forest_external(self) -> list[tuple]:
         """The forest with external vertex labels (interned spaces)."""
@@ -453,17 +498,22 @@ class GraphSession:
         spaces; an id the session never saw is trivially isolated).
         First call per epoch pays one forest decode; subsequent calls
         are cache hits (O(1))."""
-        lu, lv = self._lookup_vertex(u), self._lookup_vertex(v)
-        if not self.space.is_interned and (lu is None or lv is None):
-            raise ValueError(f"vertices ({u}, {v}) outside [0, {self.num_vertices})")
-        if lu is None or lv is None:
-            return u == v
-        if lu == lv:
-            return True
-        _, labels = self._forest_snapshot()
-        if isinstance(labels, dict):
-            return labels.get(lu, ("isolated", lu)) == labels.get(lv, ("isolated", lv))
-        return labels[lu] == labels[lv]
+        with obs.TRACER.span("session.query.connected"):
+            lu, lv = self._lookup_vertex(u), self._lookup_vertex(v)
+            if not self.space.is_interned and (lu is None or lv is None):
+                raise ValueError(
+                    f"vertices ({u}, {v}) outside [0, {self.num_vertices})"
+                )
+            if lu is None or lv is None:
+                return u == v
+            if lu == lv:
+                return True
+            _, labels = self._forest_snapshot()
+            if isinstance(labels, dict):
+                return labels.get(lu, ("isolated", lu)) == labels.get(
+                    lv, ("isolated", lv)
+                )
+            return labels[lu] == labels[lv]
 
     def _require(self, slot, name: str):
         if slot is None:
@@ -495,11 +545,12 @@ class GraphSession:
         spanner = self._require(self._spanner, "spanner")
 
         def compute():
-            clone = spanner.clone()
-            if _sanitize.ENABLED:
-                _sanitize.check_clone_independent(spanner, clone)
-            self._replay_second_pass(clone)
-            return clone.finalize()
+            with obs.TRACER.span("session.snapshot.spanner"):
+                clone = spanner.clone()
+                if _sanitize.ENABLED:
+                    _sanitize.check_clone_independent(spanner, clone)
+                self._replay_second_pass(clone)
+                return clone.finalize()
 
         return self._cache.get_or_compute("spanner", self.epoch, compute)
 
@@ -510,21 +561,26 @@ class GraphSession:
         source vertex, so query bursts against a quiet graph are cheap.
         Returns ``inf`` for pairs the spanner does not connect.
         """
-        lu, lv = self._lookup_vertex(u), self._lookup_vertex(v)
-        if not self.space.is_interned and (lu is None or lv is None):
-            raise ValueError(f"vertices ({u}, {v}) outside [0, {self.num_vertices})")
-        if u == v or (lu is not None and lu == lv):
-            return 0.0
-        if lu is None or lv is None:
-            return math.inf
-        u, v = lu, lv
-        output = self.spanner_snapshot()
+        with obs.TRACER.span("session.query.spanner_distance"):
+            lu, lv = self._lookup_vertex(u), self._lookup_vertex(v)
+            if not self.space.is_interned and (lu is None or lv is None):
+                raise ValueError(
+                    f"vertices ({u}, {v}) outside [0, {self.num_vertices})"
+                )
+            if u == v or (lu is not None and lu == lv):
+                return 0.0
+            if lu is None or lv is None:
+                return math.inf
+            u, v = lu, lv
+            output = self.spanner_snapshot()
 
-        def compute():
-            return bfs_distances(output.spanner, u)
+            def compute():
+                return bfs_distances(output.spanner, u)
 
-        distances = self._cache.get_or_compute(("spanner-bfs", u), self.epoch, compute)
-        return float(distances.get(v, math.inf))
+            distances = self._cache.get_or_compute(
+                ("spanner-bfs", u), self.epoch, compute
+            )
+            return float(distances.get(v, math.inf))
 
     def sparsifier_snapshot(self) -> Graph:
         """Finalize a weighted spectral sparsifier of the current graph.
@@ -536,11 +592,12 @@ class GraphSession:
         sparsifier = self._require(self._sparsifier, "sparsifier")
 
         def compute():
-            clone = sparsifier.clone()
-            if _sanitize.ENABLED:
-                _sanitize.check_clone_independent(sparsifier, clone)
-            self._replay_second_pass(clone)
-            return clone.finalize()
+            with obs.TRACER.span("session.snapshot.sparsifier"):
+                clone = sparsifier.clone()
+                if _sanitize.ENABLED:
+                    _sanitize.check_clone_independent(sparsifier, clone)
+                self._replay_second_pass(clone)
+                return clone.finalize()
 
         return self._cache.get_or_compute("sparsifier", self.epoch, compute)
 
@@ -551,20 +608,21 @@ class GraphSession:
         preserves all cuts to ``(1 ± eps)``, so this answers arbitrary
         cut queries from sketch-sized state.
         """
-        side_set = frozenset(side)
-        if not side_set:
-            raise ValueError("cut side must be nonempty")
-        if self.space.is_interned:
-            logical = {self._lookup_vertex(v) for v in side_set}
-            side_set = frozenset(v for v in logical if v is not None)
+        with obs.TRACER.span("session.query.cut"):
+            side_set = frozenset(side)
             if not side_set:
-                return 0.0  # only never-seen ids: an isolated side cuts nothing
-        else:
-            logical = {self._lookup_vertex(v) for v in side_set}
-            if None in logical:
-                raise ValueError(f"cut side leaves [0, {self.num_vertices})")
-            side_set = frozenset(logical)
-        return cut_value(self.sparsifier_snapshot(), side_set)
+                raise ValueError("cut side must be nonempty")
+            if self.space.is_interned:
+                logical = {self._lookup_vertex(v) for v in side_set}
+                side_set = frozenset(v for v in logical if v is not None)
+                if not side_set:
+                    return 0.0  # only never-seen ids: an isolated side cuts nothing
+            else:
+                logical = {self._lookup_vertex(v) for v in side_set}
+                if None in logical:
+                    raise ValueError(f"cut side leaves [0, {self.num_vertices})")
+                side_set = frozenset(logical)
+            return cut_value(self.sparsifier_snapshot(), side_set)
 
     # ------------------------------------------------------------------
     # Introspection / durability
@@ -579,6 +637,9 @@ class GraphSession:
             live_edges=self.num_live_edges(),
             cache_hits=self._cache.hits,
             cache_misses=self._cache.misses,
+            cache_prunes=self._cache.prunes,
+            cache_evictions=self._cache.evictions,
+            cache_entries=len(self._cache),
             space_words=report.total_words(),
             universe_space_words=report.universe_words(),
             touched_vertices=self.touched_vertices(),

@@ -29,10 +29,10 @@ about (:func:`scenario_ops`):
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.agm.spanning_forest import SparseDisjointSets
 from repro.service.session import GraphSession
 from repro.stream.generators import mixed_session_ops, sparse_session_ops
@@ -230,6 +230,13 @@ class WorkloadDriver:
     checkpoint_dir:
         Directory for ``ckpt-<epoch>.bin`` files (required when
         ``checkpoint_every`` is positive).
+    tracer:
+        Telemetry collector for the run's spans.  Defaults to the
+        process-wide ``obs.TRACER`` when tracing is armed; otherwise a
+        private enabled :class:`~repro.obs.tracer.Tracer` (no sink) so
+        :class:`WorkloadReport` timings are real even without
+        ``REPRO_TRACE`` — the report and the trace read the *same*
+        spans, so they can never disagree.
     """
 
     def __init__(
@@ -237,6 +244,7 @@ class WorkloadDriver:
         session: GraphSession,
         checkpoint_every: int = 0,
         checkpoint_dir=None,
+        tracer=None,
     ):
         if checkpoint_every < 0:
             raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
@@ -245,6 +253,9 @@ class WorkloadDriver:
         self.session = session
         self.checkpoint_every = checkpoint_every
         self.checkpoint_dir = None if checkpoint_dir is None else Path(checkpoint_dir)
+        if tracer is None:
+            tracer = obs.TRACER if obs.TRACER.enabled else obs.Tracer()
+        self.tracer = tracer
 
     def _dispatch(self, kind: str, args: tuple):
         session = self.session
@@ -270,6 +281,7 @@ class WorkloadDriver:
         than failing, so one op stream drives any session configuration.
         """
         session = self.session
+        tracer = self.tracer
         hits_at_start = session._cache.hits
         misses_at_start = session._cache.misses
         ingest_seconds = 0.0
@@ -282,38 +294,41 @@ class WorkloadDriver:
         last_checkpoint: Path | None = None
         since_checkpoint = 0
         latencies: dict[str, LatencySummary] = {}
-        for op in ops:
-            if op[0] == "ingest":
-                chunk = op[1]
-                start = time.perf_counter()
-                session.ingest_batch(chunk)
-                ingest_seconds += time.perf_counter() - start
-                updates += len(chunk)
-                since_checkpoint += len(chunk)
-                if self.checkpoint_every and since_checkpoint >= self.checkpoint_every:
-                    since_checkpoint = 0
-                    target = self.checkpoint_dir / f"ckpt-{session.epoch}.bin"
-                    start = time.perf_counter()
-                    session.checkpoint(target)
-                    checkpoint_seconds += time.perf_counter() - start
-                    checkpoints += 1
-                    last_checkpoint = target
-            elif op[0] == "query":
-                kind, args = op[1], op[2]
-                hits_before = session._cache.hits
-                start = time.perf_counter()
-                result = self._dispatch(kind, args)
-                elapsed = time.perf_counter() - start
-                query_seconds += elapsed
-                if result is None and kind in ("spanner_distance", "cut"):
-                    skipped += 1
-                    continue
-                queries += 1
-                latencies.setdefault(kind, LatencySummary()).record(
-                    elapsed, session._cache.hits > hits_before
-                )
-            else:
-                raise ValueError(f"unknown op {op[0]!r}")
+        with tracer.span("workload.run", scenario=scenario):
+            for op in ops:
+                if op[0] == "ingest":
+                    chunk = op[1]
+                    with tracer.span("workload.ingest") as span:
+                        session.ingest_batch(chunk)
+                    ingest_seconds += span.elapsed
+                    updates += len(chunk)
+                    since_checkpoint += len(chunk)
+                    if (
+                        self.checkpoint_every
+                        and since_checkpoint >= self.checkpoint_every
+                    ):
+                        since_checkpoint = 0
+                        target = self.checkpoint_dir / f"ckpt-{session.epoch}.bin"
+                        with tracer.span("workload.checkpoint") as span:
+                            session.checkpoint(target)
+                        checkpoint_seconds += span.elapsed
+                        checkpoints += 1
+                        last_checkpoint = target
+                elif op[0] == "query":
+                    kind, args = op[1], op[2]
+                    hits_before = session._cache.hits
+                    with tracer.span("workload.query", kind=kind) as span:
+                        result = self._dispatch(kind, args)
+                    query_seconds += span.elapsed
+                    if result is None and kind in ("spanner_distance", "cut"):
+                        skipped += 1
+                        continue
+                    queries += 1
+                    latencies.setdefault(kind, LatencySummary()).record(
+                        span.elapsed, session._cache.hits > hits_before
+                    )
+                else:
+                    raise ValueError(f"unknown op {op[0]!r}")
         return WorkloadReport(
             scenario=scenario,
             num_vertices=session.num_vertices,

@@ -87,6 +87,7 @@ from repro.sketch.batched import (
     submod61,
     MASK32,
 )
+from repro import obs
 from repro.sketch.hashing import MERSENNE_61, KWiseHash, NestedSampler
 from repro.sketch.l0sampler import L0Sampler
 from repro.sketch.sparse_recovery import (
@@ -420,6 +421,7 @@ class SketchStack:
         """
         if self._spilled is not None:
             return
+        obs.TRACER.count("sketch.spill")
         self._spilled = {
             row: self._materialize_row(row) for row in self.touched_row_ids()
         }
@@ -517,6 +519,7 @@ class SketchStack:
             raise IndexError(f"index batch leaves domain [0, {self.domain_size})")
         if int(row_ids.min()) < 0 or int(row_ids.max()) >= self.num_rows:
             raise IndexError(f"row batch leaves [0, {self.num_rows})")
+        obs.TRACER.observe("sketch.scatter.batch", row_ids.size)
         # Conservative single-cell headroom for this batch: every update
         # could land in one cell, each contributing at most |delta|*index
         # to the index-sum plane (and less to the totals plane).  The

@@ -40,6 +40,7 @@ from repro.sketch.batched import (
     prepare_batch,
     scatter_sum_mod61,
 )
+from repro import obs
 from repro.sketch.hashing import MERSENNE_61, KWiseHash
 from repro.util.rng import derive_seed
 
@@ -205,6 +206,7 @@ class SparseRecoverySketch:
         up to the ``~1/2^61`` fingerprint failure probability.  An empty
         dict means the vector is (whp) zero.
         """
+        obs.TRACER.count("sketch.decode.attempt")
         if (
             not any(self._totals)
             and not any(self._index_sums)
@@ -248,7 +250,9 @@ class SparseRecoverySketch:
         for cell in seeds:
             queued[cell] = True
         queue = deque(seeds)
+        peel_iterations = 0
         while queue:
+            peel_iterations += 1
             cell = queue.popleft()
             queued[cell] = False
             extracted = cell_one_sparse(cell)
@@ -269,7 +273,9 @@ class SparseRecoverySketch:
                     queue.append(target)
 
         # C-speed residual check (any() over the plain int lists).
+        obs.TRACER.count("sketch.decode.peel_iterations", peel_iterations)
         if any(totals) or any(index_sums) or any(fingerprints):
+            obs.TRACER.count("sketch.decode.fail")
             return None
         return {index: value for index, value in recovered.items() if value != 0}
 

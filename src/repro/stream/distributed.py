@@ -54,6 +54,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro import obs
 from repro.sketch.serialize import pack_ints, unpack_ints
 from repro.stream.pipeline import StreamingAlgorithm
 from repro.stream.sharding import shard_by_edge, shard_round_robin
@@ -94,6 +95,12 @@ class RoundTrace:
     #: an upper bound on, not a varint measure of, its information
     #: content.
     broadcast_bytes: int = 0
+    #: Wall-clock seconds the workers (all shards, this round) and the
+    #: coordinator merge loop took.  Populated only when tracing is
+    #: armed (``obs.TRACER.enabled``); 0.0 otherwise, so equality
+    #: comparisons against hand-built traces in tests stay exact.
+    worker_seconds: float = 0.0
+    merge_seconds: float = 0.0
 
     def uplink_bytes(self) -> int:
         """Total server→coordinator bytes this round."""
@@ -127,16 +134,34 @@ class CommunicationReport:
         """All bytes on the wire across all rounds."""
         return self.uplink_bytes() + self.downlink_bytes()
 
+    def worker_seconds(self) -> float:
+        """Total worker wall-clock across rounds (0.0 unless traced)."""
+        return sum(trace.worker_seconds for trace in self.rounds)
+
+    def merge_seconds(self) -> float:
+        """Total coordinator merge wall-clock (0.0 unless traced)."""
+        return sum(trace.merge_seconds for trace in self.rounds)
+
     def summary(self) -> str:
-        """One line per round plus a total, human-readable."""
+        """One line per round plus a total, human-readable.
+
+        Round lines carry worker/merge timing when the run was traced
+        (``obs.TRACER`` enabled during :meth:`ShardedRunner.run`).
+        """
         lines = []
         for trace in self.rounds:
-            lines.append(
+            line = (
                 f"round {trace.pass_index}: "
                 f"{trace.uplink_bytes():,} B up "
                 f"({min(trace.message_bytes):,}-{max(trace.message_bytes):,} B/server), "
                 f"{trace.downlink_bytes():,} B down"
             )
+            if trace.worker_seconds or trace.merge_seconds:
+                line += (
+                    f", workers {trace.worker_seconds * 1e3:.1f} ms"
+                    f", merge {trace.merge_seconds * 1e3:.1f} ms"
+                )
+            lines.append(line)
         lines.append(
             f"total over {self.num_servers} servers: {self.total_bytes():,} B"
         )
@@ -298,26 +323,37 @@ class ShardedRunner:
                 coordinator.broadcast_state(pass_index) if pass_index > 0 else None
             )
             broadcast_bytes = len(pickle.dumps(broadcast)) if broadcast is not None else 0
-            if self.backend == "serial":
-                messages = [
-                    _worker_round(factory, shard, pass_index, broadcast, self.batch_size)
-                    for shard in shards
-                ]
-            else:
-                messages = self._run_mp_round(factory, shards, pass_index, broadcast)
-            coordinator.begin_pass(pass_index)
-            for message in messages:
-                peer = factory()
-                if broadcast is not None:
-                    peer.adopt_broadcast(broadcast, pass_index)
-                peer.load_shard_state_ints(pass_index, unpack_ints(message))
-                coordinator.merge_shard(peer, pass_index)
-            coordinator.end_pass(pass_index)
+            with obs.TRACER.span(
+                "shard.round.workers", pass_index=pass_index
+            ) as worker_span:
+                if self.backend == "serial":
+                    messages = [
+                        _worker_round(factory, shard, pass_index, broadcast, self.batch_size)
+                        for shard in shards
+                    ]
+                else:
+                    messages = self._run_mp_round(factory, shards, pass_index, broadcast)
+            with obs.TRACER.span(
+                "shard.round.merge", pass_index=pass_index
+            ) as merge_span:
+                coordinator.begin_pass(pass_index)
+                for message in messages:
+                    peer = factory()
+                    if broadcast is not None:
+                        peer.adopt_broadcast(broadcast, pass_index)
+                    peer.load_shard_state_ints(pass_index, unpack_ints(message))
+                    coordinator.merge_shard(peer, pass_index)
+                coordinator.end_pass(pass_index)
+            uplink = sum(len(message) for message in messages)
+            obs.TRACER.count("shard.round.uplink_bytes", uplink)
+            obs.TRACER.observe("shard.message.bytes", max(len(m) for m in messages))
             rounds.append(
                 RoundTrace(
                     pass_index=pass_index,
                     message_bytes=tuple(len(message) for message in messages),
                     broadcast_bytes=broadcast_bytes,
+                    worker_seconds=worker_span.elapsed,
+                    merge_seconds=merge_span.elapsed,
                 )
             )
         output = coordinator.finalize()

@@ -1,0 +1,231 @@
+"""The telemetry core: span nesting, aggregation, the disabled-path
+contract, histograms, and the JSONL schema docs/observability.md pins.
+
+The disabled path is the load-bearing half: every hot seam in the repo
+calls ``obs.TRACER`` unconditionally, so these tests pin that with
+``REPRO_TRACE`` unset the process-wide tracer is the allocation-free
+noop singleton and nothing observable happens — the property that keeps
+every bit-identity test and the ingest floor untouched by telemetry.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+class FakeClock:
+    """Deterministic injectable clock: advances by ``step`` per read."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+# -- the disabled path -------------------------------------------------
+
+
+def test_trace_env_unset_leaves_noop_tracer(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    # ENABLED was latched at import with the env unset (the test run
+    # never sets it), and the process-wide tracer is the noop singleton.
+    assert obs.ENABLED is False
+    assert obs.TRACER is obs.NOOP_TRACER
+    assert obs.get_tracer() is obs.NOOP_TRACER
+
+
+def test_noop_span_is_one_shared_singleton():
+    # The cost contract: span() on the disabled path allocates nothing —
+    # every call returns the same object, usable as a context manager.
+    a = obs.NOOP_TRACER.span("ingest", batch=128)
+    b = obs.NOOP_TRACER.span("query")
+    assert a is b is obs.NOOP_SPAN
+    with a as entered:
+        assert entered is obs.NOOP_SPAN
+        entered.annotate(extra=1)
+    assert a.elapsed == 0.0
+    assert a.path == ()
+
+
+def test_noop_tracer_records_nothing():
+    obs.NOOP_TRACER.count("c", 5)
+    obs.NOOP_TRACER.observe("h", 42)
+    assert obs.NOOP_TRACER.phase_seconds() == {}
+    assert obs.NOOP_TRACER.enabled is False
+    obs.NOOP_TRACER.close()  # idempotent no-op
+
+
+# -- enabled tracer: spans, nesting, aggregation -----------------------
+
+
+def test_nested_spans_build_paths_and_phase_totals():
+    tracer = obs.Tracer(clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner"):
+            pass
+    phases = tracer.phase_seconds()
+    assert set(phases) == {"outer", "outer/inner"}
+    # FakeClock ticks once per read: each inner span spans one tick.
+    assert phases["outer/inner"] == pytest.approx(2.0)
+    assert tracer.phases[("outer", "inner")].count == 2
+    assert tracer.phases[("outer",)].count == 1
+
+
+def test_span_elapsed_readable_after_exit():
+    tracer = obs.Tracer(clock=FakeClock(step=0.5))
+    with tracer.span("work") as span:
+        assert span.elapsed == 0.0
+    assert span.elapsed == pytest.approx(0.5)
+    assert span.path == ("work",)
+
+
+def test_span_attrs_and_annotate():
+    tracer = obs.Tracer(clock=FakeClock())
+    with tracer.span("op", kind="connected") as span:
+        span.annotate(cache_hit=True)
+    assert span.attrs == {"kind": "connected", "cache_hit": True}
+
+
+def test_sibling_spans_share_one_path():
+    tracer = obs.Tracer(clock=FakeClock())
+    for _ in range(3):
+        with tracer.span("step"):
+            pass
+    assert tracer.phases[("step",)].count == 3
+
+
+def test_exception_still_closes_span():
+    tracer = obs.Tracer(clock=FakeClock())
+    with pytest.raises(RuntimeError):
+        with tracer.span("risky"):
+            raise RuntimeError("boom")
+    assert tracer.phases[("risky",)].count == 1
+    assert tracer._stack == []
+
+
+def test_set_tracer_swaps_and_restores():
+    tracer = obs.Tracer(clock=FakeClock())
+    previous = obs.set_tracer(tracer)
+    try:
+        assert obs.TRACER is tracer
+        assert obs.get_tracer() is tracer
+    finally:
+        assert obs.set_tracer(previous) is tracer
+    assert obs.TRACER is previous
+
+
+# -- counters and histograms -------------------------------------------
+
+
+def test_counters_accumulate():
+    tracer = obs.Tracer(clock=FakeClock())
+    tracer.count("hits")
+    tracer.count("hits", 4)
+    assert tracer.counters == {"hits": 5}
+
+
+@pytest.mark.parametrize(
+    "value,bucket",
+    [(0, 0), (0.25, 1), (1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9)],
+)
+def test_log2_bucket(value, bucket):
+    assert obs.log2_bucket(value) == bucket
+
+
+def test_log2_bucket_rejects_negative():
+    with pytest.raises(ValueError):
+        obs.log2_bucket(-1)
+
+
+def test_histogram_aggregates():
+    tracer = obs.Tracer(clock=FakeClock())
+    for value in (0, 1, 1, 300):
+        tracer.observe("sizes", value)
+    histogram = tracer.histograms["sizes"]
+    assert histogram.count == 4
+    assert histogram.mean == pytest.approx(75.5)
+    assert histogram.max_value == 300
+    assert histogram.buckets == {0: 1, 1: 2, 9: 1}
+    assert histogram.to_json() == {
+        "count": 4,
+        "total": 302.0,
+        "max": 300,
+        "buckets": {"0": 1, "1": 2, "9": 1},
+    }
+
+
+# -- the JSONL sink ----------------------------------------------------
+
+
+def test_jsonl_schema(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = obs.Tracer(clock=FakeClock(), sink=obs.JsonlSink(path))
+    with tracer.span("run", scenario="mixed"):
+        with tracer.span("ingest"):
+            pass
+    tracer.count("session.cache.hit", 2)
+    tracer.observe("batch", 64)
+    tracer.close()
+
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    spans = [r for r in records if r["type"] == "span"]
+    counters = [r for r in records if r["type"] == "counter"]
+    histograms = [r for r in records if r["type"] == "histogram"]
+    # Spans stream as they CLOSE: inner before outer.
+    assert [s["path"] for s in spans] == ["run/ingest", "run"]
+    assert spans[0]["name"] == "ingest"
+    assert spans[0]["seconds"] == pytest.approx(1.0)
+    assert "attrs" not in spans[0]
+    assert spans[1]["attrs"] == {"scenario": "mixed"}
+    assert counters == [
+        {"type": "counter", "name": "session.cache.hit", "value": 2}
+    ]
+    assert histograms[0]["name"] == "batch"
+    assert histograms[0]["buckets"] == {"7": 1}
+
+
+def test_jsonl_sink_lazy_open_and_idempotent_close(tmp_path):
+    path = tmp_path / "never.jsonl"
+    sink = obs.JsonlSink(path)
+    sink.close()
+    assert not path.exists()  # nothing written, nothing created
+    sink.write({"type": "span"})
+    sink.close()
+    sink.close()
+    assert path.exists()
+
+
+def test_trace_path_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_FILE", raising=False)
+    assert obs.trace_path_from_env() == "repro-trace.jsonl"
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    monkeypatch.setenv("REPRO_TRACE_FILE", "custom.jsonl")
+    assert obs.trace_path_from_env() == "custom.jsonl"
+    monkeypatch.setenv("REPRO_TRACE", "out/run7.jsonl")
+    assert obs.trace_path_from_env() == "out/run7.jsonl"
+
+
+# -- rendering ---------------------------------------------------------
+
+
+def test_render_summary_sections():
+    tracer = obs.Tracer(clock=FakeClock())
+    with tracer.span("run"):
+        with tracer.span("ingest"):
+            pass
+    tracer.count("hits", 3)
+    tracer.observe("batch", 8)
+    text = obs.render_summary(tracer)
+    assert "phase tree" in text
+    assert "run" in text and "ingest" in text
+    assert "hits" in text
+    assert "batch" in text

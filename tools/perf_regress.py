@@ -97,7 +97,7 @@ def update_baseline(suite: _repo.BenchSuite) -> None:
             for name, rate in fresh["updates_per_second"].items()
         },
     }
-    for key in ("stream_updates", "batch_size", "universe"):
+    for key in ("stream_updates", "batch_size", "universe", "phase_seconds"):
         if key in fresh:
             baseline[key] = fresh[key]
     suite.baseline_path.parent.mkdir(exist_ok=True)

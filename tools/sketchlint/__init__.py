@@ -4,7 +4,7 @@ The correctness story of this reproduction — sketch linearity by the AGM
 decomposition, exact mod-``(2^61 - 1)`` arithmetic, and bit-identical
 checkpoint/restore — rests on invariants no generic linter knows about.
 ``sketchlint`` enforces them at the AST level (stdlib ``ast``, no new
-dependencies) with four checker families:
+dependencies) with five checker families:
 
 * **protocol conformance** (``SL1xx``) — every sketch and
   ``StreamingAlgorithm`` class implements the full clone/wire/shard
@@ -16,7 +16,10 @@ dependencies) with four checker families:
   any module reachable from the checkpoint/wire/state seams (the
   invariant behind every bit-identity test);
 * **wire-format pairing** (``SL4xx``) — every ``*state_ints`` writer
-  has a matching reader and self-delimiting or length-exposing framing.
+  has a matching reader and self-delimiting or length-exposing framing;
+* **telemetry discipline** (``SL5xx``) — no raw process-clock reads in
+  ``repro.*`` outside the obs layer: all timing flows through
+  ``obs.TRACER`` spans so reports and traces can never disagree.
 
 Usage::
 

@@ -7,9 +7,11 @@
 * :mod:`tools.sketchlint.checkers.determinism` — ``SL3xx`` seam-reachable
   randomness/wall-clock bans;
 * :mod:`tools.sketchlint.checkers.wire` — ``SL4xx`` wire-format
-  writer/reader pairing and framing.
+  writer/reader pairing and framing;
+* :mod:`tools.sketchlint.checkers.wallclock` — ``SL5xx`` raw
+  process-clock bans outside the telemetry layer.
 """
 
-from tools.sketchlint.checkers import determinism, field, protocol, wire
+from tools.sketchlint.checkers import determinism, field, protocol, wallclock, wire
 
-__all__ = ["determinism", "field", "protocol", "wire"]
+__all__ = ["determinism", "field", "protocol", "wallclock", "wire"]

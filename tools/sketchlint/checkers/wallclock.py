@@ -1,0 +1,92 @@
+"""SL5xx — telemetry discipline: one clock, behind the obs layer.
+
+PR 8 centralized all timing in :mod:`repro.obs` (spans, counters,
+histograms, with an injectable clock so the determinism seams stay
+clean).  Scattered ``time.perf_counter()`` pairs defeat that: their
+measurements bypass the tracer, never reach ``repro trace`` or the
+phase-attributed benchmark baselines, and can silently disagree with
+the span-derived numbers next to them.
+
+* ``SL501`` — a raw process-clock reference (``time.time``/
+  ``monotonic``/``perf_counter``/... , ``datetime.now``/``utcnow``/
+  ``today``) in a ``repro.*`` module outside the telemetry package.
+  Both *calls* and bare *attribute references* are flagged — storing
+  ``time.perf_counter`` as a "clock" and calling it later is the same
+  bypass one assignment removed.  Time an operation with
+  ``obs.TRACER.span(...)`` (read ``span.elapsed`` if you need the
+  number); inject ``obs.DEFAULT_CLOCK`` where a raw callable is
+  genuinely required.
+
+Scope is the ``repro`` package only: benchmarks, tools and tests sit
+outside the ``repro.*`` module namespace and may time things however
+they like.  The allowed prefixes are explicit in
+:class:`tools.sketchlint.config.Config` (``wallclock_allowed_prefixes``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.sketchlint.diagnostics import Diagnostic
+from tools.sketchlint.model import RepoIndex, SourceFile
+from tools.sketchlint.registry import register
+
+__all__ = ["check_wallclock"]
+
+#: Owner name -> attribute names that read the process clock (mirrors
+#: the determinism checker's SL303 table, plus nothing: the obs layer
+#: wraps exactly these).
+_CLOCK_ATTRS = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+             "perf_counter_ns", "process_time", "process_time_ns"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+
+def _allowed(module: str, prefixes: tuple[str, ...]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+def _check_file(source: SourceFile) -> Iterable[Diagnostic]:
+    for node in ast.walk(source.tree):
+        # One check covers both forms: a call's func is itself an
+        # Attribute node, so flagging attribute references catches
+        # `time.perf_counter()` and the stored-reference bypass
+        # `clock = time.perf_counter` with a single rule.
+        if not isinstance(node, ast.Attribute):
+            continue
+        owner = node.value
+        owner_name = (
+            owner.id if isinstance(owner, ast.Name)
+            else owner.attr if isinstance(owner, ast.Attribute)
+            else None
+        )
+        if node.attr in _CLOCK_ATTRS.get(owner_name or "", ()):
+            yield Diagnostic(
+                path=source.display_path, line=node.lineno, code="SL501",
+                message=(
+                    f"raw clock {owner_name}.{node.attr} outside repro.obs; "
+                    f"time through obs.TRACER.span(...) (span.elapsed) or "
+                    f"inject obs.DEFAULT_CLOCK"
+                ),
+                checker="wallclock",
+            )
+
+
+@register("wallclock", codes=("SL501",))
+def check_wallclock(index: RepoIndex) -> Iterable[Diagnostic]:
+    """Raw process-clock bans outside the telemetry layer (SL5xx)."""
+    config = index.config
+    prefix = config.local_prefix + "."
+    for source in index.files:
+        if not (source.module == config.local_prefix
+                or source.module.startswith(prefix)):
+            continue  # benchmarks / tools / tests time themselves freely
+        if _allowed(source.module, config.wallclock_allowed_prefixes):
+            continue
+        yield from _check_file(source)

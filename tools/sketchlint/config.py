@@ -53,6 +53,12 @@ class Config:
     #: not followed when closing over the seams).
     local_prefix: str = "repro"
 
+    #: Module prefixes allowed to touch the process clock directly.  The
+    #: telemetry package owns the clock (it injects it into tracers so
+    #: the determinism seams stay clean); everywhere else in ``repro.*``
+    #: must time through ``obs.TRACER`` spans (SL501).
+    wallclock_allowed_prefixes: tuple[str, ...] = ("repro.obs",)
+
     #: Names of classes that are abstract interface roots: they declare
     #: contract methods (possibly as raising defaults) and are exempt
     #: from the "concrete class implements the contract" checks.
