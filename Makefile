@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-sanitize lint bench bench-engine bench-distributed bench-service bench-columnar bench-sparse docs-check check
+.PHONY: test test-sanitize test-chaos chaos lint bench bench-engine bench-distributed bench-service bench-columnar bench-sparse docs-check check
 
 # Tier-1 verification: the full unit/integration suite, fail-fast.
 test:
@@ -15,6 +15,19 @@ test:
 # independence (see src/repro/util/sanitize.py and docs/invariants.md).
 test-sanitize:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest tests/sketch tests/service -x -q
+
+# The fault/recovery pins: crash-at-every-epoch checkpoint sweeps,
+# corrupted-checkpoint fallback chains, worker retry bit-identity on
+# both backends, degraded queries, and the adversarial scenario
+# (docs/robustness.md).
+test-chaos:
+	$(PYTHON) -m pytest tests/faults -x -q
+
+# The end-to-end chaos harness at a fixed seed: workload under worker
+# crash/hang + checkpoint corruption faults, recovered state must be
+# bit-identical to an unfaulted run (exit 1 otherwise).
+chaos:
+	$(PYTHON) -m repro chaos --seed 7
 
 # Repo-native static analysis: the sketch contract, field-arithmetic,
 # determinism, and wire-format invariants (docs/invariants.md catalogues
@@ -69,14 +82,15 @@ bench-sparse:
 # README promises must exist.
 docs-check:
 	$(PYTHON) tools/check_docstrings.py
-	@for f in README.md docs/paper_map.md docs/performance.md docs/invariants.md docs/observability.md; do \
+	@for f in README.md docs/paper_map.md docs/performance.md docs/invariants.md docs/observability.md docs/robustness.md; do \
 		test -f $$f || { echo "missing $$f"; exit 1; }; \
 	done
-	@echo "docs OK: README.md, docs/paper_map.md, docs/performance.md, docs/invariants.md, docs/observability.md present"
+	@echo "docs OK: README.md, docs/paper_map.md, docs/performance.md, docs/invariants.md, docs/observability.md, docs/robustness.md present"
 
 # Everything a PR should pass: the sketchlint invariants, docs gates
 # (docstring coverage), the unit/integration suite (plus the
-# sanitizer-armed sketch/service subset), the distributed-engine gates,
-# the live service gates, the columnar-engine speedup/regression gates,
-# and the sparse vertex-universe memory/identity gates.
-check: lint docs-check test test-sanitize bench-distributed bench-service bench-columnar bench-sparse
+# sanitizer-armed sketch/service subset and the fault/recovery pins),
+# the fixed-seed chaos harness, the distributed-engine gates, the live
+# service gates, the columnar-engine speedup/regression gates, and the
+# sparse vertex-universe memory/identity gates.
+check: lint docs-check test test-sanitize test-chaos chaos bench-distributed bench-service bench-columnar bench-sparse

@@ -11,6 +11,7 @@ Usage examples::
     python -m repro trace --scenario mixed --out trace.jsonl
     python -m repro stats --scenario query-heavy --live
     python -m repro serve --n 24 --updates 8000 --checkpoint-every 2000
+    python -m repro chaos --seed 7 --backend serial
     python -m repro info
 
 Each subcommand generates a seeded workload, runs the corresponding
@@ -340,6 +341,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the sparsifier slot (skips cut queries)")
     serve.add_argument("--state-dir", default=None,
                        help="directory for checkpoints (default: a temp dir)")
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="fault-injected workload: prove recovery is bit-identical",
+        formatter_class=fmt,
+        epilog=(
+            "Runs the same seeded workload twice — clean, and under a fault\n"
+            "plan (torn checkpoint write, corrupted checkpoint files, a\n"
+            "mid-run crash+restore, a forced decode failure, crashed and\n"
+            "hung shard workers) — and verifies the recovered run's final\n"
+            "answers are bit-identical to the unfaulted run.  Fault plans\n"
+            "are compact clauses: kind@key=value:key=value,kind@...\n"
+            "(kinds: worker-crash, worker-hang, checkpoint-truncate,\n"
+            "checkpoint-bitflip, io-error, decode-fail; see\n"
+            "docs/robustness.md).  Exit code 0 certifies bit-identity.\n\n"
+            "example: python -m repro chaos --seed 7\n"
+            "         python -m repro chaos --backend mp --faults \\\n"
+            "             'worker-crash@round=0:worker=1,checkpoint-bitflip@write=1'"
+        ),
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--n", type=_positive_int, default=32,
+                       help="number of vertices")
+    chaos.add_argument("--updates", type=_positive_int, default=600,
+                       help="stream length to generate")
+    chaos.add_argument("--servers", type=_positive_int, default=3,
+                       help="shard workers in the distributed phase")
+    chaos.add_argument("--backend", choices=["serial", "mp"], default="serial",
+                       help="shard-worker backend for the distributed phase")
+    chaos.add_argument("--keep-last", type=_positive_int, default=3,
+                       help="checkpoint rotation depth")
+    chaos.add_argument("--faults", default=None, metavar="PLAN",
+                       help="fault plan clauses (default: the full built-in plan)")
+    chaos.add_argument("--state-dir", default=None,
+                       help="directory for the faulted run's checkpoints "
+                            "(default: a temp dir)")
+    chaos.add_argument("--adversarial-rounds", type=_non_negative_int, default=0,
+                       metavar="R",
+                       help="additionally run the adaptive-deletion scenario for "
+                            "R rounds, mitigation off then on (sketch rotation)")
 
     subparsers.add_parser("info", help="package overview and experiment list")
     return parser
@@ -713,6 +754,45 @@ def _cmd_serve(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+
+    plan = None if args.faults is None else FaultPlan.parse(args.faults)
+    if plan is not None:
+        print("fault plan:")
+        for line in plan.describe().splitlines():
+            print(f"  {line}")
+    report = run_chaos(
+        args.seed,
+        num_vertices=args.n,
+        updates=args.updates,
+        servers=args.servers,
+        backend=args.backend,
+        keep_last=args.keep_last,
+        plan=plan,
+        workdir=args.state_dir,
+    )
+    print(report.summary())
+    ok = report.identical
+    if args.adversarial_rounds:
+        from repro.service import GraphSession, WorkloadDriver
+
+        print()
+        for rotate_every in (0, 2):
+            session = GraphSession(
+                args.n, args.seed, enable_spanner=False, enable_sparsifier=False
+            )
+            adversarial = WorkloadDriver(session).run_adversarial(
+                args.adversarial_rounds, max(4, args.n // 3), args.seed,
+                rotate_every=rotate_every,
+            )
+            label = "mitigated" if rotate_every else "unmitigated"
+            print(f"{label:<11}: {adversarial.summary()}")
+    print(f"chaos     : {'OK' if ok else 'DIVERGED'}")
+    return 0 if ok else 1
+
+
 def _cmd_info(_args) -> int:
     from repro import __version__
 
@@ -735,6 +815,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "info": _cmd_info,
 }
 

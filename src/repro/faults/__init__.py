@@ -1,0 +1,94 @@
+"""Deterministic fault injection for the recovery seams.
+
+This package is how the repo proves its self-healing claims instead of
+asserting them: a :class:`FaultPlan` names exactly which worker round
+crashes, which checkpoint write tears, which snapshot decode fails, and
+the chaos harness (:mod:`repro.faults.chaos`) runs a real workload
+under that plan and checks the recovered answers are *bit-identical*
+to an unfaulted run.
+
+Wiring mirrors ``repro.obs``: production call sites read the module
+attribute ``faults.ACTIVE`` on every use (never ``from repro.faults
+import ACTIVE``, which would freeze the startup value).  ``ACTIVE`` is
+``None`` by default, so the disabled path is one attribute load and an
+``is None`` test — small enough to live inside the existing ≤3%
+telemetry overhead gate.  Tests and the chaos CLI arm it with
+:func:`install` / :func:`inject`::
+
+    with faults.inject(FaultPlan.parse("worker-crash@round=1:worker=0")):
+        runner.run(stream)
+
+Everything here is clock-free and randomness-free by construction: the
+package sits inside the sketchlint determinism seam closure (it is
+imported by ``repro.service`` and ``repro.stream.distributed``), and a
+fault plan that consumed randomness could not be replayed inside a
+forked shard worker.
+
+.. note::
+   ``repro.faults.chaos`` is *not* imported here — it imports the
+   service layer, which imports this package; the CLI pulls it in
+   directly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.faults.injector import (
+    CheckpointFaults,
+    FaultInjector,
+    InjectedCrash,
+    InjectedDecodeFailure,
+    InjectedHang,
+    apply_corruption,
+)
+from repro.faults.plan import KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "CheckpointFaults",
+    "InjectedCrash",
+    "InjectedHang",
+    "InjectedDecodeFailure",
+    "apply_corruption",
+    "ACTIVE",
+    "install",
+    "clear",
+    "inject",
+]
+
+#: The process-wide injector, or ``None`` when fault injection is off.
+#: Call sites must read this through the module (``faults.ACTIVE``).
+ACTIVE: FaultInjector | None = None
+
+
+def install(plan: FaultPlan) -> FaultInjector:
+    """Arm fault injection for this process; returns the injector."""
+    global ACTIVE
+    ACTIVE = FaultInjector(plan)
+    return ACTIVE
+
+
+def clear() -> None:
+    """Disarm fault injection (the default state)."""
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Arm ``plan`` for the duration of the block, then restore.
+
+    Restores whatever injector (or ``None``) was active before, so
+    nested scopes compose and a test can never leak an armed injector.
+    """
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = FaultInjector(plan)
+    try:
+        yield ACTIVE
+    finally:
+        ACTIVE = previous

@@ -1,0 +1,235 @@
+"""The chaos harness: run a real workload under faults, prove recovery.
+
+:func:`run_chaos` is the executable form of the repo's robustness
+claims.  It drives the same workload twice — once clean, once under a
+:class:`~repro.faults.plan.FaultPlan` with a mid-run process "crash" —
+and checks that the faulted run, after every recovery path fires
+(checkpoint fallback past corrupt files, degraded-query absorption,
+shard worker retry), finishes with **bit-identical** final answers:
+
+1. *Baseline*: ingest the seeded token stream into a fresh session and
+   record ``snapshot_answers()``.
+2. *Faulted*: same stream, checkpointing through a
+   :class:`~repro.service.checkpoint.CheckpointStore` while the plan
+   tears writes (``io-error``) and corrupts completed files
+   (``checkpoint-bitflip`` / ``checkpoint-truncate``); after a fixed
+   number of save attempts the session is abandoned (the "crash") and
+   restored via :meth:`~repro.service.checkpoint.CheckpointStore.load_latest`,
+   which must walk past the corrupt newest files; a ``decode-fail``
+   fault then degrades the first query; the remaining stream is
+   re-ingested from the restored epoch.
+3. *Sharded*: an independent seeded stream runs through
+   :class:`~repro.stream.distributed.ShardedRunner` clean and under
+   worker crash/hang faults; bounded retry must absorb them with
+   bit-identical output.
+
+Bit-identity holds by construction — checkpoints restore exact state,
+re-ingest is deterministic, and retried workers are rebuilt from
+deterministic shard chunks — and this harness is what keeps that
+construction true.  ``repro chaos`` is a thin CLI over this module,
+and ``tests/faults/`` pins the individual recovery paths.
+
+(This module imports the service layer, so it deliberately lives
+outside ``repro/faults/__init__`` — the service layer imports
+``repro.faults`` for its hooks.)
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+
+from repro import faults, obs
+from repro.agm.connectivity import ConnectivityChecker
+from repro.faults.plan import FaultPlan
+from repro.service.checkpoint import CheckpointError, CheckpointStore
+from repro.service.session import GraphSession
+from repro.stream.distributed import ShardedRunner
+from repro.stream.generators import mixed_workload_stream
+from repro.util.rng import derive_seed
+
+__all__ = ["DEFAULT_PLAN_TEXT", "ChaosReport", "run_chaos"]
+
+#: The default plan exercises every recovery seam in one run: a torn
+#: checkpoint write, two corrupted-but-renamed checkpoints (forcing a
+#: fallback of depth 2 at restore), a degraded first query, and one
+#: crashed plus one hung shard worker.
+DEFAULT_PLAN_TEXT = (
+    "io-error@write=0:at_byte=48,"
+    "checkpoint-bitflip@write=2:offset=-4,"
+    "checkpoint-truncate@write=3:drop_bytes=9,"
+    "decode-fail@query=0,"
+    "worker-crash@round=0:worker=1,"
+    "worker-hang@round=0:worker=0"
+)
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Outcome of one :func:`run_chaos` run."""
+
+    seed: int | str
+    plan: str
+    updates: int
+    save_attempts: int
+    save_failures: int
+    checkpoint_fallbacks: int
+    degraded_queries: int
+    shard_retries: int
+    #: Faults that actually fired, in order (injector event log).
+    events: tuple[str, ...]
+    answers_identical: bool
+    shard_identical: bool
+
+    @property
+    def identical(self) -> bool:
+        """Whether every recovered surface matched the unfaulted run."""
+        return self.answers_identical and self.shard_identical
+
+    def summary(self) -> str:
+        """Human-readable report block (what ``repro chaos`` prints)."""
+        lines = [
+            f"chaos seed={self.seed}: {self.updates:,} updates, "
+            f"{self.save_attempts} checkpoint saves "
+            f"({self.save_failures} failed writes)",
+            f"recovery: {self.checkpoint_fallbacks} checkpoint fallbacks, "
+            f"{self.degraded_queries} degraded queries, "
+            f"{self.shard_retries} shard retries",
+        ]
+        lines.extend(f"fired: {event}" for event in self.events)
+        lines.append(
+            "post-recovery answers: "
+            + ("BIT-IDENTICAL" if self.answers_identical else "DIVERGED")
+        )
+        lines.append(
+            "sharded output: "
+            + ("BIT-IDENTICAL" if self.shard_identical else "DIVERGED")
+        )
+        return "\n".join(lines)
+
+
+def _chunks(tokens, size):
+    return [tokens[start : start + size] for start in range(0, len(tokens), size)]
+
+
+def run_chaos(
+    seed: int | str,
+    num_vertices: int = 32,
+    updates: int = 600,
+    servers: int = 3,
+    backend: str = "serial",
+    keep_last: int = 3,
+    crash_after_saves: int = 4,
+    plan: FaultPlan | None = None,
+    workdir=None,
+    session_kwargs: dict | None = None,
+) -> ChaosReport:
+    """Run the fault/recovery workload described in the module docstring.
+
+    ``plan`` defaults to :data:`DEFAULT_PLAN_TEXT`.  ``workdir`` (a
+    fresh temp directory when ``None``) receives the faulted run's
+    checkpoint files.  ``session_kwargs`` forwards to both
+    :class:`~repro.service.session.GraphSession` constructions (the
+    chaos tests disable the spanner/sparsifier slots for speed; the
+    CLI runs all slots).  Deterministic given ``(seed, parameters)``;
+    the returned report's :attr:`~ChaosReport.identical` is the
+    assertion ``repro chaos`` and the chaos tests gate on.
+    """
+    if plan is None:
+        plan = FaultPlan.parse(DEFAULT_PLAN_TEXT)
+    if session_kwargs is None:
+        session_kwargs = {}
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    workdir = Path(workdir)
+    tokens = list(mixed_workload_stream(num_vertices, updates, seed))
+    chunk_size = max(1, len(tokens) // 12)
+    chunks = _chunks(tokens, chunk_size)
+
+    # Phase 1: the unfaulted baseline.
+    baseline = GraphSession(num_vertices, seed, **session_kwargs)
+    for chunk in chunks:
+        baseline.ingest_batch(chunk)
+    expected = baseline.snapshot_answers()
+
+    shard_stream = mixed_workload_stream(
+        num_vertices, max(updates // 2, 64), derive_seed(seed, "chaos", "stream")
+    )
+    shard_factory = partial(
+        ConnectivityChecker, num_vertices, derive_seed(seed, "chaos", "algo")
+    )
+    clean_shard = ShardedRunner(servers, backend=backend).run(
+        shard_stream, shard_factory
+    )
+
+    # Phase 2: the same workload under the fault plan.
+    with faults.inject(plan) as injector:
+        store = CheckpointStore(workdir / "checkpoints", keep_last=keep_last)
+        session = GraphSession(num_vertices, seed, **session_kwargs)
+        save_attempts = 0
+        save_failures = 0
+        crashed = False
+        for index, chunk in enumerate(chunks):
+            session.ingest_batch(chunk)
+            if (index + 1) % 2 == 0:
+                save_attempts += 1
+                try:
+                    store.save(session)
+                except CheckpointError:
+                    # A torn write: the previous checkpoint is intact
+                    # and the temp file is gone; the service keeps
+                    # running and retries at the next interval.
+                    obs.TRACER.count("chaos.save_failure")
+                    save_failures += 1
+                if save_attempts >= crash_after_saves and not crashed:
+                    crashed = True
+                    # The "crash": abandon the live session and restore
+                    # from disk, falling back past corrupted files.
+                    session = store.load_latest()
+                    # When the plan schedules a decode failure, the
+                    # first query after recovery must degrade, not
+                    # raise — and must not poison the epoch cache.
+                    outcome = session.query("forest")
+                    plans_decode_fail = any(
+                        spec.kind == "decode-fail" and spec.query_index == 0
+                        for spec in plan.specs
+                    )
+                    if outcome.ok and plans_decode_fail:
+                        raise RuntimeError(
+                            "decode-fail fault did not fire; plan/harness drifted"
+                        )
+                    # Resume exactly where the restored state stops.
+                    replay = tokens[session.updates_ingested :]
+                    for tail in _chunks(replay, chunk_size):
+                        session.ingest_batch(tail)
+                    break
+        faulted_shard = ShardedRunner(
+            servers,
+            backend=backend,
+            worker_timeout=5.0 if backend == "mp" else None,
+            retry_backoff=0.01,
+        ).run(
+            mixed_workload_stream(
+                num_vertices, max(updates // 2, 64), derive_seed(seed, "chaos", "stream")
+            ),
+            shard_factory,
+        )
+        session.shard_retries += len(faulted_shard.degraded.retries)
+        actual = session.snapshot_answers()
+        events = tuple(injector.events)
+
+    return ChaosReport(
+        seed=seed,
+        plan=plan.describe(),
+        updates=len(tokens),
+        save_attempts=save_attempts,
+        save_failures=save_failures,
+        checkpoint_fallbacks=session.checkpoint_fallbacks,
+        degraded_queries=session.degraded_queries,
+        shard_retries=session.shard_retries,
+        events=events,
+        answers_identical=actual == expected,
+        shard_identical=faulted_shard.output == clean_shard.output,
+    )

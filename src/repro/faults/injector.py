@@ -1,0 +1,158 @@
+"""The fault injector: turns a :class:`~repro.faults.plan.FaultPlan` into fire decisions.
+
+An injector owns the *mutable* part of fault injection — the per-site
+ordinal counters (how many checkpoint saves / snapshot decodes have
+happened so far) and the event log — while every fire decision stays a
+deterministic function of (plan, ordinal).  Production call sites read
+the process-wide ``repro.faults.ACTIVE`` slot each time; when it is
+``None`` (the default) every hook is a single attribute load plus an
+``is None`` branch, cheap enough to live inside the telemetry overhead
+gate.
+
+Three hook families:
+
+- :meth:`FaultInjector.worker_fault` — consulted by shard workers
+  (serial and forked) before running a round; returns the matching
+  spec so the worker can crash or hang.
+- :meth:`FaultInjector.checkpoint_faults` — consulted once per
+  checkpoint save; returns a :class:`CheckpointFaults` bundle naming
+  the byte budget (``io-error``) and the post-rename corruptions
+  (truncate / bit-flip) for *this* write ordinal.
+- :meth:`FaultInjector.maybe_fail_decode` — consulted once per
+  snapshot decode; raises :class:`InjectedDecodeFailure` when the
+  decode ordinal (and optional site) matches a ``decode-fail`` spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "InjectedCrash",
+    "InjectedHang",
+    "InjectedDecodeFailure",
+    "CheckpointFaults",
+    "FaultInjector",
+    "apply_corruption",
+]
+
+
+class InjectedCrash(RuntimeError):
+    """A worker crash forced by the fault plan."""
+
+
+class InjectedHang(RuntimeError):
+    """Raised by a *serial* worker in place of blocking.
+
+    Serial execution has no process to kill, so a planned hang
+    surfaces as this exception and takes the same retry path a
+    timed-out process worker does.  Forked process workers really
+    block (``time.sleep``) so the parent's timeout machinery is
+    exercised for real.
+    """
+
+
+class InjectedDecodeFailure(RuntimeError):
+    """A sketch/snapshot decode failure forced by the fault plan."""
+
+
+@dataclass(frozen=True)
+class CheckpointFaults:
+    """The faults attacking one checkpoint save ordinal.
+
+    ``fail_at_byte`` (when not ``None``) makes the writer raise
+    :class:`OSError` once that many payload bytes are out; ``corrupt``
+    lists truncate/bit-flip specs to apply to the file *after* the
+    atomic rename (modelling media corruption of a completed write,
+    not a torn write — torn writes never survive the rename).
+    """
+
+    fail_at_byte: int | None = None
+    corrupt: tuple[FaultSpec, ...] = ()
+
+
+@dataclass
+class FaultInjector:
+    """Mutable fire-decision state for one installed :class:`FaultPlan`."""
+
+    plan: FaultPlan
+    #: Checkpoint saves seen so far (the ``write_index`` ordinal).
+    writes_seen: int = 0
+    #: Snapshot decodes seen so far (the ``query_index`` ordinal).
+    decodes_seen: int = 0
+    #: Human-readable log of every fault that actually fired.
+    events: list[str] = field(default_factory=list)
+
+    def record(self, event: str) -> None:
+        """Append one fired-fault line to the event log."""
+        self.events.append(event)
+
+    # -- shard workers -------------------------------------------------
+
+    def worker_fault(
+        self, pass_index: int, worker_id: int, attempt: int
+    ) -> FaultSpec | None:
+        """Delegates to the plan (pure; safe to call from forked workers)."""
+        return self.plan.worker_fault(pass_index, worker_id, attempt)
+
+    # -- checkpoint writes ---------------------------------------------
+
+    def checkpoint_faults(self) -> CheckpointFaults:
+        """Claim the next save ordinal and return its fault bundle."""
+        ordinal = self.writes_seen
+        self.writes_seen += 1
+        fail_at: int | None = None
+        corrupt: list[FaultSpec] = []
+        for spec in self.plan.specs:
+            if spec.write_index != ordinal:
+                continue
+            if spec.kind == "io-error":
+                fail_at = spec.at_byte
+                self.record(f"io-error write={ordinal} at_byte={spec.at_byte}")
+            elif spec.kind in ("checkpoint-truncate", "checkpoint-bitflip"):
+                corrupt.append(spec)
+        return CheckpointFaults(fail_at_byte=fail_at, corrupt=tuple(corrupt))
+
+    # -- snapshot decodes ----------------------------------------------
+
+    def maybe_fail_decode(self, site: str) -> None:
+        """Claim the next decode ordinal; raise if a spec matches it."""
+        ordinal = self.decodes_seen
+        self.decodes_seen += 1
+        for spec in self.plan.specs:
+            if (
+                spec.kind == "decode-fail"
+                and spec.query_index <= ordinal < spec.query_index + spec.times
+                and (not spec.site or spec.site == site)
+            ):
+                self.record(f"decode-fail site={site} ordinal={ordinal}")
+                raise InjectedDecodeFailure(
+                    f"injected decode failure at {site} (decode ordinal {ordinal})"
+                )
+
+
+def apply_corruption(path, spec: FaultSpec) -> None:
+    """Apply one truncate/bit-flip spec to the file at ``path`` in place."""
+    if spec.kind == "checkpoint-truncate":
+        with open(path, "r+b") as handle:
+            handle.seek(0, 2)
+            size = handle.tell()
+            handle.truncate(max(0, size - spec.drop_bytes))
+        return
+    if spec.kind == "checkpoint-bitflip":
+        with open(path, "r+b") as handle:
+            handle.seek(0, 2)
+            size = handle.tell()
+            offset = spec.offset if spec.offset >= 0 else size + spec.offset
+            if not 0 <= offset < size:
+                raise ValueError(
+                    f"bitflip offset {spec.offset} outside {size}-byte file {path}"
+                )
+            handle.seek(offset)
+            byte = handle.read(1)[0]
+            handle.seek(offset)
+            handle.write(bytes([byte ^ spec.mask]))
+        return
+    raise ValueError(f"not a corruption spec: {spec.kind}")

@@ -1,0 +1,219 @@
+"""Fault plans: a declarative, deterministic description of what breaks.
+
+A :class:`FaultPlan` is a tuple of :class:`FaultSpec` records, each
+naming one fault *kind* and the exact coordinates at which it fires —
+which shard round, which worker attempt, which checkpoint write
+ordinal, which snapshot decode.  Nothing in a plan consumes randomness
+or the clock: given the same plan and the same workload, every fault
+fires at the same place in every run (and in every forked worker
+process, because the firing decision is a pure function of the
+coordinates).  That determinism is what lets ``repro chaos`` assert
+*bit-identity* between a faulted-and-recovered run and an unfaulted
+one.
+
+Supported kinds (:data:`KINDS`):
+
+``worker-crash`` / ``worker-hang``
+    A sharded-execution worker raises / blocks at round
+    ``round_index`` for its first ``times`` attempts (shard
+    ``worker_id``).  Retried attempts beyond ``times`` succeed —
+    workers are rebuilt from deterministic shard chunks, so the retry
+    is bit-exact.
+``checkpoint-truncate`` / ``checkpoint-bitflip``
+    The checkpoint file produced by save ordinal ``write_index`` is
+    torn after the atomic rename: its last ``drop_bytes`` bytes are
+    removed, or the byte at ``offset`` is XORed with ``mask``.
+``io-error``
+    Save ordinal ``write_index`` raises :class:`OSError` once
+    ``at_byte`` bytes have been written (a full-disk / yanked-volume
+    stand-in; the temp file must be cleaned up and the previous
+    checkpoint left intact).
+``decode-fail``
+    Snapshot decodes ``query_index .. query_index + times - 1``
+    (optionally restricted to one ``site`` — ``forest`` / ``spanner`` /
+    ``sparsifier``) raise
+    :class:`~repro.faults.injector.InjectedDecodeFailure`, which the
+    session surfaces as a degraded
+    :class:`~repro.service.session.QueryOutcome`.
+
+Plans parse from compact CLI text (see :meth:`FaultPlan.parse`)::
+
+    worker-crash@round=0:worker=1,checkpoint-bitflip@write=2:offset=-4
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["KINDS", "FaultSpec", "FaultPlan"]
+
+#: Every fault kind the injector knows how to fire.
+KINDS = (
+    "worker-crash",
+    "worker-hang",
+    "checkpoint-truncate",
+    "checkpoint-bitflip",
+    "io-error",
+    "decode-fail",
+)
+
+#: Spec fields that parse as floats; everything else numeric is an int.
+_FLOAT_FIELDS = frozenset({"hang_seconds"})
+
+#: Spec fields that stay strings.
+_STR_FIELDS = frozenset({"kind", "site"})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a kind plus the coordinates at which it fires.
+
+    Only the fields relevant to the spec's ``kind`` are consulted (see
+    the module docstring); the rest keep their defaults.
+    """
+
+    kind: str
+    #: ``worker-*``: the shard round (streaming pass) the fault targets.
+    round_index: int = 0
+    #: ``worker-*``: the shard/worker id the fault targets.
+    worker_id: int = 0
+    #: ``worker-*``: how many initial attempts fail (retries beyond
+    #: succeed); ``decode-fail``: how many consecutive decodes fail.
+    times: int = 1
+    #: ``worker-hang``: seconds a hung *process* worker blocks before
+    #: erroring out (the parent's timeout normally kills it first).
+    hang_seconds: float = 30.0
+    #: Checkpoint faults: which save ordinal (0-based, process-wide
+    #: under one injector) the fault attacks.
+    write_index: int = 0
+    #: ``io-error``: raise once this many payload bytes were written.
+    at_byte: int = 64
+    #: ``checkpoint-truncate``: bytes torn off the end of the file.
+    drop_bytes: int = 9
+    #: ``checkpoint-bitflip``: byte offset (negative counts from EOF).
+    offset: int = -4
+    #: ``checkpoint-bitflip``: XOR mask applied to the targeted byte.
+    mask: int = 0x40
+    #: ``decode-fail``: first snapshot-decode ordinal that fails.
+    query_index: int = 0
+    #: ``decode-fail``: restrict to one decode site (`forest` /
+    #: ``spanner`` / ``sparsifier``); empty matches any site.
+    site: str = ""
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {KINDS}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if not 0 <= self.mask <= 0xFF:
+            raise ValueError(f"mask must be one byte (0..255), got {self.mask}")
+
+    def describe(self) -> str:
+        """One-line human-readable rendering of the spec."""
+        if self.kind in ("worker-crash", "worker-hang"):
+            return (
+                f"{self.kind} round={self.round_index} worker={self.worker_id} "
+                f"times={self.times}"
+            )
+        if self.kind == "checkpoint-truncate":
+            return f"{self.kind} write={self.write_index} drop_bytes={self.drop_bytes}"
+        if self.kind == "checkpoint-bitflip":
+            return (
+                f"{self.kind} write={self.write_index} offset={self.offset} "
+                f"mask=0x{self.mask:02x}"
+            )
+        if self.kind == "io-error":
+            return f"{self.kind} write={self.write_index} at_byte={self.at_byte}"
+        return (
+            f"{self.kind} query={self.query_index} times={self.times}"
+            + (f" site={self.site}" if self.site else "")
+        )
+
+
+_SPEC_FIELDS = {field.name for field in fields(FaultSpec)}
+
+#: CLI shorthand -> real field name (``round=0`` reads better than
+#: ``round_index=0`` on a command line).
+_ALIASES = {
+    "round": "round_index",
+    "worker": "worker_id",
+    "write": "write_index",
+    "query": "query_index",
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of faults to inject into one run."""
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse ``kind@key=value:key=value,kind@...`` CLI shorthand.
+
+        Keys accept the aliases ``round``/``worker``/``write``/``query``
+        for their ``*_index``/``*_id`` spellings.  An empty string (or
+        ``none``) parses to the empty plan.
+        """
+        text = text.strip()
+        if not text or text == "none":
+            return cls()
+        specs: list[FaultSpec] = []
+        for clause in text.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            kind, _, tail = clause.partition("@")
+            kwargs: dict = {}
+            if tail:
+                for pair in tail.split(":"):
+                    key, eq, value = pair.partition("=")
+                    if not eq:
+                        raise ValueError(
+                            f"malformed fault clause {clause!r}: expected key=value, "
+                            f"got {pair!r}"
+                        )
+                    key = _ALIASES.get(key.strip(), key.strip())
+                    if key not in _SPEC_FIELDS or key == "kind":
+                        raise ValueError(
+                            f"unknown fault parameter {key!r} in {clause!r}"
+                        )
+                    raw = value.strip()
+                    if key in _STR_FIELDS:
+                        kwargs[key] = raw
+                    elif key in _FLOAT_FIELDS:
+                        kwargs[key] = float(raw)
+                    else:
+                        kwargs[key] = int(raw, 0)
+            specs.append(FaultSpec(kind.strip(), **kwargs))
+        return cls(tuple(specs))
+
+    def describe(self) -> str:
+        """One line per spec (``(no faults)`` for the empty plan)."""
+        if not self.specs:
+            return "(no faults)"
+        return "\n".join(spec.describe() for spec in self.specs)
+
+    def worker_fault(
+        self, pass_index: int, worker_id: int, attempt: int
+    ) -> FaultSpec | None:
+        """The worker fault firing at these coordinates, if any.
+
+        A pure function of the coordinates — no injector state — so a
+        forked worker process reaches the same decision as the parent
+        that will retry it, and ``attempt`` numbers beyond a spec's
+        ``times`` deterministically succeed.
+        """
+        for spec in self.specs:
+            if (
+                spec.kind in ("worker-crash", "worker-hang")
+                and spec.round_index == pass_index
+                and spec.worker_id == worker_id
+                and attempt < spec.times
+            ):
+                return spec
+        return None

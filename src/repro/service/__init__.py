@@ -32,11 +32,17 @@ Quick tour::
     session = GraphSession.restore("state.bin")  # ... resume bit-identically
 """
 
-from repro.service.checkpoint import CheckpointError, load_session, save_session
-from repro.service.session import GraphSession, SessionStats
+from repro.service.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    load_session,
+    save_session,
+)
+from repro.service.session import GraphSession, QueryOutcome, SessionStats
 from repro.service.workload import (
     components_match_ledger,
     SCENARIOS,
+    AdversarialReport,
     LatencySummary,
     WorkloadDriver,
     WorkloadReport,
@@ -46,11 +52,14 @@ from repro.service.workload import (
 __all__ = [
     "GraphSession",
     "SessionStats",
+    "QueryOutcome",
     "CheckpointError",
+    "CheckpointStore",
     "save_session",
     "load_session",
     "WorkloadDriver",
     "WorkloadReport",
+    "AdversarialReport",
     "LatencySummary",
     "SCENARIOS",
     "components_match_ledger",

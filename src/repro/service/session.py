@@ -58,13 +58,13 @@ from repro.graph.cuts import cut_value
 from repro.graph.distances import bfs_distances
 from repro.graph.graph import Graph
 from repro.graph.vertex_space import VertexSpace, as_vertex_space
-from repro import obs
+from repro import faults, obs
 from repro.stream.space import SpaceReport
 from repro.stream.updates import EdgeUpdate
 from repro.util import sanitize as _sanitize
 from repro.util.rng import derive_seed
 
-__all__ = ["GraphSession", "SessionStats"]
+__all__ = ["GraphSession", "SessionStats", "QueryOutcome"]
 
 #: Chunk length used when feeding ingest batches and pass-2 replays
 #: through the batched sketch engine.
@@ -94,6 +94,36 @@ class SessionStats:
     universe_space_words: int
     #: Vertices holding resident sketch rows (dense: the universe size).
     touched_vertices: int
+    #: Corrupt checkpoints skipped by the last ``CheckpointStore``
+    #: fallback that restored this session (0 = newest was intact).
+    checkpoint_fallbacks: int = 0
+    #: Shard worker retries absorbed on this session's behalf (bumped
+    #: by harnesses that run sharded verification for the session).
+    shard_retries: int = 0
+    #: Queries answered degraded (decode failure -> low-confidence
+    #: :class:`QueryOutcome` instead of an exception).
+    degraded_queries: int = 0
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """A structured query answer that survives decode failures.
+
+    :meth:`GraphSession.query` returns one of these instead of raising
+    when a sketch decode fails: ``ok`` is ``False``, ``value`` is
+    ``None``, ``confidence`` is ``"degraded"`` and ``detail`` names the
+    failure.  Healthy answers carry ``confidence="whp"`` — the paper's
+    with-high-probability guarantee — so callers can branch on
+    confidence instead of wrapping every query in try/except.  Degraded
+    outcomes are never cached: the next query at the same epoch retries
+    the decode.
+    """
+
+    kind: str
+    value: object
+    ok: bool
+    confidence: str
+    detail: str = ""
 
 
 class _EpochCache:
@@ -203,6 +233,7 @@ class GraphSession:
         spanner_params: SpannerParams | None = None,
         weight_bounds: tuple[float, float] | None = None,
         agm_rounds: int | None = None,
+        rotation: int = 0,
     ):
         if not isinstance(seed, (int, str)):
             raise TypeError(
@@ -222,40 +253,14 @@ class GraphSession:
         self.spanner_params = spanner_params
         self.weight_bounds = weight_bounds
         self.agm_rounds = agm_rounds
+        if rotation < 0:
+            raise ValueError(f"rotation must be >= 0, got {rotation}")
+        self.rotation = rotation
+        self.checkpoint_fallbacks = 0
+        self.shard_retries = 0
+        self.degraded_queries = 0
 
-        self._connectivity = ConnectivityChecker(
-            self.space,
-            derive_seed(seed, "session", "connectivity"),
-            rounds=agm_rounds,
-        )
-        self._spanner: TwoPassSpannerBuilder | None = None
-        if enable_spanner:
-            self._spanner = TwoPassSpannerBuilder(
-                self.space,
-                k,
-                derive_seed(seed, "session", "spanner"),
-                params=spanner_params,
-            )
-        self._sparsifier: StreamingSparsifier | StreamingWeightedSparsifier | None = None
-        if enable_sparsifier:
-            if weight_bounds is None:
-                self._sparsifier = StreamingSparsifier(
-                    self.space,
-                    derive_seed(seed, "session", "sparsifier"),
-                    k=sparsifier_k,
-                    params=sparsifier_params,
-                )
-            else:
-                self._sparsifier = StreamingWeightedSparsifier(
-                    self.space,
-                    derive_seed(seed, "session", "sparsifier"),
-                    weight_bounds[0],
-                    weight_bounds[1],
-                    k=sparsifier_k,
-                    params=sparsifier_params,
-                )
-        for algorithm in self._algorithms():
-            algorithm.begin_pass(0)
+        self._build_algorithms()
 
         # The ledger: live-edge multiplicities and weights — the same
         # bookkeeping DynamicStream keeps to enforce the model, promoted
@@ -282,6 +287,7 @@ class GraphSession:
             return self.space.lookup(vertex)
         try:
             logical = operator.index(vertex)
+        # sketchlint: disable=SL602 type probe, not a recovery path: "not an int" IS the answer (None)
         except TypeError:
             return None
         return logical if 0 <= logical < self.num_vertices else None
@@ -303,6 +309,81 @@ class GraphSession:
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
+
+    def _slot_seed(self, name: str) -> int:
+        """Derived seed for one algorithm slot under the current rotation.
+
+        Rotation 0 keeps the historical ``(seed, "session", name)`` path
+        bit-exactly (every pre-rotation checkpoint and test depends on
+        it); rotation ``r > 0`` extends the path, giving an independent
+        hash family per rotation.
+        """
+        if self.rotation == 0:
+            return derive_seed(self.seed, "session", name)
+        return derive_seed(self.seed, "session", name, "rotation", self.rotation)
+
+    def _build_algorithms(self) -> None:
+        """(Re)build every enabled slot from config + rotation, at pass 0."""
+        self._connectivity = ConnectivityChecker(
+            self.space,
+            self._slot_seed("connectivity"),
+            rounds=self.agm_rounds,
+        )
+        self._spanner: TwoPassSpannerBuilder | None = None
+        if self.enable_spanner:
+            self._spanner = TwoPassSpannerBuilder(
+                self.space,
+                self.k,
+                self._slot_seed("spanner"),
+                params=self.spanner_params,
+            )
+        self._sparsifier: StreamingSparsifier | StreamingWeightedSparsifier | None = None
+        if self.enable_sparsifier:
+            if self.weight_bounds is None:
+                self._sparsifier = StreamingSparsifier(
+                    self.space,
+                    self._slot_seed("sparsifier"),
+                    k=self.sparsifier_k,
+                    params=self.sparsifier_params,
+                )
+            else:
+                self._sparsifier = StreamingWeightedSparsifier(
+                    self.space,
+                    self._slot_seed("sparsifier"),
+                    self.weight_bounds[0],
+                    self.weight_bounds[1],
+                    k=self.sparsifier_k,
+                    params=self.sparsifier_params,
+                )
+        for algorithm in self._algorithms():
+            algorithm.begin_pass(0)
+
+    def rotate_sketches(self) -> int:
+        """Re-derive every hash family and rebuild sketch state exactly.
+
+        The adaptive-adversary mitigation: an adversary that has learned
+        this session's randomness from query answers (the regime where
+        oblivious sketch guarantees crack — see ``docs/robustness.md``)
+        is reset, because every sampler hash family is re-derived under
+        the bumped rotation counter while the *graph* is preserved
+        exactly — the ledger is the net update multiset, and by
+        linearity replaying it lands the fresh sketches in the same
+        state the full history would have.  Costs one ledger replay;
+        bumps the epoch (cached snapshots describe retired sketches).
+        Returns the new rotation number; checkpoints persist it, so a
+        restored session keeps the rotated randomness.
+        """
+        with obs.TRACER.span("session.rotate"):
+            self.rotation += 1
+            self._build_algorithms()
+            tokens = self._net_updates()
+            for algorithm in self._algorithms():
+                for start in range(0, len(tokens), _REPLAY_CHUNK):
+                    algorithm.process_batch(tokens[start : start + _REPLAY_CHUNK], 0)
+            self.epoch += 1
+            self._cache.prune(self.epoch)
+        obs.TRACER.count("session.rotations")
+        return self.rotation
 
     def _algorithms(self):
         yield self._connectivity
@@ -442,6 +523,8 @@ class GraphSession:
             # construction (Boruvka copies samplers before combining), so
             # the snapshot discipline costs nothing on this hot path.
             with obs.TRACER.span("session.snapshot.forest"):
+                if faults.ACTIVE is not None:
+                    faults.ACTIVE.maybe_fail_decode("forest")
                 return compute_forest()
 
         def compute_forest():
@@ -546,6 +629,8 @@ class GraphSession:
 
         def compute():
             with obs.TRACER.span("session.snapshot.spanner"):
+                if faults.ACTIVE is not None:
+                    faults.ACTIVE.maybe_fail_decode("spanner")
                 clone = spanner.clone()
                 if _sanitize.ENABLED:
                     _sanitize.check_clone_independent(spanner, clone)
@@ -593,6 +678,8 @@ class GraphSession:
 
         def compute():
             with obs.TRACER.span("session.snapshot.sparsifier"):
+                if faults.ACTIVE is not None:
+                    faults.ACTIVE.maybe_fail_decode("sparsifier")
                 clone = sparsifier.clone()
                 if _sanitize.ENABLED:
                     _sanitize.check_clone_independent(sparsifier, clone)
@@ -625,6 +712,58 @@ class GraphSession:
             return cut_value(self.sparsifier_snapshot(), side_set)
 
     # ------------------------------------------------------------------
+    # Structured queries (graceful degradation)
+    # ------------------------------------------------------------------
+
+    #: Query kinds :meth:`query` serves, mapped to the raising methods.
+    _QUERY_KINDS = {
+        "components": "components",
+        "forest": "spanning_forest",
+        "connected": "connected",
+        "spanner-distance": "spanner_distance",
+        "cut": "cut_estimate",
+    }
+
+    #: Decode failures that degrade a query instead of raising.  Config
+    #: errors (disabled slot, out-of-range vertex) still raise: they
+    #: are caller bugs, not sketch-state trouble.
+    _DEGRADABLE = (faults.InjectedDecodeFailure,)
+
+    def query(self, kind: str, *args) -> QueryOutcome:
+        """Answer a query as a :class:`QueryOutcome`, never decode-raising.
+
+        ``kind`` is one of ``components`` / ``forest`` / ``connected`` /
+        ``spanner-distance`` / ``cut``, with the same arguments as the
+        corresponding method.  A sketch decode failure is absorbed into
+        a degraded outcome (``ok=False``, ``confidence="degraded"``,
+        counted as ``session.degraded_query``); because the epoch cache
+        never stores failed computes, the very next query at this epoch
+        retries the decode from scratch.  Everything else — unknown
+        kinds, disabled slots, invalid vertices — raises as the direct
+        methods do.
+        """
+        try:
+            method = getattr(self, self._QUERY_KINDS[kind])
+        except KeyError:
+            raise ValueError(
+                f"unknown query kind {kind!r}; choose from "
+                f"{sorted(self._QUERY_KINDS)}"
+            ) from None
+        try:
+            value = method(*args)
+        except self._DEGRADABLE as error:
+            self.degraded_queries += 1
+            obs.TRACER.count("session.degraded_query")
+            return QueryOutcome(
+                kind=kind,
+                value=None,
+                ok=False,
+                confidence="degraded",
+                detail=str(error),
+            )
+        return QueryOutcome(kind=kind, value=value, ok=True, confidence="whp")
+
+    # ------------------------------------------------------------------
     # Introspection / durability
     # ------------------------------------------------------------------
 
@@ -643,6 +782,9 @@ class GraphSession:
             space_words=report.total_words(),
             universe_space_words=report.universe_words(),
             touched_vertices=self.touched_vertices(),
+            checkpoint_fallbacks=self.checkpoint_fallbacks,
+            shard_retries=self.shard_retries,
+            degraded_queries=self.degraded_queries,
         )
 
     def touched_vertices(self) -> int:

@@ -36,11 +36,14 @@ from repro import obs
 from repro.agm.spanning_forest import SparseDisjointSets
 from repro.service.session import GraphSession
 from repro.stream.generators import mixed_session_ops, sparse_session_ops
+from repro.stream.updates import EdgeUpdate
+from repro.util.rng import rng_from_seed
 
 __all__ = [
     "SCENARIOS",
     "LatencySummary",
     "WorkloadReport",
+    "AdversarialReport",
     "WorkloadDriver",
     "scenario_ops",
     "components_match_ledger",
@@ -217,6 +220,38 @@ class WorkloadReport:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class AdversarialReport:
+    """Outcome of one :meth:`WorkloadDriver.run_adversarial` run.
+
+    ``anomaly_rounds`` are the rounds whose decoded component partition
+    diverged from the exact ledger — the observable signature of the
+    adaptive-deletion regime the sketches' oblivious-adversary analysis
+    does not cover (see ``docs/robustness.md``).
+    """
+
+    rounds: int
+    edges_inserted: int
+    deletions: int
+    anomaly_rounds: tuple[int, ...]
+    rotations: int
+
+    @property
+    def anomalies(self) -> int:
+        """How many rounds diverged from the exact ledger."""
+        return len(self.anomaly_rounds)
+
+    def summary(self) -> str:
+        """One-line report (what ``repro chaos --adversarial-rounds`` prints)."""
+        return (
+            f"adversarial: {self.rounds} rounds, "
+            f"{self.edges_inserted} inserts / {self.deletions} adaptive deletes, "
+            f"{self.anomalies} anomalous rounds"
+            + (f" {list(self.anomaly_rounds)}" if self.anomaly_rounds else "")
+            + f", {self.rotations} sketch rotations"
+        )
+
+
 class WorkloadDriver:
     """Execute an op stream against a session, measuring as it goes.
 
@@ -272,6 +307,86 @@ class WorkloadDriver:
                 return None
             return session.cut_estimate(*args)
         raise ValueError(f"unknown query kind {kind!r}")
+
+    def run_adversarial(
+        self,
+        rounds: int,
+        edges_per_round: int,
+        seed: int | str,
+        rotate_every: int = 0,
+    ) -> AdversarialReport:
+        """Drive the adaptive-deletion scenario: deletions depend on answers.
+
+        Every sketch guarantee in this repo is an *oblivious*-adversary
+        guarantee: the randomness is drawn after the stream is fixed.
+        This scenario breaks that assumption the canonical way (cf.
+        Bernstein et al., arXiv:2004.08432): each round inserts
+        ``edges_per_round`` seeded-random edges, *queries* the session
+        for its decoded spanning forest, then deletes exactly the live
+        edges the forest revealed — so the deletion stream is a
+        function of the session's private randomness as leaked through
+        its answers.  After each round the decoded component partition
+        is checked against the exact ledger; divergent rounds are
+        recorded as anomalies.
+
+        ``rotate_every > 0`` arms the mitigation: every that-many
+        rounds the session re-derives all hash families from its
+        rotation counter and rebuilds state from the exact ledger
+        (:meth:`~repro.service.session.GraphSession.rotate_sketches`),
+        invalidating whatever the adversary has learned so far.
+
+        Fully deterministic given ``seed`` — the "adversary" replays
+        identically, which is what lets tests compare mitigation
+        on/off runs.
+        """
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if edges_per_round < 1:
+            raise ValueError(f"edges_per_round must be >= 1, got {edges_per_round}")
+        session = self.session
+        n = session.num_vertices
+        if n < 2:
+            raise ValueError("adversarial scenario needs at least 2 vertices")
+        inserted = 0
+        deletions = 0
+        rotations = 0
+        anomaly_rounds: list[int] = []
+        with self.tracer.span("workload.adversarial", rounds=rounds):
+            for round_index in range(rounds):
+                rng = rng_from_seed(seed, "adversarial", round_index)
+                batch = []
+                for _ in range(edges_per_round):
+                    u = rng.randrange(n)
+                    v = rng.randrange(n - 1)
+                    if v >= u:
+                        v += 1
+                    batch.append(EdgeUpdate(u, v, +1))
+                session.ingest_batch(batch)
+                inserted += len(batch)
+                # The query whose answer the adversary conditions on.
+                forest = session.spanning_forest()
+                obs.TRACER.count("workload.adversarial.round")
+                revealed = [
+                    EdgeUpdate(u, v, -1)
+                    for u, v in forest
+                    if session._multiplicity.get(EdgeUpdate(u, v, -1).pair, 0) > 0
+                ]
+                if revealed:
+                    session.ingest_batch(revealed)
+                    deletions += len(revealed)
+                if not components_match_ledger(session):
+                    anomaly_rounds.append(round_index)
+                    obs.TRACER.count("workload.adversarial.anomaly")
+                if rotate_every and (round_index + 1) % rotate_every == 0:
+                    session.rotate_sketches()
+                    rotations += 1
+        return AdversarialReport(
+            rounds=rounds,
+            edges_inserted=inserted,
+            deletions=deletions,
+            anomaly_rounds=tuple(anomaly_rounds),
+            rotations=rotations,
+        )
 
     def run(self, ops: list[tuple], scenario: str = "custom") -> WorkloadReport:
         """Execute ``ops`` (``("ingest", updates)`` / ``("query", kind,

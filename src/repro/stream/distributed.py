@@ -48,13 +48,14 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
-import queue as queue_module
 import sys
+import time
 import traceback
 from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Sequence
 
-from repro import obs
+from repro import faults, obs
 from repro.sketch.serialize import pack_ints, unpack_ints
 from repro.stream.pipeline import StreamingAlgorithm
 from repro.stream.sharding import shard_by_edge, shard_round_robin
@@ -66,6 +67,8 @@ __all__ = [
     "DISCIPLINES",
     "RoundTrace",
     "CommunicationReport",
+    "RetryEvent",
+    "DegradedResult",
     "DistributedResult",
     "ShardedRunner",
 ]
@@ -169,16 +172,64 @@ class CommunicationReport:
 
 
 @dataclass(frozen=True)
+class RetryEvent:
+    """One absorbed worker failure: which round/worker/attempt, and why.
+
+    ``attempt`` is the 0-based attempt that *failed*; the work was
+    redone by attempt ``attempt + 1``.  ``reason`` is a short
+    human-readable cause (crash / hang / timeout / death / reported
+    error).
+    """
+
+    pass_index: int
+    worker_id: int
+    attempt: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """Recovery accounting for one run: which failures were absorbed.
+
+    The *output* of a run that retried is still bit-identical to an
+    undisturbed run — workers are rebuilt every round from
+    deterministic shard chunks, so a replayed worker regenerates the
+    exact same message.  "Degraded" here means the run's *operational*
+    guarantees (latency, worker health) degraded, and this record says
+    where; an empty one (``bool(...) is False``) means nothing went
+    wrong.
+    """
+
+    retries: tuple[RetryEvent, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.retries)
+
+    def rounds_retried(self) -> tuple[int, ...]:
+        """Distinct pass indexes that needed at least one retry."""
+        return tuple(sorted({event.pass_index for event in self.retries}))
+
+    def summary(self) -> str:
+        """One line per absorbed failure (empty string when clean)."""
+        return "\n".join(
+            f"round {event.pass_index}: worker {event.worker_id} "
+            f"attempt {event.attempt} {event.reason}"
+            for event in self.retries
+        )
+
+
+@dataclass(frozen=True)
 class DistributedResult:
     """Outcome of a :meth:`ShardedRunner.run`: the algorithm's output
     (identical to the single-stream output) plus the measured
-    communication and the run configuration."""
+    communication, the run configuration, and the recovery record."""
 
     output: Any
     communication: CommunicationReport
     num_servers: int
     backend: str
     discipline: str
+    degraded: DegradedResult = DegradedResult()
 
 
 def _feed_tokens(
@@ -198,20 +249,59 @@ def _feed_tokens(
             algorithm.process_batch(tokens[start : start + batch_size], pass_index)
 
 
+def _planned_fault(plan, pass_index, worker_id, attempt, in_process):
+    """Fire this attempt's planned worker fault, if any.
+
+    The decision is a pure function of ``(plan, coordinates)`` (see
+    :meth:`repro.faults.plan.FaultPlan.worker_fault`), so a forked or
+    spawned child reaches the same verdict the parent's retry
+    bookkeeping expects.  In-process (serial) workers surface a hang as
+    :class:`~repro.faults.injector.InjectedHang` — there is no process
+    to time out — while a process worker genuinely blocks so the
+    parent's deadline machinery is exercised for real, then crashes in
+    case no timeout was armed.
+    """
+    spec = None if plan is None else plan.worker_fault(pass_index, worker_id, attempt)
+    if spec is None:
+        return
+    if spec.kind == "worker-crash":
+        raise faults.InjectedCrash(
+            f"injected crash: worker {worker_id} round {pass_index} "
+            f"attempt {attempt}"
+        )
+    if in_process:
+        raise faults.InjectedHang(
+            f"injected hang: worker {worker_id} round {pass_index} "
+            f"attempt {attempt}"
+        )
+    time.sleep(spec.hang_seconds)
+    raise faults.InjectedCrash(
+        f"injected hang expired after {spec.hang_seconds}s: worker "
+        f"{worker_id} round {pass_index} attempt {attempt}"
+    )
+
+
 def _worker_round(
     factory: Callable[[], StreamingAlgorithm],
     tokens: Sequence[EdgeUpdate],
     pass_index: int,
     broadcast: Any,
     batch_size: int | None,
+    worker_id: int = 0,
+    attempt: int = 0,
+    plan=None,
+    in_process: bool = True,
 ) -> bytes:
     """Run one worker for one round and return its state message.
 
     Workers are built fresh every round in *both* backends — a pass-1
     worker carries nothing from pass 0 except the coordinator
     broadcast, so serial and mp execution are behaviorally identical
-    by construction.
+    by construction.  That same freshness is what makes retries
+    bit-exact: a replacement worker rebuilt from the identical shard
+    chunk regenerates the identical message.
     """
+    _planned_fault(plan, pass_index, worker_id, attempt, in_process)
     algorithm = factory()
     if broadcast is not None:
         algorithm.adopt_broadcast(broadcast, pass_index)
@@ -219,13 +309,28 @@ def _worker_round(
     return pack_ints(algorithm.shard_state_ints(pass_index))
 
 
-def _mp_worker_main(queue, worker_id, factory, tokens, pass_index, broadcast, batch_size):
-    # Child-process entry point; ships (id, message, error) back.
+def _mp_worker_main(
+    conn, worker_id, factory, tokens, pass_index, broadcast, batch_size,
+    attempt=0, plan=None,
+):
+    # Child-process entry point; ships (id, message, error) back over
+    # this worker's *private* pipe — a shared queue's write lock would
+    # die with whichever process the coordinator terminates mid-send,
+    # wedging every sibling.  The fault plan rides in as an argument
+    # (not via inherited globals) so spawn-start children make the same
+    # fire decisions fork children do.
     try:
-        message = _worker_round(factory, tokens, pass_index, broadcast, batch_size)
-        queue.put((worker_id, message, None))
-    except BaseException:
-        queue.put((worker_id, None, traceback.format_exc()))
+        try:
+            message = _worker_round(
+                factory, tokens, pass_index, broadcast, batch_size,
+                worker_id=worker_id, attempt=attempt, plan=plan, in_process=False,
+            )
+            conn.send((worker_id, message, None))
+        # sketchlint: disable=SL602 the error is shipped to the coordinator via the pipe, which retries or raises
+        except BaseException:
+            conn.send((worker_id, None, traceback.format_exc()))
+    finally:
+        conn.close()
 
 
 class ShardedRunner:
@@ -238,7 +343,8 @@ class ShardedRunner:
     backend:
         ``"serial"`` runs the workers in-process (deterministic,
         dependency-free); ``"mp"`` forks one OS process per worker and
-        ships the ``pack_ints``-serialized states back over a queue.
+        ships the ``pack_ints``-serialized states back, each over its
+        own private pipe.
         Both backends follow the identical message protocol, so their
         results are bit-identical.
     discipline:
@@ -255,6 +361,20 @@ class ShardedRunner:
         Multiprocessing start method; default prefers ``fork`` (cheap
         shard hand-off via copy-on-write) and falls back to the
         platform default.
+    worker_timeout:
+        Per-round, per-worker wall-clock budget in seconds (``mp``
+        backend).  A worker that neither reports nor exits within it is
+        terminated and retried; ``None`` (the default) waits forever,
+        the historical behavior.
+    max_retries:
+        How many times one worker's round may be retried (crash, hang,
+        timeout, or reported error) before the run fails.  Retries
+        relaunch a fresh worker over the identical shard chunk, so a
+        recovered run's output is bit-identical to an undisturbed one.
+    retry_backoff:
+        Base pause in seconds before relaunching a failed worker,
+        scaled linearly by attempt number (set 0 to retry immediately,
+        e.g. in deterministic simulation tests).
     """
 
     def __init__(
@@ -265,9 +385,18 @@ class ShardedRunner:
         shard_seed: int | str = 0,
         batch_size: int | None = None,
         start_method: str | None = None,
+        worker_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
     ):
         if num_servers < 1:
             raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        if worker_timeout is not None and worker_timeout <= 0:
+            raise ValueError(f"worker_timeout must be positive, got {worker_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         normalized_backend = backend.strip().lower()
         if normalized_backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -283,6 +412,9 @@ class ShardedRunner:
         self.discipline = normalized_discipline
         self.shard_seed = shard_seed
         self.batch_size = batch_size
+        self.worker_timeout = worker_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         if (
             start_method is None
             and sys.platform.startswith("linux")
@@ -318,6 +450,7 @@ class ShardedRunner:
         coordinator = factory()
         passes = coordinator.passes_required
         rounds: list[RoundTrace] = []
+        retries: list[RetryEvent] = []
         for pass_index in range(passes):
             broadcast = (
                 coordinator.broadcast_state(pass_index) if pass_index > 0 else None
@@ -327,12 +460,13 @@ class ShardedRunner:
                 "shard.round.workers", pass_index=pass_index
             ) as worker_span:
                 if self.backend == "serial":
-                    messages = [
-                        _worker_round(factory, shard, pass_index, broadcast, self.batch_size)
-                        for shard in shards
-                    ]
+                    messages = self._run_serial_round(
+                        factory, shards, pass_index, broadcast, retries
+                    )
                 else:
-                    messages = self._run_mp_round(factory, shards, pass_index, broadcast)
+                    messages = self._run_mp_round(
+                        factory, shards, pass_index, broadcast, retries
+                    )
             with obs.TRACER.span(
                 "shard.round.merge", pass_index=pass_index
             ) as merge_span:
@@ -365,7 +499,65 @@ class ShardedRunner:
             num_servers=self.num_servers,
             backend=self.backend,
             discipline=self.discipline,
+            degraded=DegradedResult(retries=tuple(retries)),
         )
+
+    def _note_retry(
+        self,
+        retries: list[RetryEvent],
+        pass_index: int,
+        worker_id: int,
+        attempt: int,
+        reason: str,
+    ) -> None:
+        """Record one absorbed failure and apply the relaunch backoff."""
+        obs.TRACER.count("shard.retry")
+        retries.append(
+            RetryEvent(
+                pass_index=pass_index,
+                worker_id=worker_id,
+                attempt=attempt,
+                reason=reason,
+            )
+        )
+        if self.retry_backoff > 0:
+            time.sleep(self.retry_backoff * (attempt + 1))
+
+    def _run_serial_round(
+        self,
+        factory: Callable[[], StreamingAlgorithm],
+        shards: list[list[EdgeUpdate]],
+        pass_index: int,
+        broadcast: Any,
+        retries: list[RetryEvent],
+    ) -> list[bytes]:
+        """One in-process round; injected crashes/hangs take the same
+        bounded-retry path a process worker's death or timeout does."""
+        plan = faults.ACTIVE.plan if faults.ACTIVE is not None else None
+        messages: list[bytes] = []
+        for worker_id, shard in enumerate(shards):
+            attempt = 0
+            while True:
+                try:
+                    messages.append(
+                        _worker_round(
+                            factory, shard, pass_index, broadcast, self.batch_size,
+                            worker_id=worker_id, attempt=attempt, plan=plan,
+                        )
+                    )
+                    break
+                except (faults.InjectedCrash, faults.InjectedHang) as error:
+                    if attempt >= self.max_retries:
+                        raise RuntimeError(
+                            f"distributed worker {worker_id} failed after "
+                            f"{attempt + 1} attempts; last failure: {error}"
+                        ) from error
+                    reason = (
+                        "hang" if isinstance(error, faults.InjectedHang) else "crash"
+                    )
+                    self._note_retry(retries, pass_index, worker_id, attempt, reason)
+                    attempt += 1
+        return messages
 
     def _run_mp_round(
         self,
@@ -373,59 +565,139 @@ class ShardedRunner:
         shards: list[list[EdgeUpdate]],
         pass_index: int,
         broadcast: Any,
+        retries: list[RetryEvent],
     ) -> list[bytes]:
-        """One round with real worker processes; preserves shard order."""
+        """One round with real worker processes; preserves shard order.
+
+        Each worker gets up to ``1 + max_retries`` attempts: a worker
+        that dies abnormally, reports an error, or (with
+        ``worker_timeout`` set) neither reports nor exits in time is
+        torn down and relaunched fresh over the identical shard chunk —
+        deterministic replay makes the replacement's message
+        bit-identical, which also lets a late message from a superseded
+        attempt be accepted or dropped freely.
+        """
         ctx = self._mp_context
-        queue = ctx.Queue()
-        processes = [
-            ctx.Process(
+        plan = faults.ACTIVE.plan if faults.ACTIVE is not None else None
+        processes: dict[int, Any] = {}
+        #: Parent (receive) end of each live worker's private pipe.
+        conns: dict[int, Any] = {}
+        retired: list[Any] = []
+        attempts = {worker_id: 0 for worker_id in range(len(shards))}
+        deadlines: dict[int, float | None] = {}
+
+        def launch(worker_id: int) -> None:
+            receiver, sender = ctx.Pipe(duplex=False)
+            process = ctx.Process(
                 target=_mp_worker_main,
-                args=(queue, worker_id, factory, shard, pass_index, broadcast, self.batch_size),
+                args=(
+                    sender, worker_id, factory, shards[worker_id], pass_index,
+                    broadcast, self.batch_size, attempts[worker_id], plan,
+                ),
                 daemon=True,
             )
-            for worker_id, shard in enumerate(shards)
-        ]
-        for process in processes:
             process.start()
+            # Drop the parent's copy of the send end so the receiver
+            # reads EOF the moment the child's end closes.
+            sender.close()
+            processes[worker_id] = process
+            conns[worker_id] = receiver
+            deadlines[worker_id] = (
+                None
+                if self.worker_timeout is None
+                else obs.DEFAULT_CLOCK() + self.worker_timeout
+            )
+
+        def retry_or_fail(worker_id: int, reason: str) -> None:
+            conns.pop(worker_id).close()
+            stale = processes.pop(worker_id)
+            if stale.is_alive():
+                # Killing the worker can at worst corrupt its own
+                # (already discarded) pipe — never a sibling's channel.
+                stale.terminate()
+            retired.append(stale)
+            attempt = attempts[worker_id]
+            if attempt >= self.max_retries:
+                raise RuntimeError(
+                    f"distributed worker {worker_id} failed after "
+                    f"{attempt + 1} attempts; last failure: {reason}"
+                )
+            self._note_retry(retries, pass_index, worker_id, attempt, reason)
+            attempts[worker_id] = attempt + 1
+            launch(worker_id)
+
         messages: dict[int, bytes] = {}
         pending = set(range(len(shards)))
+        all_processes = lambda: list(processes.values()) + retired
         try:
-            # Drain results before joining: a child blocks on the queue
-            # pipe until its (possibly large) message is consumed.  The
-            # timeout lets us notice a worker that died without ever
-            # reporting (OOM kill, segfault) instead of hanging forever;
-            # a clean exit (code 0) means its message is already in
-            # flight, so only abnormal exits abort the round.
+            for worker_id in sorted(pending):
+                launch(worker_id)
+            # Drain results before joining: a child blocks in ``send``
+            # until its (possibly large) message is consumed.  The poll
+            # timeout is when death and deadline checks run; a clean
+            # exit (code 0) means the message is already in flight, so
+            # only abnormal exits and timeouts trigger recovery.
             while pending:
-                try:
-                    worker_id, message, error = queue.get(timeout=1.0)
-                except queue_module.Empty:
-                    for worker_id, process in enumerate(processes):
-                        if (
-                            worker_id in pending
-                            and not process.is_alive()
-                            and process.exitcode != 0
-                        ):
-                            raise RuntimeError(
-                                f"distributed worker {worker_id} died with "
-                                f"exit code {process.exitcode} before "
-                                "reporting a result"
+                ready = mp_connection.wait(list(conns.values()), timeout=0.1)
+                if not ready:
+                    obs.TRACER.count("shard.poll.tick")
+                    now = obs.DEFAULT_CLOCK()
+                    for worker_id in sorted(pending):
+                        process = processes[worker_id]
+                        deadline = deadlines[worker_id]
+                        if not process.is_alive() and process.exitcode != 0:
+                            retry_or_fail(
+                                worker_id,
+                                f"died with exit code {process.exitcode} "
+                                "before reporting a result",
+                            )
+                        elif deadline is not None and now > deadline:
+                            retry_or_fail(
+                                worker_id,
+                                f"timed out after {self.worker_timeout:.3f}s",
                             )
                     continue
-                if error is not None:
-                    raise RuntimeError(
-                        f"distributed worker {worker_id} failed:\n{error}"
+                for conn in ready:
+                    worker_id = next(
+                        wid for wid, c in conns.items() if c is conn
                     )
-                messages[worker_id] = message
-                pending.discard(worker_id)
+                    try:
+                        _, message, error = conn.recv()
+                    # sketchlint: disable=SL602 retry_or_fail escalates: it relaunches (counting the retry) or raises
+                    except EOFError:
+                        # The pipe closed with nothing in it: the
+                        # worker exited (or was killed) before
+                        # reporting.  Reap it for the exit code.
+                        processes[worker_id].join()
+                        retry_or_fail(
+                            worker_id,
+                            "died with exit code "
+                            f"{processes[worker_id].exitcode} "
+                            "before reporting a result",
+                        )
+                        continue
+                    if error is not None:
+                        retry_or_fail(worker_id, f"reported an error:\n{error}")
+                        continue
+                    messages[worker_id] = message
+                    pending.discard(worker_id)
+                    # Retire the channel so its end-of-stream EOF is
+                    # never mistaken for a death on a later poll.
+                    conns.pop(worker_id).close()
         except BaseException:
             # Undrained siblings may be blocked writing their messages;
             # joining them would deadlock, so tear the round down.
-            for process in processes:
+            for process in all_processes():
                 process.terminate()
-            for process in processes:
+            for process in all_processes():
                 process.join()
+            for receiver in conns.values():
+                receiver.close()
             raise
-        for process in processes:
+        for process in all_processes():
+            if process.is_alive():
+                # Already reported (its message is in hand) and merely
+                # still winding down; don't wait on its exit ceremony.
+                process.terminate()
             process.join()
         return [messages[worker_id] for worker_id in range(len(shards))]

@@ -1,0 +1,121 @@
+"""FaultPlan/FaultSpec: parsing, describe, and pure fire decisions."""
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSpec
+
+
+class TestParsing:
+    def test_empty_and_none_parse_to_empty_plan(self):
+        assert not FaultPlan.parse("")
+        assert not FaultPlan.parse("  ")
+        assert not FaultPlan.parse("none")
+        assert FaultPlan.parse("").describe() == "(no faults)"
+
+    def test_aliases_map_to_real_fields(self):
+        plan = FaultPlan.parse("worker-crash@round=2:worker=1,decode-fail@query=3")
+        crash, decode = plan.specs
+        assert (crash.round_index, crash.worker_id) == (2, 1)
+        assert decode.query_index == 3
+
+    def test_full_field_names_also_accepted(self):
+        (spec,) = FaultPlan.parse("worker-hang@round_index=1:hang_seconds=0.5").specs
+        assert spec.round_index == 1
+        assert spec.hang_seconds == 0.5
+
+    def test_hex_numerics_and_negative_offsets(self):
+        (spec,) = FaultPlan.parse("checkpoint-bitflip@offset=-4:mask=0x80").specs
+        assert spec.offset == -4
+        assert spec.mask == 0x80
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("disk-melt@round=0")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault parameter"):
+            FaultPlan.parse("worker-crash@shard=0")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            FaultPlan.parse("worker-crash@round")
+
+    def test_kind_cannot_be_overridden_via_params(self):
+        with pytest.raises(ValueError, match="unknown fault parameter"):
+            FaultPlan.parse("worker-crash@kind=io-error")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec("worker-crash", times=0)
+        with pytest.raises(ValueError, match="mask"):
+            FaultSpec("checkpoint-bitflip", mask=256)
+
+    def test_describe_names_every_spec(self):
+        from repro.faults.chaos import DEFAULT_PLAN_TEXT
+
+        text = FaultPlan.parse(DEFAULT_PLAN_TEXT).describe()
+        for kind in ("io-error", "checkpoint-bitflip", "checkpoint-truncate",
+                     "decode-fail", "worker-crash", "worker-hang"):
+            assert kind in text
+
+
+class TestFireDecisions:
+    def test_worker_fault_is_pure_and_attempt_bounded(self):
+        plan = FaultPlan.parse("worker-crash@round=1:worker=2:times=2")
+        # Same coordinates, same answer, every time (fork-safety).
+        for _ in range(3):
+            assert plan.worker_fault(1, 2, 0) is plan.specs[0]
+            assert plan.worker_fault(1, 2, 1) is plan.specs[0]
+        # Beyond `times`, or at any other coordinate, nothing fires.
+        assert plan.worker_fault(1, 2, 2) is None
+        assert plan.worker_fault(0, 2, 0) is None
+        assert plan.worker_fault(1, 0, 0) is None
+
+    def test_decode_ordinals_claimed_in_sequence(self):
+        injector = faults.FaultInjector(FaultPlan.parse("decode-fail@query=1:times=2"))
+        injector.maybe_fail_decode("forest")  # ordinal 0: clean
+        with pytest.raises(faults.InjectedDecodeFailure):
+            injector.maybe_fail_decode("forest")  # ordinal 1
+        with pytest.raises(faults.InjectedDecodeFailure):
+            injector.maybe_fail_decode("spanner")  # ordinal 2 (site-agnostic)
+        injector.maybe_fail_decode("forest")  # ordinal 3: clean again
+        assert len(injector.events) == 2
+
+    def test_decode_site_restriction(self):
+        injector = faults.FaultInjector(
+            FaultPlan.parse("decode-fail@query=0:times=3:site=spanner")
+        )
+        injector.maybe_fail_decode("forest")  # wrong site: clean
+        with pytest.raises(faults.InjectedDecodeFailure):
+            injector.maybe_fail_decode("spanner")
+
+    def test_checkpoint_ordinals_claimed_in_sequence(self):
+        injector = faults.FaultInjector(
+            FaultPlan.parse("io-error@write=1:at_byte=10,checkpoint-truncate@write=2")
+        )
+        assert injector.checkpoint_faults() == faults.CheckpointFaults()
+        assert injector.checkpoint_faults().fail_at_byte == 10
+        bundle = injector.checkpoint_faults()
+        assert bundle.fail_at_byte is None
+        assert bundle.corrupt[0].kind == "checkpoint-truncate"
+
+
+class TestInstall:
+    def test_inject_installs_and_restores(self):
+        assert faults.ACTIVE is None
+        plan = FaultPlan.parse("decode-fail@query=0")
+        with faults.inject(plan) as injector:
+            assert faults.ACTIVE is injector
+            assert injector.plan is plan
+            inner = FaultPlan.parse("worker-crash@round=0")
+            with faults.inject(inner) as nested:
+                assert faults.ACTIVE is nested
+            assert faults.ACTIVE is injector
+        assert faults.ACTIVE is None
+
+    def test_inject_restores_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with faults.inject(FaultPlan.parse("decode-fail@query=0")):
+                raise RuntimeError("boom")
+        assert faults.ACTIVE is None

@@ -1,0 +1,138 @@
+"""Shard-seam recovery: crashed and hung workers retried bit-exactly.
+
+Every retry rebuilds a fresh worker from the same deterministic shard
+chunk, so the replacement regenerates the identical message — the
+faulted run's output must equal the unfaulted run's, byte for byte, on
+both backends.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro import faults
+from repro.agm.connectivity import ConnectivityChecker
+from repro.faults import FaultPlan
+from repro.stream import mixed_workload_stream
+from repro.stream.distributed import DegradedResult, ShardedRunner
+
+NUM_VERTICES = 16
+SEED = 2027
+
+
+def _stream():
+    return mixed_workload_stream(NUM_VERTICES, 200, SEED)
+
+
+def _factory():
+    return partial(ConnectivityChecker, NUM_VERTICES, SEED + 1)
+
+
+@pytest.fixture(scope="module")
+def clean_output():
+    return ShardedRunner(3, backend="serial").run(_stream(), _factory()).output
+
+
+class TestSerialRetry:
+    def test_crash_is_retried_bit_identically(self, clean_output):
+        plan = FaultPlan.parse("worker-crash@round=0:worker=1")
+        with faults.inject(plan):
+            result = ShardedRunner(3, backend="serial", retry_backoff=0).run(
+                _stream(), _factory()
+            )
+        assert result.output == clean_output
+        assert bool(result.degraded)
+        (event,) = result.degraded.retries
+        assert (event.pass_index, event.worker_id, event.attempt) == (0, 1, 0)
+        assert "crash" in event.reason.lower()
+        assert result.degraded.rounds_retried() == (0,)
+
+    def test_hang_surfaces_as_exception_and_retries(self, clean_output):
+        plan = FaultPlan.parse("worker-hang@round=0:worker=0")
+        with faults.inject(plan):
+            result = ShardedRunner(3, backend="serial", retry_backoff=0).run(
+                _stream(), _factory()
+            )
+        assert result.output == clean_output
+        assert len(result.degraded.retries) == 1
+
+    def test_retries_exhaust_with_attempt_count(self):
+        plan = FaultPlan.parse("worker-crash@round=0:worker=0:times=9")
+        with faults.inject(plan):
+            runner = ShardedRunner(
+                3, backend="serial", max_retries=2, retry_backoff=0
+            )
+            with pytest.raises(RuntimeError, match="failed after 3 attempts"):
+                runner.run(_stream(), _factory())
+
+    def test_multiple_workers_faulted_in_one_round(self, clean_output):
+        plan = FaultPlan.parse(
+            "worker-crash@round=0:worker=0,worker-crash@round=0:worker=2:times=2"
+        )
+        with faults.inject(plan):
+            result = ShardedRunner(3, backend="serial", retry_backoff=0).run(
+                _stream(), _factory()
+            )
+        assert result.output == clean_output
+        assert len(result.degraded.retries) == 3  # one + two attempts
+
+
+class TestMpRetry:
+    def test_crashed_process_worker_retried_bit_identically(self, clean_output):
+        plan = FaultPlan.parse("worker-crash@round=0:worker=1")
+        with faults.inject(plan):
+            result = ShardedRunner(3, backend="mp", retry_backoff=0).run(
+                _stream(), _factory()
+            )
+        assert result.output == clean_output
+        assert result.degraded.rounds_retried() == (0,)
+
+    def test_hung_process_worker_timed_out_and_retried(self, clean_output):
+        plan = FaultPlan.parse("worker-hang@round=0:worker=0:hang_seconds=30")
+        with faults.inject(plan):
+            result = ShardedRunner(
+                3, backend="mp", worker_timeout=1.0, retry_backoff=0
+            ).run(_stream(), _factory())
+        assert result.output == clean_output
+        (event,) = result.degraded.retries
+        assert "timed out" in event.reason
+
+    def test_mp_output_matches_serial_under_faults(self, clean_output):
+        # The cross-backend identity the runner promises, now under
+        # the same fault plan on both backends.
+        plan = FaultPlan.parse("worker-crash@round=0:worker=0")
+        with faults.inject(plan):
+            serial = ShardedRunner(3, backend="serial", retry_backoff=0).run(
+                _stream(), _factory()
+            )
+            mp = ShardedRunner(3, backend="mp", retry_backoff=0).run(
+                _stream(), _factory()
+            )
+        assert serial.output == clean_output
+        assert mp.output == clean_output
+
+
+class TestDegradedResult:
+    def test_clean_run_reports_empty_degraded(self, clean_output):
+        result = ShardedRunner(3, backend="serial").run(_stream(), _factory())
+        assert result.output == clean_output
+        assert not result.degraded
+        assert result.degraded.rounds_retried() == ()
+
+    def test_summary_counts_retries(self):
+        plan = FaultPlan.parse("worker-crash@round=0:worker=1:times=2")
+        with faults.inject(plan):
+            result = ShardedRunner(3, backend="serial", retry_backoff=0).run(
+                _stream(), _factory()
+            )
+        summary = result.degraded.summary()
+        assert len(summary.splitlines()) == 2
+        assert "attempt 1" in summary
+
+    def test_runner_validates_retry_configuration(self):
+        with pytest.raises(ValueError):
+            ShardedRunner(2, worker_timeout=0.0)
+        with pytest.raises(ValueError):
+            ShardedRunner(2, max_retries=-1)
+        with pytest.raises(ValueError):
+            ShardedRunner(2, retry_backoff=-0.1)

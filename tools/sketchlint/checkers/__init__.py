@@ -9,9 +9,18 @@
 * :mod:`tools.sketchlint.checkers.wire` — ``SL4xx`` wire-format
   writer/reader pairing and framing;
 * :mod:`tools.sketchlint.checkers.wallclock` — ``SL5xx`` raw
-  process-clock bans outside the telemetry layer.
+  process-clock bans outside the telemetry layer;
+* :mod:`tools.sketchlint.checkers.recovery` — ``SL6xx`` bare/silent
+  ``except`` bans on the self-healing recovery seams.
 """
 
-from tools.sketchlint.checkers import determinism, field, protocol, wallclock, wire
+from tools.sketchlint.checkers import (
+    determinism,
+    field,
+    protocol,
+    recovery,
+    wallclock,
+    wire,
+)
 
-__all__ = ["determinism", "field", "protocol", "wallclock", "wire"]
+__all__ = ["determinism", "field", "protocol", "recovery", "wallclock", "wire"]

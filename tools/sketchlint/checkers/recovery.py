@@ -1,0 +1,129 @@
+"""SL6xx — recovery discipline: no silent exception swallowing on seams.
+
+PR 9 made ``except`` blocks load-bearing: checkpoint restore falls back
+past corrupt files, the sharded runner retries crashed/hung workers,
+and the session degrades failed decodes into structured
+:class:`~repro.service.session.QueryOutcome` values.  Each of those
+paths announces itself through a ``repro.obs`` counter
+(``checkpoint.corrupt_detected``, ``shard.retry``,
+``session.degraded_query``), which is what lets ``repro chaos`` and the
+ops surface prove recovery actually happened.  A handler that catches
+and says nothing is the failure mode this family bans: the fault is
+absorbed, telemetry shows a healthy run, and the next engineer debugs
+a bit-identity divergence with no breadcrumb.
+
+* ``SL601`` — a bare ``except:`` in a recovery module.  It catches
+  ``KeyboardInterrupt``/``SystemExit`` too, turning ctrl-C into a
+  "recovered" fault.  Name the exception; use ``BaseException``
+  explicitly if interpreter-exit signals really must be intercepted
+  (the mp round teardown does, and re-raises).
+
+* ``SL602`` — a handler that *swallows*: its body neither re-raises
+  (no ``raise`` statement on any branch) nor records the event through
+  an observability counter (no ``.count(...)``/``.observe(...)``
+  call).  Either escalate the error or count it; a handler the team
+  has reviewed as genuinely fine to silence (e.g. a type-probe
+  ``except TypeError: return None``) carries an inline
+  ``# sketchlint: disable=SL602 <reason>``.
+
+Scope is the explicit ``recovery_module_prefixes`` list in
+:class:`tools.sketchlint.config.Config` — the checkpoint/session
+service layer, the distributed runner, and the fault-injection package
+itself.  ``raise`` inside a function *defined* within the handler does
+not count as re-raising (it only runs if someone calls it), so the
+scan skips nested function and class bodies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.sketchlint.diagnostics import Diagnostic
+from tools.sketchlint.model import RepoIndex, SourceFile
+from tools.sketchlint.registry import register
+
+__all__ = ["check_recovery"]
+
+#: Method names whose call inside a handler counts as "the event was
+#: recorded": the tracer's counter and histogram entry points.
+_COUNTER_ATTRS = {"count", "observe"}
+
+
+def _in_scope(module: str, prefixes: tuple[str, ...]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+def _handler_nodes(handler: ast.ExceptHandler) -> Iterable[ast.AST]:
+    """Walk a handler body, skipping nested function/class scopes.
+
+    A ``raise`` (or counter call) inside a ``def`` defined in the
+    handler only executes if that function is later called — it is not
+    the handler doing its duty.
+    """
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue  # don't descend into a scope that runs later, if ever
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _escalates(handler: ast.ExceptHandler) -> bool:
+    """Whether any branch of the handler re-raises or records a counter."""
+    for node in _handler_nodes(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _COUNTER_ATTRS
+        ):
+            return True
+    return False
+
+
+def _check_file(source: SourceFile) -> Iterable[Diagnostic]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield Diagnostic(
+                path=source.display_path, line=node.lineno, code="SL601",
+                message=(
+                    "bare 'except:' in a recovery module catches "
+                    "KeyboardInterrupt/SystemExit too; name the exception "
+                    "(or 'except BaseException' explicitly, and re-raise)"
+                ),
+                checker="recovery",
+            )
+            # A bare except that also swallows would double-report; the
+            # SL601 fix (naming the type) re-exposes SL602 if it still
+            # swallows, so one diagnostic per handler is enough.
+            continue
+        if not _escalates(node):
+            yield Diagnostic(
+                path=source.display_path, line=node.lineno, code="SL602",
+                message=(
+                    "exception swallowed on a recovery seam: handler "
+                    "neither re-raises nor records the event "
+                    "(obs.TRACER.count/.observe); escalate it, count it, "
+                    "or suppress with a reviewed reason"
+                ),
+                checker="recovery",
+            )
+
+
+@register("recovery", codes=("SL601", "SL602"))
+def check_recovery(index: RepoIndex) -> Iterable[Diagnostic]:
+    """Silent exception swallowing on self-healing seams (SL6xx)."""
+    prefixes = index.config.recovery_module_prefixes
+    for source in index.files:
+        if _in_scope(source.module, prefixes):
+            yield from _check_file(source)

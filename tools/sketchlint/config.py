@@ -59,6 +59,18 @@ class Config:
     #: must time through ``obs.TRACER`` spans (SL501).
     wallclock_allowed_prefixes: tuple[str, ...] = ("repro.obs",)
 
+    #: The self-healing recovery seams: modules whose ``except`` blocks
+    #: are load-bearing (checkpoint fallback, shard retry, degraded
+    #: queries).  The recovery checker (SL6xx) requires every handler
+    #: here to re-raise or bump an observability counter — a silently
+    #: swallowed exception in these modules is a recovery path that
+    #: vanished from telemetry.
+    recovery_module_prefixes: tuple[str, ...] = (
+        "repro.service",
+        "repro.stream.distributed",
+        "repro.faults",
+    )
+
     #: Names of classes that are abstract interface roots: they declare
     #: contract methods (possibly as raising defaults) and are exempt
     #: from the "concrete class implements the contract" checks.
