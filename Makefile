@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-sanitize test-chaos chaos lint bench bench-engine bench-distributed bench-service bench-columnar bench-sparse docs-check check
+.PHONY: test test-sanitize test-chaos chaos lint bench bench-engine bench-distributed bench-service bench-columnar bench-sparse bench-kernels docs-check check
 
 # Tier-1 verification: the full unit/integration suite, fail-fast.
 test:
@@ -78,6 +78,16 @@ bench-sparse:
 	$(PYTHON) -m pytest benchmarks/bench_sparse_universe.py -q
 	$(PYTHON) tools/perf_regress.py sparse
 
+# The kernel-backend gates: limb end-to-end speedup over the committed
+# columnar floor, bit-identical state across reference/limb/native
+# backends (dense + lazy + weighted + kill/restore), the adaptive
+# ladder's grow-without-re-ingest identity past 10^6 touched vertices,
+# then the regression check of the fresh BENCH_kernels.json against
+# the committed floors.  Single-core gates only.
+bench-kernels:
+	$(PYTHON) -m pytest benchmarks/bench_kernels.py -q
+	$(PYTHON) tools/perf_regress.py kernels
+
 # Documentation gates: public-API docstring coverage, and the docs the
 # README promises must exist.
 docs-check:
@@ -91,6 +101,7 @@ docs-check:
 # (docstring coverage), the unit/integration suite (plus the
 # sanitizer-armed sketch/service subset and the fault/recovery pins),
 # the fixed-seed chaos harness, the distributed-engine gates, the live
-# service gates, the columnar-engine speedup/regression gates, and the
-# sparse vertex-universe memory/identity gates.
-check: lint docs-check test test-sanitize test-chaos chaos bench-distributed bench-service bench-columnar bench-sparse
+# service gates, the columnar-engine speedup/regression gates, the
+# sparse vertex-universe memory/identity gates, and the kernel-backend
+# speedup/identity/ladder gates.
+check: lint docs-check test test-sanitize test-chaos chaos bench-distributed bench-service bench-columnar bench-sparse bench-kernels

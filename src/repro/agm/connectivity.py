@@ -100,6 +100,12 @@ class ConnectivityChecker(StreamingAlgorithm):
         """Shardable entry point: inverse of :meth:`shard_state_ints`."""
         self._sketch.from_state_ints(values)
 
+    def state_digest(self) -> str:
+        """Canonical content hash of the full sketch state (cheap,
+        memory-bandwidth identity probe — see
+        :meth:`~repro.agm.spanning_forest.AgmSketch.state_digest`)."""
+        return self._sketch.state_digest()
+
     def merge_shard(self, other: "ConnectivityChecker", pass_index: int) -> None:
         """Shardable entry point: sum a shard's sketches into ours."""
         self._sketch.combine(other._sketch)

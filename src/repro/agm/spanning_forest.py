@@ -30,6 +30,7 @@ Two extra properties the paper relies on are implemented here:
 
 from __future__ import annotations
 
+import hashlib
 import math
 
 import numpy as np
@@ -357,6 +358,31 @@ class AgmSketch:
         of ``range(n)``.
         """
         return self._round_stacks[0].touched_row_ids()
+
+    def num_touched_vertices(self) -> int:
+        """Number of vertices holding resident sketch rows, in O(1).
+
+        The cheap cardinality twin of :meth:`touched_vertices` (which
+        sorts the ids); the adaptive sizing ladder polls this after
+        every ingest batch, so it must not scale with the touched set.
+        """
+        return self._round_stacks[0].num_touched_rows()
+
+    def state_digest(self) -> str:
+        """Canonical content hash of every round stack's resident state.
+
+        Runs at memory bandwidth (numpy ``tobytes`` into BLAKE2b), so
+        it stays practical at million-vertex scale where
+        :meth:`state_ints` would materialize hundreds of millions of
+        Python ints.  Two same-shaped, same-seeded sketches digest
+        equally iff their resident states match cell-for-cell — the
+        cheap strong probe for replay/promotion identity checks.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+        for r, stack in enumerate(self._round_stacks):
+            hasher.update(np.int64(r).tobytes())
+            stack.state_digest(hasher)
+        return hasher.hexdigest()
 
     def connected_components(self, supernodes: list[int] | None = None) -> list[set[int]]:
         """Vertex components implied by the extracted spanning forest.

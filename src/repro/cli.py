@@ -561,16 +561,17 @@ def _service_session(args):
 
 def _sparse_service_session(args, touched: int):
     """A lazy-universe GraphSession sized for the sparse CLI scenario."""
-    import math
-
     from repro.core import SparsifierParams, SpannerParams
     from repro.graph import VertexSpace
-    from repro.service import GraphSession
+    from repro.service import GraphSession, SketchLadder
 
     params = SparsifierParams(
         estimate_reps_factor=0.01, estimate_levels=1, sampling_levels=1,
         sampling_rounds_factor=0.001,
     )
+    # The sizing ladder replaces the old manual agm_rounds guess: the
+    # session starts at a small rung and promotes itself as the stream's
+    # touched set grows (visible as session.ladder.promote in --live).
     return GraphSession(
         VertexSpace.sparse(args.universe),
         args.seed,
@@ -580,7 +581,7 @@ def _sparse_service_session(args, touched: int):
         sparsifier_params=params,
         spanner_params=SpannerParams(table_stacks=1, table_capacity_factor=0.75),
         weight_bounds=(1.0, 8.0) if getattr(args, "weighted", False) else None,
-        agm_rounds=max(4, math.ceil(math.log2(max(touched, 2)))) + 2,
+        ladder=SketchLadder(start_capacity=min(1024, max(touched, 2))),
     )
 
 

@@ -38,6 +38,7 @@ from repro.service.checkpoint import (
     load_session,
     save_session,
 )
+from repro.service.ladder import SketchLadder, rounds_for_capacity
 from repro.service.session import GraphSession, QueryOutcome, SessionStats
 from repro.service.workload import (
     components_match_ledger,
@@ -53,6 +54,8 @@ __all__ = [
     "GraphSession",
     "SessionStats",
     "QueryOutcome",
+    "SketchLadder",
+    "rounds_for_capacity",
     "CheckpointError",
     "CheckpointStore",
     "save_session",

@@ -56,6 +56,7 @@ from pathlib import Path
 from repro import faults, obs
 from repro.core.parameters import SpannerParams, SparsifierParams
 from repro.graph.vertex_space import VertexSpace
+from repro.service.ladder import SketchLadder
 from repro.service.session import GraphSession
 from repro.sketch.serialize import pack_ints, unpack_ints
 
@@ -115,6 +116,7 @@ def _header(session: GraphSession) -> dict:
             else [_float_bits(session.weight_bounds[0]), _float_bits(session.weight_bounds[1])]
         ),
         "rotation": session.rotation,
+        "ladder": None if session.ladder is None else session.ladder.config(),
         "epoch": session.epoch,
         "updates_ingested": session.updates_ingested,
     }
@@ -268,6 +270,10 @@ def _load_session(path) -> GraphSession:
     space = VertexSpace.from_config(header["space"])
     if space.is_interned:
         space.load_externals(header["externals"])
+    # Pre-ladder checkpoints (<= PR 9) have no "ladder" key: .get keeps
+    # them restorable, with the round depth coming from agm_rounds.
+    ladder_config = header.get("ladder")
+    ladder = None if ladder_config is None else SketchLadder.from_config(ladder_config)
     session = GraphSession(
         space,
         header["seed"],
@@ -282,8 +288,9 @@ def _load_session(path) -> GraphSession:
             None if spanner_params is None else SpannerParams(**spanner_params)
         ),
         weight_bounds=weight_bounds,
-        agm_rounds=header["agm_rounds"],
+        agm_rounds=None if ladder is not None else header["agm_rounds"],
         rotation=int(header["rotation"]),
+        ladder=ladder,
     )
 
     cursor = 0

@@ -1,0 +1,155 @@
+"""Adaptive sketch-stack sizing: grow AGM round depth with the graph.
+
+The connectivity sketch's Borůvka round count is a function of the
+vertex count the session expects to serve (``~log2(n) + 2`` rounds —
+Theorem 10's ``O(log n)`` independent forest extractions).  A session
+over a sparse universe (``VertexSpace.sparse(10**9)``) would pay the
+universe-derived depth for a graph that may only ever touch a few
+thousand vertices, so PR 5 added the manual ``agm_rounds`` override —
+and with it a new failure mode: a session *sized* for ``10**3`` touched
+vertices silently under-provisions once the stream grows past it, and
+the operator has to guess the final size up front.
+
+:class:`SketchLadder` removes the guess.  It tracks a current capacity
+*rung* (a power of two); after every ingest batch the session polls its
+O(1) touched-vertex count, and when the count crosses the rung the
+ladder *promotes*: the session re-derives a connectivity sketch sized
+for the next rung and replays the net live-edge ledger into it — the
+same linearity argument behind ``rotate_sketches()`` and the mid-stream
+pass-2 synthesis.  By linearity the rebuilt sketch is bit-identical to
+the one a correctly-sized-up-front session would hold, so answers are
+unchanged and no re-ingest is ever needed.  Only the connectivity slot
+rebuilds: the spanner and sparsifier pipelines are sized by their own
+parameters, not by ``agm_rounds``, and their full-history state already
+equals a net-replay rebuild.
+
+Promotion cost is one ledger replay (~the cost of one spanner snapshot)
+per rung crossed, and rungs are powers of two, so a stream that grows
+to ``n`` touched vertices pays ``O(log n)`` promotions total —
+amortized O(1) work per ingested update, the classic doubling argument.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["SketchLadder", "rounds_for_capacity"]
+
+
+def rounds_for_capacity(capacity: int) -> int:
+    """Borůvka rounds for a graph of up to ``capacity`` touched vertices.
+
+    ``max(2, ceil(log2 capacity)) + 2``: the ``log2`` term covers
+    Borůvka's halving, the ``+2`` the slack the sparse-universe sessions
+    already use (see ``agm_rounds`` in :class:`~repro.service.session.GraphSession`).
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    return max(2, math.ceil(math.log2(max(capacity, 2)))) + 2
+
+
+class SketchLadder:
+    """Power-of-two capacity rungs for a session's connectivity sketch.
+
+    Parameters
+    ----------
+    start_capacity:
+        The first rung (rounded up to a power of two): the touched
+        vertex count the session is initially provisioned for.
+    max_capacity:
+        Optional ceiling; promotion never provisions beyond it (the
+        attaching session caps it at its universe size, past which
+        more capacity is meaningless).
+
+    The ladder is plain bookkeeping — the session owns the rebuild; the
+    ladder answers :meth:`should_promote` and records the rung history.
+    One ladder instance belongs to one session (checkpoints persist its
+    state and restore re-attaches an equal ladder).
+    """
+
+    __slots__ = ("start_capacity", "max_capacity", "rung", "promotions")
+
+    def __init__(
+        self,
+        start_capacity: int = 1024,
+        max_capacity: int | None = None,
+        *,
+        rung: int | None = None,
+        promotions: int = 0,
+    ):
+        if start_capacity < 1:
+            raise ValueError(f"start_capacity must be >= 1, got {start_capacity}")
+        if max_capacity is not None and max_capacity < start_capacity:
+            raise ValueError(
+                f"max_capacity {max_capacity} below start_capacity {start_capacity}"
+            )
+        if promotions < 0:
+            raise ValueError(f"promotions must be >= 0, got {promotions}")
+        self.start_capacity = 1 << (start_capacity - 1).bit_length()
+        self.max_capacity = max_capacity
+        self.rung = self.start_capacity if rung is None else rung
+        if self.rung < self.start_capacity:
+            raise ValueError(
+                f"rung {self.rung} below start_capacity {self.start_capacity}"
+            )
+        self.promotions = promotions
+
+    def rounds(self) -> int:
+        """AGM round depth for the current rung."""
+        return rounds_for_capacity(self.rung)
+
+    def should_promote(self, touched: int) -> bool:
+        """Whether ``touched`` vertices have outgrown the current rung."""
+        if touched <= self.rung:
+            return False
+        return self.max_capacity is None or self.rung < self.max_capacity
+
+    def rung_for(self, touched: int) -> int:
+        """Smallest power-of-two rung holding ``touched`` vertices,
+        clamped to ``[rung, max_capacity]`` (a single promotion jumps
+        straight here — crossing several rungs in one batch costs one
+        rebuild, not one per rung)."""
+        target = 1 << (max(touched, 1) - 1).bit_length()
+        if self.max_capacity is not None:
+            target = min(target, self.max_capacity)
+        return max(target, self.rung)
+
+    def promote_to(self, target: int) -> int:
+        """Record a promotion to ``target``; returns the new round depth."""
+        if target <= self.rung:
+            raise ValueError(f"target rung {target} not above current {self.rung}")
+        if self.max_capacity is not None and target > self.max_capacity:
+            raise ValueError(
+                f"target rung {target} above max_capacity {self.max_capacity}"
+            )
+        self.rung = target
+        self.promotions += 1
+        return self.rounds()
+
+    def config(self) -> dict:
+        """JSON-shaped state for checkpoint headers (see
+        :func:`from_config`)."""
+        return {
+            "start_capacity": self.start_capacity,
+            "max_capacity": self.max_capacity,
+            "rung": self.rung,
+            "promotions": self.promotions,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "SketchLadder":
+        """Rebuild a ladder from :meth:`config` output."""
+        return cls(
+            start_capacity=int(config["start_capacity"]),
+            max_capacity=(
+                None if config["max_capacity"] is None else int(config["max_capacity"])
+            ),
+            rung=int(config["rung"]),
+            promotions=int(config["promotions"]),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchLadder(rung={self.rung}, start={self.start_capacity}, "
+            f"max={self.max_capacity}, promotions={self.promotions})"
+        )

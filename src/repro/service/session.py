@@ -59,6 +59,8 @@ from repro.graph.distances import bfs_distances
 from repro.graph.graph import Graph
 from repro.graph.vertex_space import VertexSpace, as_vertex_space
 from repro import faults, obs
+from repro.service.ladder import SketchLadder
+from repro.sketch import kernels as _kernels
 from repro.stream.space import SpaceReport
 from repro.stream.updates import EdgeUpdate
 from repro.util import sanitize as _sanitize
@@ -103,6 +105,10 @@ class SessionStats:
     #: Queries answered degraded (decode failure -> low-confidence
     #: :class:`QueryOutcome` instead of an exception).
     degraded_queries: int = 0
+    #: Sizing-ladder promotions absorbed so far (0: no ladder attached).
+    ladder_promotions: int = 0
+    #: Current ladder capacity rung (0: no ladder attached).
+    ladder_rung: int = 0
 
 
 @dataclass(frozen=True)
@@ -219,6 +225,14 @@ class GraphSession:
         sketch.  Sparse-universe sessions whose touched count is far
         below the universe size can pass ``~log2(expected touched) + 2``
         instead of paying the universe-derived default.
+    ladder:
+        Optional :class:`~repro.service.ladder.SketchLadder`: the
+        session starts provisioned for the ladder's first capacity rung
+        and *promotes itself* (connectivity rebuild + net-ledger replay,
+        answers unchanged by linearity) whenever ingest pushes the
+        touched-vertex count past the current rung — no up-front size
+        guess, no manual ``agm_rounds`` tuning (mutually exclusive with
+        ``agm_rounds``).
     """
 
     def __init__(
@@ -234,6 +248,7 @@ class GraphSession:
         weight_bounds: tuple[float, float] | None = None,
         agm_rounds: int | None = None,
         rotation: int = 0,
+        ladder: SketchLadder | None = None,
     ):
         if not isinstance(seed, (int, str)):
             raise TypeError(
@@ -252,6 +267,20 @@ class GraphSession:
         self.sparsifier_params = sparsifier_params
         self.spanner_params = spanner_params
         self.weight_bounds = weight_bounds
+        self.ladder = ladder
+        if ladder is not None:
+            if agm_rounds is not None:
+                raise ValueError(
+                    "pass ladder OR agm_rounds, not both — an attached ladder "
+                    "owns the connectivity round depth"
+                )
+            if ladder.max_capacity is None:
+                # Capacity beyond the universe is meaningless; cap the
+                # ladder there so promotion terminates.
+                ladder.max_capacity = max(
+                    self.space.universe_size, ladder.start_capacity
+                )
+            agm_rounds = ladder.rounds()
         self.agm_rounds = agm_rounds
         if rotation < 0:
             raise ValueError(f"rotation must be >= 0, got {rotation}")
@@ -450,7 +479,7 @@ class GraphSession:
         """
         if not updates:
             return
-        with obs.TRACER.span("session.ingest"):
+        with obs.TRACER.span("session.ingest", kernel=_kernels.active_backend()):
             self._validate(updates)
             for update in updates:
                 pair = update.pair
@@ -465,10 +494,45 @@ class GraphSession:
                 for start in range(0, len(updates), _REPLAY_CHUNK):
                     algorithm.process_batch(updates[start : start + _REPLAY_CHUNK], 0)
             self.updates_ingested += len(updates)
+            if self.ladder is not None and self.ladder.should_promote(
+                self._connectivity._sketch.num_touched_vertices()
+            ):
+                self._promote()
             self.epoch += 1
             self._cache.prune(self.epoch)
         obs.TRACER.observe("session.ingest.batch", len(updates))
         obs.TRACER.count("session.epoch.advance")
+
+    def _promote(self) -> None:
+        """Grow the connectivity sketch to the ladder's next rung.
+
+        Rebuilds *only* the connectivity slot at the new round depth and
+        replays the net live-edge ledger into it — by linearity the
+        result is bit-identical to the sketch a session provisioned at
+        the new rung from the start would hold after the same stream
+        (the same argument behind :meth:`rotate_sketches` and the
+        synthesized second passes).  The spanner and sparsifier slots
+        are sized by their own parameters and keep their full-history
+        state untouched.  One promotion jumps straight to the smallest
+        rung holding the current touched count, so a huge batch costs
+        one rebuild, not one per rung crossed.
+        """
+        touched = self._connectivity._sketch.num_touched_vertices()
+        target = self.ladder.rung_for(touched)
+        with obs.TRACER.span("session.ladder.promote", rung=target, touched=touched):
+            self.agm_rounds = self.ladder.promote_to(target)
+            self._connectivity = ConnectivityChecker(
+                self.space,
+                self._slot_seed("connectivity"),
+                rounds=self.agm_rounds,
+            )
+            self._connectivity.begin_pass(0)
+            tokens = self._net_updates()
+            for start in range(0, len(tokens), _REPLAY_CHUNK):
+                self._connectivity.process_batch(
+                    tokens[start : start + _REPLAY_CHUNK], 0
+                )
+        obs.TRACER.count("session.ladder.promote")
 
     # ------------------------------------------------------------------
     # The ledger (exact service-plane state)
@@ -785,6 +849,8 @@ class GraphSession:
             checkpoint_fallbacks=self.checkpoint_fallbacks,
             shard_retries=self.shard_retries,
             degraded_queries=self.degraded_queries,
+            ladder_promotions=0 if self.ladder is None else self.ladder.promotions,
+            ladder_rung=0 if self.ladder is None else self.ladder.rung,
         )
 
     def touched_vertices(self) -> int:

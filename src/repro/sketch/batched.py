@@ -1,30 +1,24 @@
-"""Exact vectorized arithmetic over ``F_p`` (``p = 2^61 - 1``) in numpy.
+"""Batch prologue helpers + the field-kernel facade for the sketches.
 
 The scalar sketches do three expensive things per stream update, all in
 pure Python: evaluate ``k``-wise polynomial hashes (Horner over 61-bit
 field elements), raise the fingerprint base to the coordinate's power
 (``pow(z, i, p)``), and scatter the resulting contributions into counter
-cells.  This module provides the numpy counterparts that the
-``update_batch`` fast paths are built from.
+cells.  The vectorized counterparts live in
+:mod:`repro.sketch.kernels` — a pluggable backend package (``reference``
+oracle, ``limb`` fast path, optional ``native`` C) selected once at
+import via ``REPRO_KERNEL`` — and are re-exported here so historical
+imports (``from repro.sketch.batched import mulmod61``) keep working.
+New call sites should import the kernels from
+:mod:`repro.sketch.kernels` directly; sketchlint ``SL205`` enforces
+that for ``src/``.
 
-Everything here is **exact**: products of 61-bit field elements are
-evaluated via 32-bit limb splitting so no intermediate ever exceeds 64
-bits, and Mersenne reduction (``2^61 ≡ 1 mod p``) folds the limbs back.
-A batched sketch update therefore lands in *bit-identical* state to the
-equivalent sequence of scalar updates — the property
-``tests/sketch/test_batched.py`` asserts and the graph algorithms rely
-on (same-seeded sketches must stay summable across code paths).
+What this module *owns* is the shared ``update_batch`` prologue every
+sketch runs before touching a kernel:
 
-Key entry points
-----------------
-:func:`mulmod61`, :func:`addmod61`, :func:`powmod61`
-    element-wise field arithmetic on ``uint64`` arrays;
-:func:`polyhash61`
-    vectorized Horner evaluation of a coefficient list (the batched
-    form of :meth:`repro.sketch.hashing.KWiseHash.__call__`);
-:func:`scatter_sum_mod61`
-    scatter-add of field elements into cells, overflow-free via limb
-    splitting (the batched form of ``cells[h(i)] += delta * z^i mod p``);
+:func:`prepare_batch`
+    coercion, validation, routing (scalar/vector/bigint), zero
+    filtering, and the hoisted ``max(|delta|)`` bound;
 :func:`fits_int64_products`
     the guard the sketches use to decide whether a batch can ride the
     ``int64`` scatter fast path or must fall back to exact Python loops
@@ -32,7 +26,13 @@ Key entry points
 :func:`as_field_array`
     the one blessed coercion from signed (or arbitrary-precision) delta
     batches to canonical field residues in ``[0, p)`` — sketchlint's
-    ``SL202`` bans hand-rolled copies of it outside this module.
+    ``SL202`` bans hand-rolled copies of it outside the kernel modules.
+
+Every kernel is **exact**: a batched sketch update lands in
+*bit-identical* state to the equivalent sequence of scalar updates — the
+property ``tests/sketch/test_batched.py`` asserts and the graph
+algorithms rely on (same-seeded sketches must stay summable across code
+paths and backends).
 
 With ``REPRO_SANITIZE=1`` (see :mod:`repro.util.sanitize`) the kernels
 additionally assert their canonical-range preconditions at runtime.
@@ -43,7 +43,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sketch.hashing import MERSENNE_61
-from repro.util import sanitize as _sanitize
+from repro.sketch.kernels import (
+    MASK32,
+    addmod61,
+    build_pow_table,
+    mulmod61,
+    polyhash61,
+    polyhash61_multi,
+    polyhash61_rows,
+    powmod61,
+    powmod61_bases,
+    powmod61_windowed,
+    scatter_sum_mod61,
+    submod61,
+    sum_mod61,
+)
 
 __all__ = [
     "MASK32",
@@ -68,9 +82,6 @@ __all__ = [
     "sum_mod61",
 ]
 
-#: Low 32-bit limb mask used by the exact 61-bit multiplication.
-MASK32 = np.uint64((1 << 32) - 1)
-
 #: Below this batch length the numpy fast path's fixed per-call cost
 #: exceeds the scalar loop's; sketches route such batches to their
 #: scalar ``update`` (identical state either way).  192 is the measured
@@ -78,9 +89,6 @@ MASK32 = np.uint64((1 << 32) - 1)
 #: sketches with a different scalar/vector cost balance override it
 #: (CountSketch 128, L0Sampler 384 — see ``docs/performance.md``).
 SMALL_BATCH = 192
-
-_M61 = np.uint64(MERSENNE_61)
-_ZERO = np.uint64(0)
 
 
 def as_index_array(indices) -> np.ndarray:
@@ -121,9 +129,11 @@ def prepare_batch(
 ):
     """The shared ``update_batch`` prologue of every sketch.
 
-    Coerces and validates a batch, decides its route, and strips zero
-    deltas from the vectorized routes.  Returns ``(route, idx, values,
-    fits)`` where ``route`` is one of
+    Coerces and validates a batch, decides its route, strips zero deltas
+    from the vectorized routes, and hoists the ``max(|delta|)`` bound so
+    downstream overflow guards (:func:`fits_int64_products`) are O(1) on
+    the hot path instead of rescanning the deltas per chunk.  Returns
+    ``(route, idx, values, fits, max_abs)`` where ``route`` is one of
 
     * ``"empty"``  — nothing to do (``idx``/``values`` are ``None``);
     * ``"scalar"`` — the caller should loop its scalar ``update`` over
@@ -134,32 +144,37 @@ def prepare_batch(
       array when ``fits``, else a list of exact Python ints) are
       zero-filtered and ready for the numpy path.
 
+    ``max_abs`` is the exact ``max(|values|)`` whenever ``fits`` holds
+    (scalar or vector route) and ``0`` otherwise (empty batches,
+    arbitrary-precision payloads — their guards cannot ride int64
+    anyway).
+
     ``domain_size=None`` skips domain validation (for sketches whose
     scalar ``update`` delegates validation to an inner sketch).
     """
     idx = as_index_array(indices)
     if idx.size == 0:
-        return "empty", None, None, True
+        return "empty", None, None, True, 0
     if domain_size is not None and (
         int(idx.min()) < 0 or int(idx.max()) >= domain_size
     ):
         raise IndexError(f"index batch leaves domain [0, {domain_size})")
     values, fits = as_delta_array(deltas, idx.size)
     if (fits and idx.size <= small_batch) or (not fits and scalar_bigints):
-        return "scalar", idx, values, fits
+        return "scalar", idx, values, fits, max_abs_int64(values) if fits else 0
     if fits:
         nonzero = values != 0
         if not nonzero.all():
             idx, values = idx[nonzero], values[nonzero]
             if idx.size == 0:
-                return "empty", None, None, True
-    else:
-        keep = [t for t, delta in enumerate(values) if delta != 0]
-        if not keep:
-            return "empty", None, None, False
-        idx = idx[keep]
-        values = [values[t] for t in keep]
-    return "vector", idx, values, fits
+                return "empty", None, None, True, 0
+        return "vector", idx, values, True, max_abs_int64(values)
+    keep = [t for t, delta in enumerate(values) if delta != 0]
+    if not keep:
+        return "empty", None, None, False, 0
+    idx = idx[keep]
+    values = [values[t] for t in keep]
+    return "vector", idx, values, False, 0
 
 
 def as_field_array(values) -> np.ndarray:
@@ -198,251 +213,3 @@ def fits_int64_products(length: int, max_abs_delta: int, max_index: int) -> bool
     if length == 0:
         return True
     return length * max_abs_delta * max(max_index, 1) < (1 << 62)
-
-
-def _fold61(values: np.ndarray) -> np.ndarray:
-    """Reduce ``uint64`` values below ``2^63`` into ``[0, p)``."""
-    values = (values >> np.uint64(61)) + (values & _M61)
-    return np.where(values >= _M61, values - _M61, values)
-
-
-def addmod61(a: np.ndarray, b) -> np.ndarray:
-    """Element-wise ``(a + b) mod p`` for operands already in ``[0, p)``."""
-    if _sanitize.ENABLED:
-        _sanitize.require_canonical(a, MERSENNE_61, "addmod61 lhs")
-        _sanitize.require_canonical(b, MERSENNE_61, "addmod61 rhs")
-    return _fold61(a + b)
-
-
-def submod61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Element-wise ``(a - b) mod p`` for operands already in ``[0, p)``."""
-    if _sanitize.ENABLED:
-        _sanitize.require_canonical(a, MERSENNE_61, "submod61 lhs")
-        _sanitize.require_canonical(b, MERSENNE_61, "submod61 rhs")
-    return _fold61(a + np.where(b == _ZERO, _ZERO, _M61 - b))
-
-
-def mulmod61(a, b) -> np.ndarray:
-    """Element-wise ``(a * b) mod p`` for operands in ``[0, p)``, exactly.
-
-    Splits both operands into 32-bit limbs so every partial product fits
-    ``uint64``, then folds with ``2^61 ≡ 1``, ``2^64 ≡ 8 (mod p)``.
-    """
-    a = np.asarray(a, dtype=np.uint64)
-    b = np.asarray(b, dtype=np.uint64)
-    if _sanitize.ENABLED:
-        _sanitize.require_canonical(a, MERSENNE_61, "mulmod61 lhs")
-        _sanitize.require_canonical(b, MERSENNE_61, "mulmod61 rhs")
-    a_hi, a_lo = a >> np.uint64(32), a & MASK32
-    b_hi, b_lo = b >> np.uint64(32), b & MASK32
-    # a*b = hi*2^64 + mid*2^32 + lo with hi < 2^58, mid < 2^62, lo < 2^64.
-    hi = a_hi * b_hi
-    mid = a_hi * b_lo + a_lo * b_hi
-    lo = a_lo * b_lo
-    # mid*2^32 = (mid >> 29)*2^61 + (mid & (2^29-1))*2^32  ≡  fold both.
-    mid_hi, mid_lo = mid >> np.uint64(29), mid & np.uint64((1 << 29) - 1)
-    total = (
-        hi * np.uint64(8)  # 2^64 ≡ 8
-        + mid_hi  # 2^61 ≡ 1
-        + (mid_lo << np.uint64(32))
-        + (lo >> np.uint64(61))
-        + (lo & _M61)
-    )  # < 2^63, no wraparound
-    return _fold61(_fold61(total))
-
-
-def polyhash61(coefficients, xs: np.ndarray) -> np.ndarray:
-    """Vectorized Horner: ``(((c0*x + c1)*x + c2)...) mod p``.
-
-    Bit-identical to :meth:`repro.sketch.hashing.KWiseHash.__call__`
-    evaluated element-wise (inputs are reduced mod ``p`` first, which is
-    a no-op for in-range sketch coordinates).
-    """
-    xs = np.asarray(xs)
-    if xs.dtype != np.uint64:
-        xs = np.remainder(xs, MERSENNE_61).astype(np.uint64)
-    else:
-        xs = np.where(xs >= _M61, xs - _M61, xs)
-    # Horner with acc starting at the leading coefficient (the first
-    # round of the naive loop is mulmod(0, x) — pure waste).
-    acc = np.full(xs.shape, np.uint64(coefficients[0] % MERSENNE_61))
-    for coefficient in coefficients[1:]:
-        acc = addmod61(mulmod61(acc, xs), np.uint64(coefficient % MERSENNE_61))
-    return acc
-
-
-def polyhash61_rows(coeff_matrix: np.ndarray, row_ids: np.ndarray, xs: np.ndarray) -> np.ndarray:
-    """Horner evaluation where each element uses its own coefficient row.
-
-    ``coeff_matrix`` has shape ``(num_rows, k)`` (``uint64``, reduced mod
-    ``p``); element ``t`` is hashed with the polynomial of row
-    ``row_ids[t]``.  This is the heterogeneous-seed form of
-    :func:`polyhash61`, used by sketch stacks whose rows hold
-    *different*-seeded sketches (e.g. the spanner's per-root cut
-    sketches): one vectorized pass evaluates every row's hash at once.
-    Bit-identical to evaluating each row's scalar hash element-wise.
-    """
-    xs = np.asarray(xs)
-    if xs.dtype != np.uint64:
-        xs = np.remainder(xs, MERSENNE_61).astype(np.uint64)
-    else:
-        xs = np.where(xs >= _M61, xs - _M61, xs)
-    acc = coeff_matrix[row_ids, 0]
-    for t in range(1, coeff_matrix.shape[1]):
-        acc = addmod61(mulmod61(acc, xs), coeff_matrix[row_ids, t])
-    return acc
-
-
-def polyhash61_multi(coeff_matrix: np.ndarray, xs: np.ndarray) -> np.ndarray:
-    """Horner evaluation of ``d`` polynomials over one key batch at once.
-
-    ``coeff_matrix`` has shape ``(d, k)`` (``uint64``, reduced mod
-    ``p``); the result has shape ``(d, len(xs))`` with row ``r`` equal to
-    ``polyhash61(coeff_matrix[r], xs)``.  One broadcasted pass replaces
-    ``d`` separate evaluations — the sketch stacks use it to hash a
-    chunk's coordinates with every bucket row in one go.  Bit-identical
-    to the scalar hash element-wise.
-    """
-    xs = np.asarray(xs)
-    if xs.dtype != np.uint64:
-        xs = np.remainder(xs, MERSENNE_61).astype(np.uint64)
-    else:
-        xs = np.where(xs >= _M61, xs - _M61, xs)
-    acc = np.broadcast_to(coeff_matrix[:, :1], (coeff_matrix.shape[0], xs.shape[0])).copy()
-    for t in range(1, coeff_matrix.shape[1]):
-        acc = addmod61(mulmod61(acc, xs), coeff_matrix[:, t : t + 1])
-    return acc
-
-
-def build_pow_table(base: int, max_exponent: int) -> np.ndarray:
-    """Byte-windowed power table for :func:`powmod61_windowed`.
-
-    ``table[i][j] = base^(j * 256^i) mod p`` for every byte value ``j``
-    and every byte position of ``max_exponent``.  Built once per
-    fingerprint base (a few hundred scalar multiplications) and reused
-    for every batch — the square-and-multiply loop of :func:`powmod61`
-    costs ``bit_length(max exponent)`` vectorized rounds per call, which
-    dominates huge-coordinate domains (``n^2 ~ 10^14`` exponents), while
-    the windowed form costs one table gather plus one multiply per byte.
-    """
-    windows = max(1, (max(max_exponent, 1).bit_length() + 7) // 8)
-    table = np.empty((windows, 256), dtype=np.uint64)
-    for i in range(windows):
-        step = pow(base % MERSENNE_61, 256 ** i, MERSENNE_61)
-        value = 1
-        row = table[i]
-        for j in range(256):
-            row[j] = value
-            value = value * step % MERSENNE_61
-    return table
-
-
-def powmod61_windowed(exponents: np.ndarray, table: np.ndarray) -> np.ndarray:
-    """Vectorized ``pow(base, e, p)`` through a precomputed byte table.
-
-    Exactly :func:`powmod61` in value (integer-exact, so downstream
-    sketch cells are bit-identical), at one gather + one
-    :func:`mulmod61` per exponent byte instead of one masked multiply
-    per exponent *bit*.
-    """
-    exponents = np.asarray(exponents)
-    if np.any(exponents < 0):
-        raise ValueError("exponents must be non-negative")
-    exp = exponents.astype(np.uint64)
-    result = table[0][exp & np.uint64(0xFF)]
-    for i in range(1, table.shape[0]):
-        window = (exp >> np.uint64(8 * i)) & np.uint64(0xFF)
-        if window.any():  # base^0 = 1: all-zero windows multiply by one
-            result = mulmod61(result, table[i][window])
-    return result
-
-
-def powmod61(base: int, exponents: np.ndarray) -> np.ndarray:
-    """Vectorized ``pow(base, e, p)`` by square-and-multiply.
-
-    ``base`` is a scalar field element (the fingerprint base ``z``);
-    ``exponents`` are non-negative integers (sketch coordinates).  Runs
-    ``bit_length(max exponent)`` vectorized rounds.
-    """
-    exponents = np.asarray(exponents)
-    if np.any(exponents < 0):
-        raise ValueError("exponents must be non-negative")
-    exp = exponents.astype(np.uint64)
-    result = np.ones(exp.shape, dtype=np.uint64)
-    square = base % MERSENNE_61
-    while True:
-        top = int(exp.max()) if exp.size else 0
-        if top == 0:
-            break
-        odd = (exp & np.uint64(1)).astype(bool)
-        if odd.any():
-            result[odd] = mulmod61(result[odd], np.uint64(square))
-        exp = exp >> np.uint64(1)
-        if int(exp.max()) == 0:
-            break
-        square = square * square % MERSENNE_61
-    return result
-
-
-def powmod61_bases(bases: np.ndarray, exponents: np.ndarray) -> np.ndarray:
-    """Vectorized ``pow(bases[t], exponents[t], p)`` with per-element bases.
-
-    The heterogeneous-seed form of :func:`powmod61`: each element raises
-    its *own* fingerprint base (rows of a mixed-seed sketch stack hold
-    different ``z``).  Runs ``bit_length(max exponent)`` vectorized
-    square-and-multiply rounds.
-    """
-    exponents = np.asarray(exponents)
-    if np.any(exponents < 0):
-        raise ValueError("exponents must be non-negative")
-    exp = exponents.astype(np.uint64)
-    square = np.asarray(bases, dtype=np.uint64)
-    square = np.where(square >= _M61, square - _M61, square)
-    result = np.ones(exp.shape, dtype=np.uint64)
-    while exp.size and int(exp.max()) != 0:
-        odd = (exp & np.uint64(1)).astype(bool)
-        if odd.any():
-            result[odd] = mulmod61(result[odd], square[odd])
-        exp = exp >> np.uint64(1)
-        if int(exp.max()) == 0:
-            break
-        square = mulmod61(square, square)
-    return result
-
-
-def sum_mod61(terms: np.ndarray) -> int:
-    """Exact ``sum(terms) mod p`` for field elements, any batch length.
-
-    Accumulates the 32-bit limbs separately (each limb sum stays far
-    below ``2^64`` for any realistic batch), then recombines exactly in
-    Python integers.
-    """
-    if terms.size == 0:
-        return 0
-    if _sanitize.ENABLED:
-        _sanitize.require_canonical(terms, MERSENNE_61, "sum_mod61 terms")
-    lo = int(np.sum(terms & MASK32, dtype=np.uint64))
-    hi = int(np.sum(terms >> np.uint64(32), dtype=np.uint64))
-    return (lo + (hi << 32)) % MERSENNE_61
-
-
-def scatter_sum_mod61(cells: int, positions: np.ndarray, terms: np.ndarray) -> np.ndarray:
-    """Per-cell ``sum of terms mod p``: the fingerprint scatter-add.
-
-    ``positions`` maps each term to a cell in ``[0, cells)``; the return
-    value is a ``uint64`` array of length ``cells`` holding each cell's
-    exact sum mod ``p``.  Limb-split so ``np.add.at`` cannot overflow
-    even if every term lands in one cell (safe to ``2^31`` terms).
-    """
-    if _sanitize.ENABLED:
-        _sanitize.require_positions(positions, cells)
-        _sanitize.require_canonical(terms, MERSENNE_61, "scatter_sum_mod61 terms")
-    lo = np.zeros(cells, dtype=np.uint64)
-    hi = np.zeros(cells, dtype=np.uint64)
-    np.add.at(lo, positions, terms & MASK32)
-    np.add.at(hi, positions, terms >> np.uint64(32))
-    # lo < n*2^32, hi < n*2^29: reduce each limb mod p, then recombine as
-    # lo + hi*2^32 mod p — all operands back in field range.
-    lo_red = _fold61(_fold61(lo))
-    hi_red = _fold61(_fold61(hi))
-    return addmod61(lo_red, mulmod61(hi_red, np.uint64((1 << 32) % MERSENNE_61)))

@@ -22,8 +22,8 @@ Two stack flavors:
     ``(r, j)`` cluster stacks) — hashes are then evaluated once per
     coordinate and broadcast — or carry per-row seeds (the spanner's
     per-root cut sketches), in which case the gathered-coefficient
-    kernels :func:`~repro.sketch.batched.polyhash61_rows` /
-    :func:`~repro.sketch.batched.powmod61_bases` still evaluate the
+    kernels :func:`~repro.sketch.kernels.polyhash61_rows` /
+    :func:`~repro.sketch.kernels.powmod61_bases` still evaluate the
     whole incidence list in one vectorized pass.
 
 :class:`L0SamplerStack`
@@ -74,18 +74,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sketch.batched import (
+from repro.sketch.batched import max_abs_int64
+from repro.sketch.kernels import (
+    MASK32,
     addmod61,
     build_pow_table,
-    max_abs_int64,
     mulmod61,
-    polyhash61_multi,
     polyhash61_rows,
     powmod61_bases,
-    powmod61_windowed,
     scatter_sum_mod61,
+    stack_positions_terms,
     submod61,
-    MASK32,
 )
 from repro import obs
 from repro.sketch.hashing import MERSENNE_61, KWiseHash, NestedSampler
@@ -115,7 +114,7 @@ def _colsum_mod61(selected: np.ndarray) -> np.ndarray:
     values overflows ``uint64``, so the 32-bit limbs are accumulated
     separately (exact for up to ``2^31`` rows) and recombined mod ``p``
     — the column form of
-    :func:`repro.sketch.batched.scatter_sum_mod61`.
+    :func:`repro.sketch.kernels.scatter_sum_mod61`.
     """
     lo = np.sum(selected & MASK32, axis=0, dtype=np.uint64)
     hi = np.sum(selected >> np.uint64(32), axis=0, dtype=np.uint64)
@@ -353,9 +352,24 @@ class SketchStack:
         slots[hit] = self._sorted_slots[positions[hit]]
         missing = np.flatnonzero(~hit)
         if missing.size:
-            for position in missing:
-                slots[position] = self._slot(int(unique_rows[position]), create=True)
-            # _slot invalidated the snapshot; refresh happens on the next batch.
+            # Bulk-intern the new rows: one storage grow, one dict update,
+            # and a sorted merge into the lookup snapshot.  ``unique_rows``
+            # is sorted, so slot order matches the scalar intern path
+            # bit-for-bit while growth-heavy streams (every batch touching
+            # fresh rows) stay vectorized instead of paying a per-row
+            # Python intern plus a full snapshot rebuild each chunk.
+            new_rows = unique_rows[missing]
+            base = len(self._slot_rows)
+            new_slots = np.arange(base, base + missing.size, dtype=np.int64)
+            self._grow_storage(base + missing.size)
+            self._slot_of.update(
+                zip(new_rows.tolist(), range(base, base + missing.size))
+            )
+            self._slot_rows.extend(new_rows.tolist())
+            slots[missing] = new_slots
+            insert_at = np.searchsorted(known_rows, new_rows)
+            self._sorted_rows = np.insert(known_rows, insert_at, new_rows)
+            self._sorted_slots = np.insert(self._sorted_slots, insert_at, new_slots)
         return slots
 
     def resident_rows(self) -> int:
@@ -373,6 +387,47 @@ class SketchStack:
         if self.lazy:
             return sorted(self._slot_of)
         return list(range(self.num_rows))
+
+    def state_digest(self, hasher) -> None:
+        """Feed the stack's resident state into ``hasher`` canonically.
+
+        Rows are visited in sorted logical order regardless of intern
+        order, so two same-engine stacks holding the same cell values
+        digest identically even when their streams materialized rows in
+        different sequences.  At memory bandwidth (a sorted gather plus
+        ``tobytes``), this is the cheap way to compare million-row
+        states where :meth:`row_state_ints` per row would take minutes.
+        Digests are only comparable between like engines: a dense stack
+        hashes every row while a lazy one hashes the touched set, so an
+        absent row and a resident all-zero row differ by design.
+        """
+        if self._spilled is not None:
+            for row in sorted(self._spilled):
+                sketch = self._spilled[row]
+                hasher.update(np.int64(row).tobytes())
+                hasher.update(np.asarray(sketch._totals, dtype=np.int64).tobytes())
+                hasher.update(np.asarray(sketch._index_sums, dtype=np.int64).tobytes())
+                hasher.update(
+                    np.asarray(sketch._fingerprints, dtype=np.uint64).tobytes()
+                )
+            return
+        if self.lazy:
+            rows = np.asarray(self._slot_rows, dtype=np.int64)
+            used = rows.size
+            if used and np.any(rows[1:] < rows[:-1]):
+                order = np.argsort(rows)
+                hasher.update(rows[order].tobytes())
+                for array in (self._totals, self._index_sums, self._fingerprints):
+                    hasher.update(np.ascontiguousarray(array[:used][order]).tobytes())
+                return
+            # Intern order was already ascending (append-ordered streams):
+            # hash the storage slices in place, no gather copy.
+            hasher.update(rows.tobytes())
+            for array in (self._totals, self._index_sums, self._fingerprints):
+                hasher.update(np.ascontiguousarray(array[:used]).tobytes())
+            return
+        for array in (self._totals, self._index_sums, self._fingerprints):
+            hasher.update(np.ascontiguousarray(array[: self.num_rows]).tobytes())
 
     # ------------------------------------------------------------------
     # Exactness bookkeeping
@@ -558,11 +613,12 @@ class SketchStack:
                     [row_hash.coefficients for row_hash in self._hash_objs],
                     dtype=np.uint64,
                 )
-            powers = powmod61_windowed(indices, self._pow_table)
-            stacked = polyhash61_multi(self._bucket_coeffs, indices) % np.uint64(
-                self.buckets
+            # The fused dispatch entry: polyhash → fold → fingerprint
+            # weighting in one backend call (the hot per-chunk path).
+            stacked, terms = stack_positions_terms(
+                self._bucket_coeffs, self._pow_table, indices, residues, self.buckets
             )
-            positions = [stacked[r].astype(np.int64) for r in range(self.rows)]
+            positions = [stacked[r] for r in range(self.rows)]
         else:
             powers = powmod61_bases(self._zs[row_ids], indices)
             positions = [
@@ -570,7 +626,7 @@ class SketchStack:
                  % np.uint64(self.buckets)).astype(np.int64)
                 for r in range(self.rows)
             ]
-        terms = mulmod61(residues, powers)
+            terms = mulmod61(residues, powers)
 
         flat_base = slots * np.int64(self.cells)
         flat = np.concatenate(
@@ -1010,6 +1066,20 @@ class L0SamplerStack:
     def resident_rows(self) -> int:
         """Materialized ``(level, row)`` slots across all level stacks."""
         return sum(stack.resident_rows() for stack in self._level_stacks)
+
+    def num_touched_rows(self) -> int:
+        """Number of rows ever updated, in O(1) (the level-0 stack's
+        resident count — every update reaches level 0).  The cheap
+        cardinality twin of :meth:`touched_row_ids`, which sorts."""
+        return self._level_stacks[0].resident_rows()
+
+    def state_digest(self, hasher) -> None:
+        """Feed every level stack's resident state into ``hasher``
+        (see :meth:`SketchStack.state_digest` for the canonical order
+        and the like-engine comparability caveat)."""
+        for level, stack in enumerate(self._level_stacks):
+            hasher.update(np.int64(level).tobytes())
+            stack.state_digest(hasher)
 
     # ------------------------------------------------------------------
     # Serialization (per-row, matching L0Sampler layout)

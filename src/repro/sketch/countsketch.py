@@ -26,7 +26,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.sketch.batched import fits_int64_products, max_abs_int64, prepare_batch
+from repro.sketch.batched import fits_int64_products, prepare_batch
 from repro.sketch.hashing import KWiseHash
 from repro.util.rng import derive_seed
 
@@ -113,7 +113,7 @@ class CountSketch:
         Python interpreter cost is replaced by a handful of numpy passes.
         Arbitrary-precision deltas fall back to the scalar loop.
         """
-        route, idx, values, _ = prepare_batch(
+        route, idx, values, _, max_abs = prepare_batch(
             indices,
             deltas,
             domain_size=self.domain_size,
@@ -122,7 +122,6 @@ class CountSketch:
         )
         if route == "empty":
             return
-        max_abs = 0 if route == "scalar" else max_abs_int64(values)
         if route == "scalar" or not fits_int64_products(idx.size, max_abs, 1):
             for index, delta in zip(idx, values):
                 self.update(int(index), int(delta))

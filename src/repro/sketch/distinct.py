@@ -26,14 +26,8 @@ import statistics
 
 import numpy as np
 
-from repro.sketch.batched import (
-    SMALL_BATCH,
-    as_field_array,
-    mulmod61,
-    powmod61,
-    prepare_batch,
-    scatter_sum_mod61,
-)
+from repro.sketch.batched import SMALL_BATCH, as_field_array, prepare_batch
+from repro.sketch.kernels import mulmod61, powmod61, scatter_sum_mod61
 from repro.sketch.hashing import MERSENNE_61, NestedSampler
 from repro.util.rng import derive_seed
 
@@ -98,7 +92,7 @@ class DistinctElementsSketch:
         ``l`` feeds every row ``j <= l``, exactly as the scalar loop
         does).  Bit-identical to the scalar :meth:`update` sequence.
         """
-        route, idx, values, _ = prepare_batch(
+        route, idx, values, _, _ = prepare_batch(
             indices, deltas, domain_size=self.domain_size, small_batch=SMALL_BATCH
         )
         if route == "empty":

@@ -110,9 +110,9 @@ class KWiseHash:
 
         Bit-identical to evaluating the scalar hash element-wise (the
         batched sketches depend on this — see
-        :mod:`repro.sketch.batched`).
+        :mod:`repro.sketch.kernels`).
         """
-        from repro.sketch.batched import polyhash61
+        from repro.sketch.kernels import polyhash61
 
         return polyhash61(self._coeffs, xs)
 

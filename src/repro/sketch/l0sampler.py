@@ -85,7 +85,7 @@ class L0Sampler:
         :meth:`~repro.sketch.sparse_recovery.SparseRecoverySketch.update_batch`.
         Bit-identical to the equivalent scalar :meth:`update` sequence.
         """
-        route, idx, values, fits = prepare_batch(
+        route, idx, values, fits, _ = prepare_batch(
             indices, deltas, small_batch=_SMALL_BATCH
         )
         if route == "empty":

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sketch.batched import as_index_array, powmod61
+from repro.sketch.batched import as_index_array
+from repro.sketch.kernels import powmod61
 from repro.sketch.hashing import MERSENNE_61
 from repro.sketch.onesparse import DecodeStatus, OneSparseDetector, OneSparseResult
 from repro.sketch.sparse_recovery import SparseRecoverySketch

@@ -29,12 +29,9 @@ from repro.sketch.batched import (
     SMALL_BATCH,
     as_field_array,
     fits_int64_products,
-    max_abs_int64,
-    mulmod61,
-    powmod61,
     prepare_batch,
-    sum_mod61,
 )
+from repro.sketch.kernels import mulmod61, powmod61, sum_mod61
 from repro.sketch.hashing import MERSENNE_61
 from repro.util.rng import derive_seed
 
@@ -102,7 +99,7 @@ class OneSparseDetector:
         a scalar fallback for arbitrary-precision deltas) and the
         fingerprint accumulates via exact vectorized field arithmetic.
         """
-        route, idx, values, _ = prepare_batch(
+        route, idx, values, _, max_abs = prepare_batch(
             indices,
             deltas,
             domain_size=self.domain_size,
@@ -111,7 +108,6 @@ class OneSparseDetector:
         )
         if route == "empty":
             return
-        max_abs = 0 if route == "scalar" else max_abs_int64(values)
         if route == "scalar" or not fits_int64_products(
             idx.size, max_abs, int(idx.max())
         ):

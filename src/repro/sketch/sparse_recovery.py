@@ -34,12 +34,9 @@ from repro.sketch.batched import (
     SMALL_BATCH,
     as_field_array,
     fits_int64_products,
-    max_abs_int64,
-    mulmod61,
-    powmod61,
     prepare_batch,
-    scatter_sum_mod61,
 )
+from repro.sketch.kernels import mulmod61, powmod61, scatter_sum_mod61
 from repro import obs
 from repro.sketch.hashing import MERSENNE_61, KWiseHash
 from repro.util.rng import derive_seed
@@ -151,7 +148,7 @@ class SparseRecoverySketch:
           counter sums while the hashing and field arithmetic stay
           vectorized.
         """
-        route, idx, values, fits = prepare_batch(
+        route, idx, values, fits, max_abs = prepare_batch(
             indices, deltas, domain_size=self.domain_size, small_batch=SMALL_BATCH
         )
         if route == "empty":
@@ -162,9 +159,7 @@ class SparseRecoverySketch:
             return
         residues = as_field_array(values)
         fast = (
-            fits_int64_products(idx.size, max_abs_int64(values), int(idx.max()))
-            if fits
-            else False
+            fits_int64_products(idx.size, max_abs, int(idx.max())) if fits else False
         )
         terms = mulmod61(residues, powmod61(self._z, idx))
         if fast:

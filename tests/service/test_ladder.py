@@ -1,0 +1,230 @@
+"""The adaptive sizing ladder: growth without re-ingest, bit-identically.
+
+The claim under test (the linearity argument of
+:mod:`repro.service.ladder`): a session that starts at a small capacity
+rung and promotes itself as the touched set grows ends with the *same
+answers* as a session provisioned at the final size up front — across
+every query family, after checkpoints, and after further ingest.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.core import SpannerParams, SparsifierParams
+from repro.graph import VertexSpace
+from repro.service import (
+    CheckpointStore,
+    GraphSession,
+    SketchLadder,
+    rounds_for_capacity,
+)
+from repro.stream.updates import EdgeUpdate
+
+SLIM = SparsifierParams(
+    estimate_reps_factor=0.01, estimate_levels=1, sampling_levels=1,
+    sampling_rounds_factor=0.001,
+)
+SLIM_SPANNER = SpannerParams(table_stacks=1, table_capacity_factor=0.75)
+
+
+def growing_updates(vertices, edges, seed):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(edges):
+        u = rng.randrange(vertices)
+        v = rng.randrange(vertices)
+        if u != v:
+            out.append(EdgeUpdate(u, v, +1))
+    return out
+
+
+def ladder_session(ladder, seed=42, universe=1 << 14):
+    return GraphSession(
+        VertexSpace.sparse(universe),
+        seed,
+        sparsifier_params=SLIM,
+        spanner_params=SLIM_SPANNER,
+        ladder=ladder,
+    )
+
+
+# -- the ladder object itself ------------------------------------------
+
+
+def test_rounds_for_capacity_shape():
+    assert rounds_for_capacity(1) == 4
+    assert rounds_for_capacity(2) == 4
+    assert rounds_for_capacity(1024) == 12
+    assert rounds_for_capacity(10**6) == 22
+    with pytest.raises(ValueError):
+        rounds_for_capacity(0)
+
+
+def test_ladder_rungs_are_powers_of_two():
+    ladder = SketchLadder(start_capacity=100)
+    assert ladder.rung == 128  # rounded up
+    assert not ladder.should_promote(128)
+    assert ladder.should_promote(129)
+    assert ladder.rung_for(129) == 256
+    # One promotion jumps straight past several rungs.
+    assert ladder.rung_for(5000) == 8192
+    assert ladder.promote_to(8192) == rounds_for_capacity(8192)
+    assert ladder.rung == 8192 and ladder.promotions == 1
+
+
+def test_ladder_respects_max_capacity():
+    ladder = SketchLadder(start_capacity=64, max_capacity=256)
+    assert ladder.rung_for(10**6) == 256
+    assert ladder.should_promote(65)
+    ladder.promote_to(256)
+    assert not ladder.should_promote(10**9)  # at the ceiling: stop
+
+
+def test_ladder_config_round_trip():
+    ladder = SketchLadder(start_capacity=64, max_capacity=4096)
+    ladder.promote_to(512)
+    twin = SketchLadder.from_config(ladder.config())
+    assert twin.config() == ladder.config()
+
+
+def test_ladder_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        SketchLadder(start_capacity=0)
+    with pytest.raises(ValueError):
+        SketchLadder(start_capacity=64, max_capacity=32)
+    ladder = SketchLadder(start_capacity=64)
+    with pytest.raises(ValueError):
+        ladder.promote_to(64)  # not above the current rung
+
+
+# -- session integration -----------------------------------------------
+
+
+def test_ladder_and_agm_rounds_are_exclusive():
+    with pytest.raises(ValueError, match="not both"):
+        GraphSession(
+            VertexSpace.sparse(1 << 14), 7,
+            agm_rounds=8, ladder=SketchLadder(),
+        )
+
+
+def test_grown_session_matches_upfront_session():
+    """The acceptance property: start small, grow across several rungs,
+    and answer every query family bit-identically to a session sized
+    for the final rung from the start — without re-ingesting."""
+    updates = growing_updates(400, 600, seed=11)
+    deletes = [EdgeUpdate(u.u, u.v, -1) for u in updates[:120]]
+
+    ladder = SketchLadder(start_capacity=16)
+    grown = ladder_session(ladder)
+    for start in range(0, len(updates), 100):
+        grown.ingest_batch(updates[start : start + 100])
+    grown.ingest_batch(deletes)
+    assert ladder.promotions >= 2  # actually climbed several rungs
+    assert ladder.rung >= 256
+
+    upfront = GraphSession(
+        VertexSpace.sparse(1 << 14), 42,
+        sparsifier_params=SLIM,
+        spanner_params=SLIM_SPANNER,
+        agm_rounds=rounds_for_capacity(ladder.rung),
+    )
+    upfront.ingest_batch(updates)
+    upfront.ingest_batch(deletes)
+
+    assert grown.snapshot_answers() == upfront.snapshot_answers()
+    # Per-query-family spot checks (the structured query surface too).
+    assert grown.connected(updates[0].u, updates[0].v) == upfront.connected(
+        updates[0].u, updates[0].v
+    )
+    d1 = grown.spanner_distance(updates[0].u, updates[1].u)
+    d2 = upfront.spanner_distance(updates[0].u, updates[1].u)
+    assert d1 == d2
+    side = {u.u for u in updates[:50]}
+    assert grown.cut_estimate(side) == upfront.cut_estimate(side)
+
+
+def test_promotion_counters_and_stats():
+    ladder = SketchLadder(start_capacity=64)
+    session = ladder_session(ladder)
+    tracer = obs.Tracer()
+    previous = obs.set_tracer(tracer)
+    try:
+        session.ingest_batch(growing_updates(500, 600, seed=3))
+    finally:
+        obs.set_tracer(previous)
+    stats = session.stats()
+    assert stats.ladder_promotions == ladder.promotions >= 1
+    assert stats.ladder_rung == ladder.rung
+    assert tracer.counters.get("session.ladder.promote", 0) == ladder.promotions
+    # Sessions without a ladder report zeros, not None.
+    plain = GraphSession(64, 7, sparsifier_params=SLIM)
+    assert plain.stats().ladder_promotions == 0
+    assert plain.stats().ladder_rung == 0
+
+
+def test_promotion_derives_rounds_from_rung():
+    ladder = SketchLadder(start_capacity=64)
+    session = ladder_session(ladder)
+    assert session.agm_rounds == rounds_for_capacity(64)
+    session.ingest_batch(growing_updates(800, 900, seed=5))
+    assert ladder.promotions >= 1
+    assert session.agm_rounds == rounds_for_capacity(ladder.rung)
+    assert session._connectivity._sketch.rounds == session.agm_rounds
+
+
+def test_checkpoint_round_trips_promoted_ladder(tmp_path):
+    ladder = SketchLadder(start_capacity=16)
+    session = ladder_session(ladder)
+    updates = growing_updates(400, 500, seed=9)
+    session.ingest_batch(updates[:350])
+    assert ladder.promotions >= 1
+
+    store = CheckpointStore(tmp_path / "ckpts")
+    store.save(session)
+    restored = store.load_latest()
+    assert restored.ladder is not None
+    assert restored.ladder.config() == ladder.config()
+    assert restored.agm_rounds == session.agm_rounds
+
+    # The restored session keeps promoting as the stream grows further.
+    session.ingest_batch(updates[900:])
+    restored.ingest_batch(updates[900:])
+    assert restored.ladder.config() == ladder.config()
+    assert restored.snapshot_answers() == session.snapshot_answers()
+
+
+def test_pre_ladder_checkpoints_still_restore(tmp_path):
+    """A header without the "ladder" key (<= PR 9 files) restores to a
+    ladderless session — back-compat via header.get."""
+    session = GraphSession(64, 7, sparsifier_params=SLIM, agm_rounds=8)
+    session.ingest_batch(growing_updates(64, 80, seed=1))
+    path = tmp_path / "ck.bin"
+    session.checkpoint(path)
+
+    import json
+    import struct
+    import zlib
+
+    from repro.service import checkpoint as ckpt
+
+    data = path.read_bytes()
+    header_bytes, cursor = ckpt._read_section(path, data, len(ckpt.MAGIC), "header")
+    payload, _ = ckpt._read_section(path, data, cursor, "payload")
+    header = json.loads(header_bytes)
+    assert header["ladder"] is None
+    del header["ladder"]  # forge a pre-ladder header
+    forged_header = json.dumps(header, sort_keys=True).encode("utf-8")
+    frame = struct.Struct(">II")
+    with open(path, "wb") as handle:
+        handle.write(ckpt.MAGIC)
+        handle.write(frame.pack(len(forged_header), zlib.crc32(forged_header) & 0xFFFFFFFF))
+        handle.write(forged_header)
+        handle.write(frame.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF))
+        handle.write(payload)
+
+    restored = GraphSession.restore(path)
+    assert restored.ladder is None
+    assert restored.snapshot_answers() == session.snapshot_answers()

@@ -229,6 +229,89 @@ def test_unguarded_sum_flagged_guarded_allowed(tmp_path):
     assert len(flagged) == 1 and flagged[0].line == 5
 
 
+# -- kernel dispatch (SL205) -------------------------------------------
+
+
+def test_kernel_name_import_from_non_dispatch_flagged(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        from repro.sketch.batched import mulmod61
+
+        def use(a, b):
+            return mulmod61(a, b)
+        """,
+        name="clientmod.py",
+    )
+    assert codes_of(result) == ["SL205"]
+
+
+def test_kernel_import_from_dispatch_facade_is_clean(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        from repro.sketch.kernels import mulmod61, scatter_sum_mod61
+
+        def use(a, b):
+            return scatter_sum_mod61(mulmod61(a, b), a, 4)
+        """,
+        name="clientmod.py",
+    )
+    assert result.clean
+
+
+def test_backend_module_import_flagged(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import repro.sketch.kernels.native
+        from repro.sketch.kernels import limb
+        from repro.sketch.kernels.reference import mulmod61
+        """,
+        name="clientmod.py",
+    )
+    assert codes_of(result) == ["SL205", "SL205", "SL205"]
+
+
+def test_kernel_shadow_definition_flagged(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def mulmod61(a, b):
+            return a * b
+        """,
+        name="clientmod.py",
+    )
+    assert codes_of(result) == ["SL205"]
+
+
+def test_backends_free_inside_kernels_package(tmp_path):
+    config = dataclasses.replace(DEFAULT_CONFIG, kernel_dispatch_module="kernmod")
+    result = lint_source(
+        tmp_path,
+        """
+        def mulmod61(a, b):
+            return a * b
+        """,
+        name="kernmod.py",
+        config=config,
+    )
+    assert result.clean
+
+
+def test_live_src_routes_kernels_through_dispatch():
+    # The real tree: every kernel call site outside the kernels package
+    # imports from the dispatch facade, so backend selection is global.
+    index, errors = load_paths([_repo.SRC_DIR], DEFAULT_CONFIG)
+    assert errors == []
+    from tools.sketchlint.checkers import dispatch as dispatch_checker
+
+    offenders = sorted({
+        d.path for d in dispatch_checker.check_dispatch(index)
+    })
+    assert offenders == []
+
+
 # -- determinism (SL3xx) -----------------------------------------------
 
 
@@ -697,7 +780,8 @@ def test_live_inventory_is_complete():
 def test_registry_exposes_all_families():
     families = {checker.name for checker in all_checkers()}
     assert families >= {
-        "protocol", "field", "determinism", "wire", "wallclock", "recovery",
+        "protocol", "field", "dispatch", "determinism", "wire", "wallclock",
+        "recovery",
     }
     codes = {code for checker in all_checkers() for code in checker.codes}
     assert len(codes) >= 15

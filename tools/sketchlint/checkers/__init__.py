@@ -4,6 +4,8 @@
   contract conformance;
 * :mod:`tools.sketchlint.checkers.field` — ``SL2xx`` field-arithmetic and
   dtype discipline;
+* :mod:`tools.sketchlint.checkers.dispatch` — ``SL205`` kernel-backend
+  dispatch discipline;
 * :mod:`tools.sketchlint.checkers.determinism` — ``SL3xx`` seam-reachable
   randomness/wall-clock bans;
 * :mod:`tools.sketchlint.checkers.wire` — ``SL4xx`` wire-format
@@ -16,6 +18,7 @@
 
 from tools.sketchlint.checkers import (
     determinism,
+    dispatch,
     field,
     protocol,
     recovery,
@@ -23,4 +26,12 @@ from tools.sketchlint.checkers import (
     wire,
 )
 
-__all__ = ["determinism", "field", "protocol", "recovery", "wallclock", "wire"]
+__all__ = [
+    "determinism",
+    "dispatch",
+    "field",
+    "protocol",
+    "recovery",
+    "wallclock",
+    "wire",
+]

@@ -25,6 +25,36 @@ class Config:
             "repro.sketch.batched",
             "repro.sketch.columnar",
             "repro.sketch.hashing",
+            "repro.sketch.kernels",
+            "repro.sketch.kernels.reference",
+            "repro.sketch.kernels.limb",
+            "repro.sketch.kernels.native",
+        }
+    )
+
+    #: The dispatch facade for the pluggable kernel backends: the only
+    #: module anyone outside the kernels package may import field-kernel
+    #: entry points from.  Importing a backend module directly (or
+    #: re-defining a kernel entry point) bypasses backend selection and
+    #: the bit-identity oracle (SL205).
+    kernel_dispatch_module: str = "repro.sketch.kernels"
+
+    #: The dispatched kernel entry points guarded by SL205.
+    kernel_dispatch_names: frozenset[str] = frozenset(
+        {
+            "addmod61",
+            "submod61",
+            "mulmod61",
+            "polyhash61",
+            "polyhash61_rows",
+            "polyhash61_multi",
+            "powmod61",
+            "powmod61_bases",
+            "powmod61_windowed",
+            "build_pow_table",
+            "sum_mod61",
+            "scatter_sum_mod61",
+            "stack_positions_terms",
         }
     )
 
